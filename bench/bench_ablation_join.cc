@@ -1,0 +1,84 @@
+// Ablation: join algorithm choice for Alignment ⋈ Read. The planner's
+// rule (merge join off clustered keys, hash join otherwise, nested loops
+// for non-equi) is exactly the trade the paper's Fig. 10 leans on; this
+// bench shows who wins at which cardinality and what clustering buys.
+
+#include "bench/bench_util.h"
+#include "workflow/loaders.h"
+#include "workflow/schema.h"
+
+namespace htg::bench {
+namespace {
+
+void Run() {
+  printf("== Ablation: join algorithm for Alignment ⋈ Read ==\n");
+  printf("HTG_SCALE=%.2f\n\n", Scale());
+
+  TablePrinter table({"rows", "merge (clustered)", "hash (heap)",
+                      "merge advantage"});
+
+  for (uint64_t rows : {Scaled(20'000), Scaled(80'000), Scaled(200'000)}) {
+    LaneConfig config;
+    config.dge = false;
+    config.chromosomes = 4;
+    config.reference_bases = std::max<uint64_t>(100'000, rows);
+    config.num_reads = rows;
+    config.work_dir = "/tmp/htgdb_bench_join";
+    config.seed = 5000 + rows;
+    Lane lane = MakeLane(config);
+
+    const std::string join_sql =
+        "SELECT COUNT(*) FROM Alignment JOIN Read ON a_r_id = r_id";
+    double seconds[2] = {0, 0};
+    for (int clustered = 1; clustered >= 0; --clustered) {
+      BenchDb bench = OpenBenchDb(StringPrintf("join_%d_%llu", clustered,
+                                               static_cast<unsigned long long>(
+                                                   rows)));
+      workflow::SchemaOptions schema_options;
+      schema_options.clustered_join_keys = clustered == 1;
+      CheckOk(workflow::CreateGenomicsSchema(bench.engine.get(),
+                                             schema_options),
+              "schema");
+      CheckOk(workflow::LoadReads(bench.db.get(), "Read", lane.reads,
+                                  {1, 1, 1}),
+              "load reads");
+      CheckOk(workflow::LoadAlignments(bench.db.get(), "Alignment",
+                                       lane.alignments, {1, 1, 1}),
+              "load alignments");
+      const std::string plan =
+          CheckOk(bench.engine->Explain(join_sql), "explain");
+      const bool is_merge = plan.find("Merge Join") != std::string::npos;
+      if (is_merge != (clustered == 1)) {
+        fprintf(stderr, "unexpected plan:\n%s\n", plan.c_str());
+        exit(1);
+      }
+      CheckOk(bench.engine->Execute(join_sql).ok() ? Status::OK()
+                                                   : Status::Internal("warm"),
+              "warm");
+      double best = 1e30;
+      for (int i = 0; i < 3; ++i) {
+        Stopwatch timer;
+        Result<sql::QueryResult> result = bench.engine->Execute(join_sql);
+        CheckOk(result.ok() ? Status::OK() : result.status(), "join");
+        best = std::min(best, timer.ElapsedSeconds());
+      }
+      seconds[clustered] = best;
+    }
+    table.AddRow({std::to_string(lane.alignments.size()),
+                  StringPrintf("%.3f s", seconds[1]),
+                  StringPrintf("%.3f s", seconds[0]),
+                  StringPrintf("%.2fx", seconds[0] / seconds[1])});
+  }
+  table.Print();
+  printf("\nShape: the merge join off clustered indexes avoids the hash "
+         "build and stays ahead as the lane grows — the physical-design "
+         "lever behind the paper's Fig. 10 plan.\n");
+}
+
+}  // namespace
+}  // namespace htg::bench
+
+int main() {
+  htg::bench::Run();
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "baseline/file_pipeline.h"
+#include "genomics/register.h"
+
+namespace htg::bench {
+
+double Scale() {
+  const char* env = getenv("HTG_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+uint64_t Scaled(uint64_t n, uint64_t min_value) {
+  const uint64_t scaled = static_cast<uint64_t>(n * Scale());
+  return scaled < min_value ? min_value : scaled;
+}
+
+Lane MakeLane(const LaneConfig& config) {
+  std::filesystem::create_directories(config.work_dir);
+  Lane lane;
+  lane.reference = genomics::ReferenceGenome::Random(
+      config.reference_bases, config.chromosomes, config.seed);
+
+  genomics::SimulatorOptions sim_options;
+  sim_options.seed = config.seed + 1;
+  genomics::ReadSimulator sim(&lane.reference, sim_options);
+  if (config.dge) {
+    genomics::DgeOptions dge;
+    dge.num_genes = config.dge_genes;
+    lane.reads = sim.SimulateDge(config.num_reads, dge);
+  } else {
+    lane.reads = sim.SimulateResequencing(config.num_reads);
+  }
+
+  // Level-1 file (the sequencer output).
+  lane.fastq_path = config.work_dir + "/lane.fastq";
+  CheckOk(genomics::WriteFastqFile(lane.fastq_path, lane.reads),
+          "write fastq");
+
+  // Unique-tag analysis output file.
+  lane.tags = genomics::BinUniqueReads(lane.reads);
+  lane.tags_path = config.work_dir + "/unique_tags.txt";
+  {
+    FILE* f = fopen(lane.tags_path.c_str(), "wb");
+    for (const genomics::TagCount& t : lane.tags) {
+      fprintf(f, "%lld\t%lld\t%s\n", static_cast<long long>(t.rank),
+              static_cast<long long>(t.frequency), t.sequence.c_str());
+    }
+    fclose(f);
+  }
+
+  // Level-2: align. For DGE the unit of alignment is the unique tag (the
+  // paper aligns the binned tags); re-sequencing aligns every read.
+  genomics::Aligner aligner(&lane.reference, {});
+  if (config.dge) {
+    std::vector<genomics::ShortRead> tag_reads;
+    tag_reads.reserve(lane.tags.size());
+    for (const genomics::TagCount& t : lane.tags) {
+      tag_reads.push_back({"tag" + std::to_string(t.rank), t.sequence, ""});
+    }
+    lane.alignments = aligner.AlignBatch(tag_reads);
+  } else {
+    lane.alignments = aligner.AlignBatch(lane.reads);
+  }
+  lane.alignments_path = config.work_dir + "/alignments.txt";
+  CheckOk(baseline::WriteAlignmentText(lane.alignments_path, lane.alignments,
+                                       lane.reference),
+          "write alignments");
+
+  // Level-3: gene expression result file (DGE) / SNP-ish summary (reseq).
+  lane.expression_path = config.work_dir + "/expression.txt";
+  {
+    FILE* f = fopen(lane.expression_path.c_str(), "wb");
+    if (config.dge) {
+      std::vector<genomics::AlignedTag> aligned;
+      for (const genomics::Alignment& a : lane.alignments) {
+        aligned.push_back({a.chromosome * 1'000'000 + a.position / 1000,
+                           a.read_id,
+                           lane.tags[a.read_id].frequency});
+      }
+      for (const genomics::GeneExpression& g :
+           genomics::AggregateExpression(aligned)) {
+        fprintf(f, "%lld\t%lld\t%lld\n", static_cast<long long>(g.gene_id),
+                static_cast<long long>(g.total_frequency),
+                static_cast<long long>(g.tag_count));
+      }
+    } else {
+      fprintf(f, "alignments\t%zu\n", lane.alignments.size());
+    }
+    fclose(f);
+  }
+  return lane;
+}
+
+BenchDb OpenBenchDb(const std::string& name) {
+  static int counter = 0;
+  DatabaseOptions options;
+  options.filestream_root = "/tmp/htgdb_bench_fs_" + name + "_" +
+                            std::to_string(counter++);
+  BenchDb out;
+  out.db = CheckOk(Database::Open(name, options), "open database");
+  CheckOk(out.db->filestream()->Clear(), "clear filestream store");
+  CheckOk(genomics::RegisterGenomicsExtensions(out.db.get()),
+          "register genomics extensions");
+  out.engine = std::make_unique<sql::SqlEngine>(out.db.get());
+  return out;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      printf("%-*s  ", static_cast<int>(widths[i]),
+             i < row.size() ? row[i].c_str() : "");
+    }
+    printf("\n");
+  };
+  print_row(headers_);
+  std::vector<std::string> rule;
+  for (size_t w : widths) rule.push_back(std::string(w, '-'));
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string BytesCell(uint64_t bytes, uint64_t baseline) {
+  if (baseline == 0) return HumanBytes(bytes);
+  return StringPrintf("%s (%.2fx)", HumanBytes(bytes).c_str(),
+                      static_cast<double>(bytes) / baseline);
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    exit(1);
+  }
+}
+
+}  // namespace htg::bench

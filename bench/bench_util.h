@@ -1,0 +1,96 @@
+#ifndef HTG_BENCH_BENCH_UTIL_H_
+#define HTG_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "genomics/aligner.h"
+#include "genomics/formats.h"
+#include "genomics/gene_expression.h"
+#include "genomics/reference.h"
+#include "genomics/simulator.h"
+#include "sql/engine.h"
+
+namespace htg::bench {
+
+// Global scale knob: every workload size multiplies by HTG_SCALE (default
+// 1.0). The paper's absolute sizes (490 MB lanes, 6.2 M reads) correspond
+// to roughly HTG_SCALE=40; defaults keep each bench in seconds.
+double Scale();
+
+// n scaled and clamped to at least `min_value`.
+uint64_t Scaled(uint64_t n, uint64_t min_value = 1);
+
+// A simulated flowcell lane with every artifact the storage studies need.
+struct Lane {
+  genomics::ReferenceGenome reference;
+  std::vector<genomics::ShortRead> reads;
+  std::vector<genomics::TagCount> tags;          // binned unique reads
+  std::vector<genomics::Alignment> alignments;   // aligned reads or tags
+  // On-disk file-centric artifacts ("Files" column).
+  std::string fastq_path;
+  std::string tags_path;
+  std::string alignments_path;
+  std::string expression_path;
+};
+
+struct LaneConfig {
+  uint64_t reference_bases = 2'000'000;
+  int chromosomes = 8;
+  uint64_t num_reads = 60'000;
+  bool dge = true;  // false = re-sequencing (1000 Genomes regime)
+  int dge_genes = 4000;
+  uint64_t seed = 1234;
+  std::string work_dir = "/tmp/htgdb_bench";
+};
+
+// Simulates a lane, bins tags, aligns (tags for DGE, every read for
+// re-sequencing), and writes the four file-centric artifacts.
+Lane MakeLane(const LaneConfig& config);
+
+// Fresh database + engine with genomics extensions registered.
+struct BenchDb {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<sql::SqlEngine> engine;
+};
+BenchDb OpenBenchDb(const std::string& name);
+
+// File size helper (0 if missing).
+uint64_t FileBytes(const std::string& path);
+
+// Simple aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.3 KiB (0.95x)" relative to a baseline byte count.
+std::string BytesCell(uint64_t bytes, uint64_t baseline);
+
+// Aborts the bench with a message on error status.
+void CheckOk(const Status& status, const char* what);
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "FATAL %s: %s\n", what, result.status().ToString().c_str());
+    exit(1);
+  }
+  return std::move(*result);
+}
+
+}  // namespace htg::bench
+
+#endif  // HTG_BENCH_BENCH_UTIL_H_

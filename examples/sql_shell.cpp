@@ -1,0 +1,74 @@
+// An interactive SQL shell over the engine, with the genomics extensions
+// registered — useful for exploring the schema and the wrapper TVFs.
+//
+//   ./examples/sql_shell [database_name]
+//
+//   htgdb> CREATE TABLE t (a INT, b VARCHAR(20));
+//   htgdb> INSERT INTO t VALUES (1, 'ACGT');
+//   htgdb> SELECT a, REVCOMP(b) FROM t;
+//   htgdb> EXPLAIN SELECT COUNT(*) FROM t;
+//   htgdb> \tables
+//   htgdb> \q
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "catalog/database.h"
+#include "common/stopwatch.h"
+#include "genomics/register.h"
+#include "sql/engine.h"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "shell";
+  htg::DatabaseOptions options;
+  options.filestream_root = "/tmp/htgdb_shell_" + name + "_fs";
+  htg::Result<std::unique_ptr<htg::Database>> db =
+      htg::Database::Open(name, options);
+  if (!db.ok()) {
+    fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (!htg::genomics::RegisterGenomicsExtensions(db->get()).ok()) return 1;
+  htg::sql::SqlEngine engine(db->get());
+
+  printf("htgdb shell — database '%s' (FileStream root %s)\n", name.c_str(),
+         options.filestream_root.c_str());
+  printf("end statements with ';'; \\tables lists tables; \\q quits.\n");
+
+  std::string buffer;
+  std::string line;
+  printf("htgdb> ");
+  fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\q" || line == "\\quit") break;
+    if (line == "\\tables") {
+      for (const std::string& table : (*db)->ListTables()) {
+        auto def = (*db)->GetTable(table);
+        printf("  %-24s %10llu rows   %s\n", table.c_str(),
+               static_cast<unsigned long long>((*def)->table->num_rows()),
+               (*def)->schema.ToString().c_str());
+      }
+      printf("htgdb> ");
+      fflush(stdout);
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    if (buffer.find(';') != std::string::npos) {
+      htg::Stopwatch timer;
+      htg::Result<htg::sql::QueryResult> result = engine.Execute(buffer);
+      if (!result.ok()) {
+        printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        printf("%s(%.1f ms)\n", result->ToString(40).c_str(),
+               timer.ElapsedMillis());
+      }
+      buffer.clear();
+    }
+    printf(buffer.empty() ? "htgdb> " : "   ...> ");
+    fflush(stdout);
+  }
+  printf("\nbye.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "baseline/file_pipeline.h"
+
+#include <cstdio>
+
+#include "common/varint.h"
+#include "genomics/dna_sequence.h"
+
+namespace htg::baseline {
+
+using genomics::Alignment;
+using genomics::DnaSequence;
+using genomics::ReferenceGenome;
+using genomics::ShortRead;
+
+namespace {
+
+Result<std::string> SlurpFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  fclose(f);
+  return data;
+}
+
+Status DumpFile(const std::string& path, const std::string& data) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  if (!data.empty() && fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    fclose(f);
+    return Status::IOError("short write to " + path);
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ConvertFastqToBfq(const std::string& fastq_path,
+                         const std::string& bfq_path) {
+  HTG_ASSIGN_OR_RETURN(std::vector<ShortRead> reads,
+                       genomics::ReadFastqFile(fastq_path));
+  std::string out;
+  PutVarint64(&out, reads.size());
+  for (const ShortRead& r : reads) {
+    PutLengthPrefixed(&out, r.name);
+    PutLengthPrefixed(&out, DnaSequence::FromText(r.sequence).ToBlob());
+    PutLengthPrefixed(&out, r.quality);
+  }
+  return DumpFile(bfq_path, out);
+}
+
+Result<std::vector<ShortRead>> ReadBfq(const std::string& bfq_path) {
+  HTG_ASSIGN_OR_RETURN(std::string data, SlurpFile(bfq_path));
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint64_t count = 0;
+  p = GetVarint64(p, limit, &count);
+  if (p == nullptr) return Status::Corruption("bad .bfq header");
+  std::vector<ShortRead> reads;
+  reads.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view name, blob, qual;
+    p = GetLengthPrefixed(p, limit, &name);
+    if (p == nullptr) return Status::Corruption("truncated .bfq");
+    p = GetLengthPrefixed(p, limit, &blob);
+    if (p == nullptr) return Status::Corruption("truncated .bfq");
+    p = GetLengthPrefixed(p, limit, &qual);
+    if (p == nullptr) return Status::Corruption("truncated .bfq");
+    HTG_ASSIGN_OR_RETURN(DnaSequence seq, DnaSequence::FromBlob(blob));
+    reads.push_back({std::string(name), seq.ToText(), std::string(qual)});
+  }
+  return reads;
+}
+
+Status ConvertFastaToBfa(const std::string& fasta_path,
+                         const std::string& bfa_path) {
+  HTG_ASSIGN_OR_RETURN(ReferenceGenome reference,
+                       ReferenceGenome::LoadFasta(fasta_path));
+  std::string out;
+  PutVarint64(&out, reference.num_chromosomes());
+  for (const genomics::Chromosome& chr : reference.chromosomes()) {
+    PutLengthPrefixed(&out, chr.name);
+    PutLengthPrefixed(&out, DnaSequence::FromText(chr.sequence).ToBlob());
+  }
+  return DumpFile(bfa_path, out);
+}
+
+Result<ReferenceGenome> ReadBfa(const std::string& bfa_path) {
+  HTG_ASSIGN_OR_RETURN(std::string data, SlurpFile(bfa_path));
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint64_t count = 0;
+  p = GetVarint64(p, limit, &count);
+  if (p == nullptr) return Status::Corruption("bad .bfa header");
+  std::vector<genomics::Chromosome> chromosomes;
+  chromosomes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view name, blob;
+    p = GetLengthPrefixed(p, limit, &name);
+    if (p == nullptr) return Status::Corruption("truncated .bfa");
+    p = GetLengthPrefixed(p, limit, &blob);
+    if (p == nullptr) return Status::Corruption("truncated .bfa");
+    HTG_ASSIGN_OR_RETURN(DnaSequence seq, DnaSequence::FromBlob(blob));
+    chromosomes.push_back({std::string(name), seq.ToText()});
+  }
+  return ReferenceGenome(std::move(chromosomes));
+}
+
+Status AlignBinary(const std::string& bfq_path, const std::string& bfa_path,
+                   const std::string& map_path,
+                   const genomics::AlignerOptions& options) {
+  HTG_ASSIGN_OR_RETURN(std::vector<ShortRead> reads, ReadBfq(bfq_path));
+  HTG_ASSIGN_OR_RETURN(ReferenceGenome reference, ReadBfa(bfa_path));
+  genomics::Aligner aligner(&reference, options);
+  std::vector<Alignment> alignments = aligner.AlignBatch(reads);
+  std::string out;
+  PutVarint64(&out, alignments.size());
+  for (const Alignment& a : alignments) {
+    PutVarint64(&out, static_cast<uint64_t>(a.read_id));
+    PutVarint64(&out, static_cast<uint64_t>(a.chromosome));
+    PutVarint64(&out, static_cast<uint64_t>(a.position));
+    out.push_back(a.reverse_strand ? 1 : 0);
+    PutVarint64(&out, static_cast<uint64_t>(a.mismatches));
+    PutVarint64(&out, static_cast<uint64_t>(a.mapping_quality));
+    PutVarint64(&out, static_cast<uint64_t>(a.quality_score));
+  }
+  return DumpFile(map_path, out);
+}
+
+Result<std::vector<Alignment>> ReadMap(const std::string& map_path) {
+  HTG_ASSIGN_OR_RETURN(std::string data, SlurpFile(map_path));
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint64_t count = 0;
+  p = GetVarint64(p, limit, &count);
+  if (p == nullptr) return Status::Corruption("bad .map header");
+  std::vector<Alignment> alignments;
+  alignments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Alignment a;
+    uint64_t v = 0;
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("truncated .map");
+    a.read_id = static_cast<int64_t>(v);
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("truncated .map");
+    a.chromosome = static_cast<int>(v);
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("truncated .map");
+    a.position = static_cast<int64_t>(v);
+    if (p >= limit) return Status::Corruption("truncated .map");
+    a.reverse_strand = *p++ != 0;
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("truncated .map");
+    a.mismatches = static_cast<int>(v);
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("truncated .map");
+    a.mapping_quality = static_cast<int>(v);
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("truncated .map");
+    a.quality_score = static_cast<int>(v);
+    alignments.push_back(a);
+  }
+  return alignments;
+}
+
+Status WriteAlignmentText(const std::string& path,
+                          const std::vector<Alignment>& alignments,
+                          const ReferenceGenome& reference) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  for (const Alignment& a : alignments) {
+    fprintf(f, "%lld\t%s\t%lld\t%c\t%d\t%d\t%d\n",
+            static_cast<long long>(a.read_id),
+            reference.chromosome(a.chromosome).name.c_str(),
+            static_cast<long long>(a.position), a.reverse_strand ? '-' : '+',
+            a.mismatches, a.mapping_quality, a.quality_score);
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+Status MapToText(const std::string& map_path, const std::string& text_path,
+                 const ReferenceGenome& reference) {
+  HTG_ASSIGN_OR_RETURN(std::vector<Alignment> alignments, ReadMap(map_path));
+  return WriteAlignmentText(text_path, alignments, reference);
+}
+
+}  // namespace htg::baseline

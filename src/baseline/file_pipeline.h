@@ -1,0 +1,55 @@
+#ifndef HTG_BASELINE_FILE_PIPELINE_H_
+#define HTG_BASELINE_FILE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "genomics/aligner.h"
+#include "genomics/formats.h"
+#include "genomics/reference.h"
+
+namespace htg::baseline {
+
+// The file-centric secondary-analysis pipeline, shaped like MAQ's
+// (paper §2.1): every stage materializes an intermediate file in a
+// proprietary binary format —
+//
+//   fastq  --(ConvertFastqToBfq)-->  .bfq   (binary reads)
+//   ref    --(ConvertFastaToBfa)-->  .bfa   (binary reference)
+//   .bfq + .bfa --(AlignBinary)-->   .map   (binary alignments)
+//   .map   --(MapToText)-->          .txt   ("human readable" output)
+//
+// The byte sizes of these files feed the "Files" column of Tables 1 & 2.
+
+// Binary read file (.bfq): varint count, then per read: length-prefixed
+// name, varint seq length, 2-bit packed bases with N mask, raw qualities.
+Status ConvertFastqToBfq(const std::string& fastq_path,
+                         const std::string& bfq_path);
+Result<std::vector<genomics::ShortRead>> ReadBfq(const std::string& bfq_path);
+
+// Binary reference (.bfa).
+Status ConvertFastaToBfa(const std::string& fasta_path,
+                         const std::string& bfa_path);
+Result<genomics::ReferenceGenome> ReadBfa(const std::string& bfa_path);
+
+// Aligns a .bfq against a .bfa, writing a binary .map file.
+Status AlignBinary(const std::string& bfq_path, const std::string& bfa_path,
+                   const std::string& map_path,
+                   const genomics::AlignerOptions& options);
+
+Result<std::vector<genomics::Alignment>> ReadMap(const std::string& map_path);
+
+// Converts a .map to the tab-separated text form downstream scripts parse.
+Status MapToText(const std::string& map_path, const std::string& text_path,
+                 const genomics::ReferenceGenome& reference);
+
+// Writes alignments as the text format directly (used by loaders/tests).
+Status WriteAlignmentText(const std::string& path,
+                          const std::vector<genomics::Alignment>& alignments,
+                          const genomics::ReferenceGenome& reference);
+
+}  // namespace htg::baseline
+
+#endif  // HTG_BASELINE_FILE_PIPELINE_H_

@@ -1,0 +1,35 @@
+#ifndef HTG_BASELINE_SCRIPT_BINNING_H_
+#define HTG_BASELINE_SCRIPT_BINNING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace htg::baseline {
+
+// Phase timings of the sequential script (the resource profile of the
+// paper's Fig. 7: read everything, then process, then write).
+struct ScriptBinningReport {
+  uint64_t reads_total = 0;
+  uint64_t unique_tags = 0;
+  double read_seconds = 0;
+  double process_seconds = 0;
+  double write_seconds = 0;
+
+  double TotalSeconds() const {
+    return read_seconds + process_seconds + write_seconds;
+  }
+};
+
+// The "26-line Perl script" stand-in (see DESIGN.md substitutions): a
+// deliberately sequential, single-threaded implementation of unique-read
+// binning that (1) slurps the whole FASTQ file into memory, (2) bins tags
+// in a hash and ranks them, (3) writes the result file. One core, three
+// strictly serial phases — the shape the paper's Fig. 7 shows.
+Result<ScriptBinningReport> RunScriptBinning(const std::string& fastq_path,
+                                             const std::string& output_path);
+
+}  // namespace htg::baseline
+
+#endif  // HTG_BASELINE_SCRIPT_BINNING_H_

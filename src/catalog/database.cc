@@ -1,0 +1,131 @@
+#include "catalog/database.h"
+
+#include "common/string_util.h"
+#include "storage/clustered_table.h"
+#include "storage/heap_table.h"
+
+namespace htg {
+
+Database::Database(std::string name, DatabaseOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {}
+
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& name,
+                                                 DatabaseOptions options) {
+  if (options.filestream_root.empty()) {
+    options.filestream_root = "/tmp/htgdb_" + name + "_fs";
+  }
+  std::unique_ptr<Database> db(new Database(name, std::move(options)));
+  HTG_ASSIGN_OR_RETURN(
+      db->filestream_,
+      storage::FileStreamStore::Open(db->options_.filestream_root));
+  udf::RegisterBuiltins(&db->functions_);
+  return db;
+}
+
+Status Database::CreateTable(catalog::TableDef def) {
+  const std::string key = ToUpper(def.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + def.name);
+  }
+  for (int c : def.clustered_key) {
+    if (c < 0 || c >= def.schema.num_columns()) {
+      return Status::InvalidArgument("clustered key column out of range");
+    }
+  }
+  if (def.table == nullptr) {
+    if (def.clustered_key.empty()) {
+      def.table = std::make_unique<storage::HeapTable>(def.schema,
+                                                       def.compression);
+    } else {
+      def.table = std::make_unique<storage::ClusteredTable>(
+          def.schema, def.clustered_key, def.compression);
+    }
+  }
+  tables_.emplace(key, std::make_unique<catalog::TableDef>(std::move(def)));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  const std::string key = ToUpper(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<catalog::TableDef*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, def] : tables_) names.push_back(def->name);
+  return names;
+}
+
+Status Database::InsertRow(catalog::TableDef* table, Row row,
+                           storage::Transaction* txn) {
+  const Schema& schema = table->schema;
+  if (static_cast<int>(row.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(StringPrintf(
+        "INSERT supplies %zu values for %d columns", row.size(),
+        schema.num_columns()));
+  }
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    const Column& col = schema.column(i);
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL into NOT NULL column " +
+                                       col.name);
+      }
+      continue;
+    }
+    if (col.filestream && row[i].IsStringKind()) {
+      // A string value that is already a path into the store stays a
+      // reference (rows copied between FILESTREAM tables); anything else
+      // is content and moves out into the FileStream store, with the row
+      // keeping the file path (PathName()/DATALENGTH resolve it later).
+      if (row[i].type() != DataType::kBlob &&
+          row[i].AsString().rfind(filestream_->root(), 0) == 0 &&
+          filestream_->BlobSize(row[i].AsString()).ok()) {
+        continue;
+      }
+      HTG_ASSIGN_OR_RETURN(
+          std::string path,
+          filestream_->CreateBlob(table->name + "_" + col.name,
+                                  row[i].AsString()));
+      if (txn != nullptr) {
+        storage::FileStreamStore* store = filestream_.get();
+        txn->OnRollback([store, path] { store->Delete(path).ok(); });
+      }
+      row[i] = Value::String(path);
+      continue;
+    }
+    if (row[i].type() != col.type) {
+      HTG_ASSIGN_OR_RETURN(row[i], row[i].CastTo(col.type));
+    }
+  }
+  return table->table->Insert(row);
+}
+
+udf::EvalContext Database::MakeEvalContext() {
+  udf::EvalContext ctx;
+  ctx.db = this;
+  storage::FileStreamStore* store = filestream_.get();
+  const std::string root = store->root();
+  ctx.filestream_size =
+      [store, root](const std::string& path) -> Result<uint64_t> {
+    if (path.rfind(root, 0) != 0) {
+      return Status::NotFound("not a filestream path");
+    }
+    return store->BlobSize(path);
+  };
+  return ctx;
+}
+
+}  // namespace htg

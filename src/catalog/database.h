@@ -1,0 +1,78 @@
+#ifndef HTG_CATALOG_DATABASE_H_
+#define HTG_CATALOG_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "common/result.h"
+#include "storage/filestream.h"
+#include "storage/transaction.h"
+#include "udf/registry.h"
+
+namespace htg {
+
+// Database-wide tunables.
+struct DatabaseOptions {
+  // Directory for FILESTREAM BLOBs. Empty = "<name>_fs" under /tmp.
+  std::string filestream_root;
+  // Degree of parallelism for eligible query plans (SQL Server's MAXDOP).
+  int max_dop = 4;
+  // Row-count threshold below which the planner stays serial.
+  uint64_t parallel_threshold = 10000;
+};
+
+// The top-level engine object: catalog of tables, the function registry
+// (built-ins plus any registered extension assemblies, e.g. the genomics
+// library), and the FileStream BLOB store.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const std::string& name,
+                                                DatabaseOptions options = {});
+  ~Database();
+
+  const std::string& name() const { return name_; }
+  const DatabaseOptions& options() const { return options_; }
+  void set_max_dop(int dop) { options_.max_dop = dop; }
+
+  udf::FunctionRegistry* functions() { return &functions_; }
+  const udf::FunctionRegistry* functions() const { return &functions_; }
+  storage::FileStreamStore* filestream() { return filestream_.get(); }
+
+  // DDL -----------------------------------------------------------------
+
+  // Creates a table; `def.table` is instantiated here (heap, or clustered
+  // when def.clustered_key is non-empty).
+  Status CreateTable(catalog::TableDef def);
+  Status DropTable(const std::string& name);
+
+  Result<catalog::TableDef*> GetTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+  // DML -----------------------------------------------------------------
+
+  // Inserts one row, converting inline BLOB values bound for FILESTREAM
+  // columns into store-managed files (the stored value becomes the file
+  // path, as with SQL Server's PathName()). If `txn` is non-null, undo
+  // actions are registered.
+  Status InsertRow(catalog::TableDef* table, Row row,
+                   storage::Transaction* txn = nullptr);
+
+  // An EvalContext wired to this database (DATALENGTH on filestreams etc).
+  udf::EvalContext MakeEvalContext();
+
+ private:
+  Database(std::string name, DatabaseOptions options);
+
+  std::string name_;
+  DatabaseOptions options_;
+  std::map<std::string, std::unique_ptr<catalog::TableDef>> tables_;
+  udf::FunctionRegistry functions_;
+  std::unique_ptr<storage::FileStreamStore> filestream_;
+};
+
+}  // namespace htg
+
+#endif  // HTG_CATALOG_DATABASE_H_

@@ -1,0 +1,32 @@
+#ifndef HTG_CATALOG_TABLE_DEF_H_
+#define HTG_CATALOG_TABLE_DEF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace htg::catalog {
+
+// Catalog entry for one table: logical definition plus physical storage.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  // Clustered key column indexes; empty means the table is a heap.
+  std::vector<int> clustered_key;
+  storage::Compression compression = storage::Compression::kNone;
+  std::unique_ptr<storage::TableStorage> table;
+
+  bool HasFilestreamColumns() const {
+    for (const Column& c : schema.columns()) {
+      if (c.filestream) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace htg::catalog
+
+#endif  // HTG_CATALOG_TABLE_DEF_H_

@@ -1,0 +1,41 @@
+#include "common/guid.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace htg {
+
+std::string NewGuid() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t seed =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (counter.fetch_add(1) * 0x9e3779b97f4a7c15ULL);
+  Random rng(seed);
+  const uint64_t hi = rng.Next();
+  const uint64_t lo = rng.Next();
+  return StringPrintf(
+      "%08x-%04x-4%03x-%04x-%012llx",
+      static_cast<uint32_t>(hi >> 32), static_cast<uint32_t>(hi >> 16) & 0xffff,
+      static_cast<uint32_t>(hi) & 0xfff,
+      (static_cast<uint32_t>(lo >> 48) & 0x3fff) | 0x8000,
+      static_cast<unsigned long long>(lo & 0xffffffffffffULL));
+}
+
+bool IsGuid(const std::string& s) {
+  if (s.size() != 36) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else if (!std::isxdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace htg

@@ -1,0 +1,18 @@
+#ifndef HTG_COMMON_GUID_H_
+#define HTG_COMMON_GUID_H_
+
+#include <string>
+
+namespace htg {
+
+// Generates a random RFC-4122-v4-style GUID string, the engine's
+// `NEWID()` (used by uniqueidentifier ROWGUIDCOL columns of FileStream
+// tables, as in the paper's ShortReadFiles example).
+std::string NewGuid();
+
+// True if `s` looks like a 8-4-4-4-12 hex GUID.
+bool IsGuid(const std::string& s);
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_GUID_H_

@@ -1,0 +1,29 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace htg {
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  // Approximate inverse-CDF sampling of a Zipf(s) distribution over
+  // ranks 1..n using the continuous bounding technique of Devroye.
+  if (n <= 1) return 0;
+  const double t = (std::pow(static_cast<double>(n), 1.0 - s) - s) / (1.0 - s);
+  for (;;) {
+    const double u = NextDouble() * t;
+    double x;
+    if (u <= 1.0) {
+      x = u;
+    } else {
+      x = std::pow(u * (1.0 - s) + s, 1.0 / (1.0 - s));
+    }
+    const uint64_t k = static_cast<uint64_t>(x) + 1;
+    if (k < 1 || k > n) continue;
+    const double ratio =
+        std::pow(static_cast<double>(k), -s) /
+        (k == 1 ? 1.0 : std::pow(x, -s));
+    if (NextDouble() < ratio) return k - 1;
+  }
+}
+
+}  // namespace htg

@@ -1,0 +1,57 @@
+#ifndef HTG_COMMON_RANDOM_H_
+#define HTG_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace htg {
+
+// Small, fast, reproducible PRNG (xorshift128+). Used by the read
+// simulator and property tests; seeding is explicit so every experiment
+// is deterministic.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = seed ? seed : 0x9e3779b97f4a7c15ULL;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s0_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Zipf-distributed rank in [0, n) with exponent `s` (inverse-CDF by
+  // rejection over the harmonic weights, precomputation-free).
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_RANDOM_H_

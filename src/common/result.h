@@ -1,0 +1,55 @@
+#ifndef HTG_COMMON_RESULT_H_
+#define HTG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace htg {
+
+// A value-or-error holder (the StatusOr / arrow::Result idiom).
+//
+//   Result<int> ParsePort(std::string_view s);
+//   HTG_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites terse (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_RESULT_H_

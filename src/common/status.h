@@ -1,0 +1,116 @@
+#ifndef HTG_COMMON_STATUS_H_
+#define HTG_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace htg {
+
+// Error categories used across the engine. Mirrors the RocksDB/Arrow idiom:
+// all fallible operations return a Status (or a Result<T>), never throw.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+  kAborted,
+  kParseError,
+  kBindError,
+  kExecError,
+};
+
+// A success-or-error value. Cheap to copy on the OK path (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecError(std::string msg) {
+    return Status(StatusCode::kExecError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Returns the canonical name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace htg
+
+// Propagates a non-OK Status from the enclosing function.
+#define HTG_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::htg::Status _htg_status = (expr);          \
+    if (!_htg_status.ok()) return _htg_status;   \
+  } while (false)
+
+// Evaluates a Result<T> expression, assigning the value on success and
+// propagating the Status on failure.
+#define HTG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)       \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return std::move(tmp).status();         \
+  lhs = std::move(tmp).value()
+
+#define HTG_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define HTG_ASSIGN_OR_RETURN_CONCAT(a, b) HTG_ASSIGN_OR_RETURN_CONCAT_(a, b)
+#define HTG_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HTG_ASSIGN_OR_RETURN_IMPL(             \
+      HTG_ASSIGN_OR_RETURN_CONCAT(_htg_result_, __LINE__), lhs, rexpr)
+
+#endif  // HTG_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef HTG_COMMON_STOPWATCH_H_
+#define HTG_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace htg {
+
+// Wall-clock timer for benches and EXPLAIN ANALYZE-style reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_STOPWATCH_H_

@@ -1,0 +1,43 @@
+#ifndef HTG_COMMON_STRING_UTIL_H_
+#define HTG_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htg {
+
+// ASCII case-insensitive equality (SQL keywords, identifiers).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Returns `s` upper-cased (ASCII only).
+std::string ToUpper(std::string_view s);
+// Returns `s` lower-cased (ASCII only).
+std::string ToLower(std::string_view s);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Splits on a single character delimiter; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strict integer / double parsing (whole string must parse).
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count, e.g. "1.25 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_STRING_UTIL_H_

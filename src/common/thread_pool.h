@@ -1,0 +1,54 @@
+#ifndef HTG_COMMON_THREAD_POOL_H_
+#define HTG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace htg {
+
+// A fixed-size worker pool. The executor's exchange operators submit one
+// task per plan partition; ParallelFor is a convenience for data-parallel
+// loops (partial aggregation, parallel load).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution by a worker thread.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // fn must be safe to call concurrently for distinct i.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Default pool sized to the hardware concurrency. Lives for the process
+  // lifetime (function-local static reference; never destroyed).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_THREAD_POOL_H_

@@ -1,0 +1,74 @@
+#include "common/varint.h"
+
+#include <string_view>
+
+namespace htg {
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int i = 0;
+  while (v >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutVarintSigned64(std::string* dst, int64_t v) {
+  // Zig-zag: maps 0,-1,1,-2,... to 0,1,2,3,...
+  const uint64_t encoded =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint64(dst, encoded);
+}
+
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarintSigned64(const char* p, const char* limit,
+                              int64_t* value) {
+  uint64_t encoded = 0;
+  p = GetVarint64(p, limit, &encoded);
+  if (p == nullptr) return nullptr;
+  *value = static_cast<int64_t>(encoded >> 1) ^ -static_cast<int64_t>(encoded & 1);
+  return p;
+}
+
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+const char* GetLengthPrefixed(const char* p, const char* limit,
+                              std::string_view* value) {
+  uint64_t len = 0;
+  p = GetVarint64(p, limit, &len);
+  if (p == nullptr) return nullptr;
+  if (static_cast<uint64_t>(limit - p) < len) return nullptr;
+  *value = std::string_view(p, len);
+  return p + len;
+}
+
+}  // namespace htg

@@ -1,0 +1,38 @@
+#ifndef HTG_COMMON_VARINT_H_
+#define HTG_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace htg {
+
+// LEB128-style variable-length integer codecs. These are the workhorse of
+// ROW compression in the storage engine: small integers (ids, lane/tile
+// numbers) shrink from 4-8 bytes to 1-2.
+
+// Appends `v` to `dst` as an unsigned varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+// Appends `v` zig-zag encoded, so small negative values stay short.
+void PutVarintSigned64(std::string* dst, int64_t v);
+
+// Decodes an unsigned varint from [p, limit). Returns the byte past the
+// encoded value, or nullptr on truncation/overflow.
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value);
+
+// Decodes a zig-zag signed varint.
+const char* GetVarintSigned64(const char* p, const char* limit, int64_t* value);
+
+// Number of bytes PutVarint64 would use for `v`.
+int VarintLength(uint64_t v);
+
+// Appends a length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Decodes a length-prefixed byte string written by PutLengthPrefixed.
+const char* GetLengthPrefixed(const char* p, const char* limit,
+                              std::string_view* value);
+
+}  // namespace htg
+
+#endif  // HTG_COMMON_VARINT_H_

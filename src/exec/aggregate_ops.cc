@@ -1,0 +1,443 @@
+#include "exec/aggregate_ops.h"
+
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace htg::exec {
+
+namespace {
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 14695981039346656037ULL;
+    for (const Value& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+using GroupMap =
+    std::unordered_map<Row, std::vector<std::unique_ptr<udf::AggregateInstance>>,
+                       RowHash, RowEq>;
+
+// Accumulates one input row into its group's aggregate instances.
+Status AccumulateRow(const Row& input, const std::vector<ExprPtr>& group_exprs,
+                     const std::vector<AggSpec>& aggs, udf::EvalContext* eval,
+                     GroupMap* groups) {
+  Row key;
+  key.reserve(group_exprs.size());
+  for (const ExprPtr& g : group_exprs) {
+    HTG_ASSIGN_OR_RETURN(Value v, g->Eval(eval, input));
+    key.push_back(std::move(v));
+  }
+  auto it = groups->find(key);
+  if (it == groups->end()) {
+    std::vector<std::unique_ptr<udf::AggregateInstance>> instances;
+    instances.reserve(aggs.size());
+    for (const AggSpec& a : aggs) instances.push_back(a.NewInstance());
+    it = groups->emplace(std::move(key), std::move(instances)).first;
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    std::vector<Value> args;
+    args.reserve(aggs[i].args.size());
+    for (const ExprPtr& a : aggs[i].args) {
+      HTG_ASSIGN_OR_RETURN(Value v, a->Eval(eval, input));
+      args.push_back(std::move(v));
+    }
+    HTG_RETURN_IF_ERROR(it->second[i]->Accumulate(args));
+  }
+  return Status::OK();
+}
+
+// Drains a child fully into a group map.
+Status BuildGroups(storage::RowIterator* iter,
+                   const std::vector<ExprPtr>& group_exprs,
+                   const std::vector<AggSpec>& aggs, udf::EvalContext* eval,
+                   GroupMap* groups) {
+  Row row;
+  while (iter->Next(&row)) {
+    HTG_RETURN_IF_ERROR(AccumulateRow(row, group_exprs, aggs, eval, groups));
+  }
+  return iter->status();
+}
+
+// Finalizes a group map into output rows.
+Result<std::vector<Row>> FinalizeGroups(GroupMap* groups, size_t num_aggs,
+                                        bool global_aggregate,
+                                        const std::vector<AggSpec>& aggs) {
+  std::vector<Row> out;
+  out.reserve(groups->size());
+  if (groups->empty() && global_aggregate) {
+    // SELECT COUNT(*) over an empty input still yields one row.
+    Row row;
+    for (const AggSpec& a : aggs) {
+      auto instance = a.NewInstance();
+      HTG_ASSIGN_OR_RETURN(Value v, instance->Terminate());
+      row.push_back(std::move(v));
+    }
+    out.push_back(std::move(row));
+    return out;
+  }
+  for (auto& [key, instances] : *groups) {
+    Row row = key;
+    row.reserve(key.size() + num_aggs);
+    for (auto& instance : instances) {
+      HTG_ASSIGN_OR_RETURN(Value v, instance->Terminate());
+      row.push_back(std::move(v));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+class RowsIterator : public storage::RowIterator {
+ public:
+  explicit RowsIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  bool Next(Row* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = std::move(rows_[next_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+std::string DescribeAggs(const std::vector<ExprPtr>& group_exprs,
+                         const std::vector<AggSpec>& aggs) {
+  std::string out = "[";
+  if (!group_exprs.empty()) {
+    out += "GROUP BY: ";
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_exprs[i]->ToString();
+    }
+    out += "; ";
+  }
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs[i].display;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Wraps an aggregate with DISTINCT semantics: argument tuples are
+// deduplicated and replayed into a fresh inner instance at Terminate so
+// that Merge (set union) stays correct under parallel plans.
+class DistinctAggregateInstance : public udf::AggregateInstance {
+ public:
+  explicit DistinctAggregateInstance(const udf::AggregateFunction* fn)
+      : fn_(fn) {}
+
+  Status Accumulate(const std::vector<Value>& args) override {
+    std::string key;
+    for (const Value& v : args) {
+      key += v.is_null() ? "\x01N" : "\x02" + v.ToString();
+    }
+    distinct_.emplace(std::move(key), args);
+    return Status::OK();
+  }
+
+  Status Merge(const udf::AggregateInstance& other) override {
+    const auto& o = static_cast<const DistinctAggregateInstance&>(other);
+    for (const auto& [key, args] : o.distinct_) distinct_.emplace(key, args);
+    return Status::OK();
+  }
+
+  Result<Value> Terminate() override {
+    std::unique_ptr<udf::AggregateInstance> inner = fn_->NewInstance();
+    for (const auto& [key, args] : distinct_) {
+      HTG_RETURN_IF_ERROR(inner->Accumulate(args));
+    }
+    return inner->Terminate();
+  }
+
+ private:
+  const udf::AggregateFunction* fn_;
+  std::map<std::string, std::vector<Value>> distinct_;
+};
+
+}  // namespace
+
+AggSpec AggSpec::Clone() const {
+  AggSpec copy;
+  copy.fn = fn;
+  copy.display = display;
+  copy.distinct = distinct;
+  copy.args.reserve(args.size());
+  for (const ExprPtr& a : args) copy.args.push_back(a->Clone());
+  return copy;
+}
+
+std::unique_ptr<udf::AggregateInstance> AggSpec::NewInstance() const {
+  if (distinct) return std::make_unique<DistinctAggregateInstance>(fn);
+  return fn->NewInstance();
+}
+
+DataType AggSpec::result_type() const {
+  std::vector<DataType> types;
+  types.reserve(args.size());
+  for (const ExprPtr& a : args) types.push_back(a->result_type());
+  return fn->result_type(types);
+}
+
+Schema MakeAggregateSchema(const std::vector<ExprPtr>& group_exprs,
+                           const std::vector<std::string>& group_names,
+                           const std::vector<AggSpec>& aggs) {
+  Schema schema;
+  for (size_t i = 0; i < group_exprs.size(); ++i) {
+    Column col;
+    col.name = i < group_names.size() ? group_names[i]
+                                      : StringPrintf("group%zu", i);
+    col.type = group_exprs[i]->result_type();
+    schema.AddColumn(col);
+  }
+  for (const AggSpec& a : aggs) {
+    Column col;
+    col.name = a.display;
+    col.type = a.result_type();
+    schema.AddColumn(col);
+  }
+  return schema;
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<ExprPtr> group_exprs,
+                                 std::vector<std::string> group_names,
+                                 std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)) {}
+
+Result<std::unique_ptr<storage::RowIterator>> HashAggregateOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
+                       child_->Open(ctx));
+  GroupMap groups;
+  HTG_RETURN_IF_ERROR(
+      BuildGroups(child.get(), group_exprs_, aggs_, &ctx->eval, &groups));
+  HTG_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      FinalizeGroups(&groups, aggs_.size(), group_exprs_.empty(), aggs_));
+  return {std::make_unique<RowsIterator>(std::move(rows))};
+}
+
+std::string HashAggregateOp::Describe() const {
+  return "Hash Match (Aggregate) " + DescribeAggs(group_exprs_, aggs_);
+}
+
+StreamAggregateOp::StreamAggregateOp(OperatorPtr child,
+                                     std::vector<ExprPtr> group_exprs,
+                                     std::vector<std::string> group_names,
+                                     std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)) {}
+
+namespace {
+
+// Emits one row per run of equal group keys in the (ordered) input.
+class StreamAggIterator : public storage::RowIterator {
+ public:
+  StreamAggIterator(std::unique_ptr<storage::RowIterator> child,
+                    const std::vector<ExprPtr>* group_exprs,
+                    const std::vector<AggSpec>* aggs, udf::EvalContext* eval)
+      : child_(std::move(child)),
+        group_exprs_(group_exprs),
+        aggs_(aggs),
+        eval_(eval) {}
+
+  bool Next(Row* out) override {
+    if (done_) return false;
+    Row input;
+    for (;;) {
+      if (!child_->Next(&input)) {
+        status_ = child_->status();
+        done_ = true;
+        if (!status_.ok() || !has_group_) return false;
+        return EmitCurrent(out);
+      }
+      Row key;
+      key.reserve(group_exprs_->size());
+      for (const ExprPtr& g : *group_exprs_) {
+        Result<Value> v = g->Eval(eval_, input);
+        if (!v.ok()) {
+          status_ = v.status();
+          return false;
+        }
+        key.push_back(std::move(*v));
+      }
+      const bool same =
+          has_group_ && RowEq()(key, current_key_);
+      if (!same && has_group_) {
+        // Close the previous group, then start the new one with this row.
+        Row result;
+        if (!EmitCurrent(&result)) return false;
+        StartGroup(std::move(key));
+        if (!Accumulate(input)) return false;
+        *out = std::move(result);
+        return true;
+      }
+      if (!has_group_) StartGroup(std::move(key));
+      if (!Accumulate(input)) return false;
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  void StartGroup(Row key) {
+    current_key_ = std::move(key);
+    has_group_ = true;
+    instances_.clear();
+    for (const AggSpec& a : *aggs_) instances_.push_back(a.NewInstance());
+  }
+
+  bool Accumulate(const Row& input) {
+    for (size_t i = 0; i < aggs_->size(); ++i) {
+      std::vector<Value> args;
+      args.reserve((*aggs_)[i].args.size());
+      for (const ExprPtr& a : (*aggs_)[i].args) {
+        Result<Value> v = a->Eval(eval_, input);
+        if (!v.ok()) {
+          status_ = v.status();
+          return false;
+        }
+        args.push_back(std::move(*v));
+      }
+      const Status s = instances_[i]->Accumulate(args);
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool EmitCurrent(Row* out) {
+    *out = current_key_;
+    for (auto& instance : instances_) {
+      Result<Value> v = instance->Terminate();
+      if (!v.ok()) {
+        status_ = v.status();
+        return false;
+      }
+      out->push_back(std::move(*v));
+    }
+    return true;
+  }
+
+  std::unique_ptr<storage::RowIterator> child_;
+  const std::vector<ExprPtr>* group_exprs_;
+  const std::vector<AggSpec>* aggs_;
+  udf::EvalContext* eval_;
+  Row current_key_;
+  bool has_group_ = false;
+  bool done_ = false;
+  std::vector<std::unique_ptr<udf::AggregateInstance>> instances_;
+  Status status_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<storage::RowIterator>> StreamAggregateOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
+                       child_->Open(ctx));
+  return {std::make_unique<StreamAggIterator>(std::move(child), &group_exprs_,
+                                              &aggs_, &ctx->eval)};
+}
+
+std::string StreamAggregateOp::Describe() const {
+  return "Stream Aggregate " + DescribeAggs(group_exprs_, aggs_);
+}
+
+ParallelAggregateOp::ParallelAggregateOp(std::vector<OperatorPtr> partitions,
+                                         std::vector<ExprPtr> group_exprs,
+                                         std::vector<std::string> group_names,
+                                         std::vector<AggSpec> aggs)
+    : partitions_(std::move(partitions)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)) {}
+
+Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::Open(
+    ExecContext* ctx) {
+  const int n = static_cast<int>(partitions_.size());
+  std::vector<GroupMap> partials(n);
+  std::vector<Status> statuses(n, Status::OK());
+  // Clone expression trees per worker is unnecessary (they are immutable
+  // and thread-safe); each worker gets its own EvalContext copy.
+  ctx->pool->ParallelFor(n, [&](int i) {
+    udf::EvalContext eval = ctx->eval;
+    Result<std::unique_ptr<storage::RowIterator>> iter =
+        partitions_[i]->Open(ctx);
+    if (!iter.ok()) {
+      statuses[i] = iter.status();
+      return;
+    }
+    statuses[i] =
+        BuildGroups(iter->get(), group_exprs_, aggs_, &eval, &partials[i]);
+  });
+  for (const Status& s : statuses) {
+    HTG_RETURN_IF_ERROR(s);
+  }
+  // Gather: fold every partial map into the first.
+  GroupMap& final_map = partials[0];
+  for (int i = 1; i < n; ++i) {
+    for (auto& [key, instances] : partials[i]) {
+      auto it = final_map.find(key);
+      if (it == final_map.end()) {
+        final_map.emplace(std::move(key), std::move(instances));
+        continue;
+      }
+      for (size_t a = 0; a < instances.size(); ++a) {
+        HTG_RETURN_IF_ERROR(it->second[a]->Merge(*instances[a]));
+      }
+    }
+  }
+  HTG_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      FinalizeGroups(&final_map, aggs_.size(), group_exprs_.empty(), aggs_));
+  return {std::make_unique<RowsIterator>(std::move(rows))};
+}
+
+std::string ParallelAggregateOp::Describe() const {
+  return StringPrintf(
+             "Parallelism (Gather Streams) + Hash Match "
+             "(Partial/Final Aggregate), DOP=%zu ",
+             partitions_.size()) +
+         DescribeAggs(group_exprs_, aggs_);
+}
+
+std::vector<const Operator*> ParallelAggregateOp::children() const {
+  // EXPLAIN shows one representative partition subtree.
+  if (partitions_.empty()) return {};
+  return {partitions_[0].get()};
+}
+
+}  // namespace htg::exec

@@ -1,0 +1,105 @@
+#ifndef HTG_EXEC_AGGREGATE_OPS_H_
+#define HTG_EXEC_AGGREGATE_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "udf/function.h"
+
+namespace htg::exec {
+
+// One aggregate call inside a GROUP BY plan.
+struct AggSpec {
+  const udf::AggregateFunction* fn = nullptr;
+  std::vector<ExprPtr> args;
+  // Output column name, e.g. "COUNT(*)" or a user alias.
+  std::string display;
+  // COUNT(DISTINCT x): deduplicate argument tuples before accumulation.
+  bool distinct = false;
+
+  AggSpec Clone() const;
+  DataType result_type() const;
+  // Instance factory; wraps the function's instance with a distinct
+  // filter when `distinct` is set.
+  std::unique_ptr<udf::AggregateInstance> NewInstance() const;
+};
+
+// Builds the aggregate output schema: group columns then aggregates.
+Schema MakeAggregateSchema(const std::vector<ExprPtr>& group_exprs,
+                           const std::vector<std::string>& group_names,
+                           const std::vector<AggSpec>& aggs);
+
+// Hash-based grouping ("Hash Match (Aggregate)"). Blocking: the hash table
+// is built fully before the first output row.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<std::string> group_names,
+                  std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+};
+
+// Grouping over input already ordered on the group expressions ("Stream
+// Aggregate"): non-blocking, emits each group as soon as its run ends.
+// This is the shape of the paper's sliding-window consensus plan (§5.3.3).
+class StreamAggregateOp : public Operator {
+ public:
+  StreamAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                    std::vector<std::string> group_names,
+                    std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+};
+
+// Parallel partial→final aggregation over partitioned inputs, the shape of
+// the paper's Fig. 9 plan: each partition is drained by a worker thread
+// into a partial hash table (partitioned scan + per-partition filter), the
+// partials merge via AggregateInstance::Merge, and results stream out of
+// the gather. Requires every aggregate to SupportsMerge().
+class ParallelAggregateOp : public Operator {
+ public:
+  ParallelAggregateOp(std::vector<OperatorPtr> partitions,
+                      std::vector<ExprPtr> group_exprs,
+                      std::vector<std::string> group_names,
+                      std::vector<AggSpec> aggs);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override;
+
+ private:
+  std::vector<OperatorPtr> partitions_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+};
+
+}  // namespace htg::exec
+
+#endif  // HTG_EXEC_AGGREGATE_OPS_H_

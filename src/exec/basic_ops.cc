@@ -1,0 +1,283 @@
+#include "exec/basic_ops.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "storage/heap_table.h"
+
+namespace htg::exec {
+
+namespace {
+
+// Adapts a drained row vector to the iterator interface.
+class VectorIterator : public storage::RowIterator {
+ public:
+  explicit VectorIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  bool Next(Row* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = std::move(rows_[next_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+class FilterIterator : public storage::RowIterator {
+ public:
+  FilterIterator(std::unique_ptr<storage::RowIterator> child,
+                 const Expr* predicate, udf::EvalContext* eval)
+      : child_(std::move(child)), predicate_(predicate), eval_(eval) {}
+
+  bool Next(Row* row) override {
+    while (child_->Next(row)) {
+      Result<bool> keep = EvalPredicate(*predicate_, eval_, *row);
+      if (!keep.ok()) {
+        status_ = keep.status();
+        return false;
+      }
+      if (*keep) return true;
+    }
+    status_ = child_->status();
+    return false;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  const Expr* predicate_;
+  udf::EvalContext* eval_;
+  Status status_;
+};
+
+class ProjectIterator : public storage::RowIterator {
+ public:
+  ProjectIterator(std::unique_ptr<storage::RowIterator> child,
+                  const std::vector<ExprPtr>* exprs, udf::EvalContext* eval)
+      : child_(std::move(child)), exprs_(exprs), eval_(eval) {}
+
+  bool Next(Row* row) override {
+    Row input;
+    if (!child_->Next(&input)) {
+      status_ = child_->status();
+      return false;
+    }
+    row->clear();
+    row->reserve(exprs_->size());
+    for (const ExprPtr& e : *exprs_) {
+      Result<Value> v = e->Eval(eval_, input);
+      if (!v.ok()) {
+        status_ = v.status();
+        return false;
+      }
+      row->push_back(std::move(*v));
+    }
+    return true;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  const std::vector<ExprPtr>* exprs_;
+  udf::EvalContext* eval_;
+  Status status_;
+};
+
+class DistinctIterator : public storage::RowIterator {
+ public:
+  explicit DistinctIterator(std::unique_ptr<storage::RowIterator> child)
+      : child_(std::move(child)) {}
+
+  bool Next(Row* row) override {
+    while (child_->Next(row)) {
+      std::string key;
+      for (const Value& v : *row) {
+        key += v.is_null() ? "\x01N" : "\x02" + v.ToString();
+      }
+      if (seen_.insert(std::move(key)).second) return true;
+    }
+    return false;
+  }
+
+  Status status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  std::unordered_set<std::string> seen_;
+};
+
+class TopIterator : public storage::RowIterator {
+ public:
+  TopIterator(std::unique_ptr<storage::RowIterator> child, int64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+
+  bool Next(Row* row) override {
+    if (remaining_ <= 0) return false;
+    if (!child_->Next(row)) return false;
+    --remaining_;
+    return true;
+  }
+
+  Status status() const override { return child_->status(); }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  int64_t remaining_;
+};
+
+}  // namespace
+
+TableScanOp::TableScanOp(catalog::TableDef* table) : table_(table) {}
+
+TableScanOp::TableScanOp(catalog::TableDef* table, size_t first_page,
+                         size_t end_page)
+    : table_(table),
+      has_range_(true),
+      first_page_(first_page),
+      end_page_(end_page) {}
+
+TableScanOp::TableScanOp(catalog::TableDef* table, Row seek_prefix)
+    : table_(table), has_seek_(true), seek_prefix_(std::move(seek_prefix)) {}
+
+Result<std::unique_ptr<storage::RowIterator>> TableScanOp::Open(
+    ExecContext*) {
+  if (has_range_) {
+    auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
+    if (heap == nullptr) {
+      return Status::Internal("page-range scan on non-heap table " +
+                              table_->name);
+    }
+    return {heap->NewScanRange(first_page_, end_page_)};
+  }
+  if (has_seek_) {
+    return table_->table->NewScanFrom(seek_prefix_);
+  }
+  return {table_->table->NewScan()};
+}
+
+std::string TableScanOp::Describe() const {
+  std::string kind = table_->clustered_key.empty()
+                         ? "Table Scan"
+                         : "Clustered Index Scan";
+  std::string out = kind + " [" + table_->name + "]";
+  if (has_range_) {
+    out += StringPrintf(" pages [%zu, %zu)", first_page_, end_page_);
+  }
+  if (has_seek_) out += " (seek)";
+  return out;
+}
+
+Result<std::unique_ptr<storage::RowIterator>> ValuesOp::Open(
+    ExecContext* ctx) {
+  std::vector<Row> rows;
+  rows.reserve(rows_.size());
+  for (const auto& exprs : rows_) {
+    Row row;
+    row.reserve(exprs.size());
+    for (const ExprPtr& e : exprs) {
+      HTG_ASSIGN_OR_RETURN(Value v, e->Eval(&ctx->eval, Row{}));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return {std::make_unique<VectorIterator>(std::move(rows))};
+}
+
+std::string ValuesOp::Describe() const {
+  return StringPrintf("Constant Scan [%zu rows]", rows_.size());
+}
+
+OpenRowsetOp::OpenRowsetOp(std::string path) : path_(std::move(path)) {
+  Column col;
+  col.name = "BulkColumn";
+  col.type = DataType::kBlob;
+  schema_.AddColumn(col);
+}
+
+Result<std::unique_ptr<storage::RowIterator>> OpenRowsetOp::Open(
+    ExecContext* ctx) {
+  if (ctx->db == nullptr) {
+    return Status::ExecError("OPENROWSET requires a database");
+  }
+  // Read the external file directly (it need not live in the store).
+  FILE* f = fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("OPENROWSET(BULK): cannot open " + path_);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  fclose(f);
+  std::vector<Row> rows;
+  rows.push_back(Row{Value::Blob(std::move(bytes))});
+  return {std::make_unique<VectorIterator>(std::move(rows))};
+}
+
+std::string OpenRowsetOp::Describe() const {
+  return "Bulk Import [" + path_ + "]";
+}
+
+Result<std::unique_ptr<storage::RowIterator>> FilterOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
+                       child_->Open(ctx));
+  return {std::make_unique<FilterIterator>(std::move(child), predicate_.get(),
+                                           &ctx->eval)};
+}
+
+std::string FilterOp::Describe() const {
+  return "Filter [" + predicate_->ToString() + "]";
+}
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    Column col;
+    col.name = i < names.size() ? names[i] : StringPrintf("col%zu", i);
+    col.type = exprs_[i]->result_type();
+    schema_.AddColumn(col);
+  }
+}
+
+Result<std::unique_ptr<storage::RowIterator>> ProjectOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
+                       child_->Open(ctx));
+  return {std::make_unique<ProjectIterator>(std::move(child), &exprs_,
+                                            &ctx->eval)};
+}
+
+std::string ProjectOp::Describe() const {
+  std::string out = "Compute Scalar [";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+Result<std::unique_ptr<storage::RowIterator>> DistinctOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
+                       child_->Open(ctx));
+  return {std::make_unique<DistinctIterator>(std::move(child))};
+}
+
+Result<std::unique_ptr<storage::RowIterator>> TopOp::Open(ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
+                       child_->Open(ctx));
+  return {std::make_unique<TopIterator>(std::move(child), limit_)};
+}
+
+std::string TopOp::Describe() const {
+  return StringPrintf("Top [%lld]", static_cast<long long>(limit_));
+}
+
+}  // namespace htg::exec

@@ -1,0 +1,305 @@
+#include "exec/expression.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace htg::exec {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return StringPrintf("%s#%d", name_.c_str(), index_);
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.is_null()) return "NULL";
+  if (value_.IsStringKind()) return "'" + value_.ToString() + "'";
+  return value_.ToString();
+}
+
+namespace {
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  // String '+' is concatenation (T-SQL).
+  if (op == BinaryOp::kAdd && l.IsStringKind() && r.IsStringKind()) {
+    return Value::String(l.AsString() + r.AsString());
+  }
+  if (l.IsStringKind() || r.IsStringKind()) {
+    return Status::ExecError("arithmetic on non-numeric operands");
+  }
+  const bool use_double = l.IsDoubleKind() || r.IsDoubleKind();
+  if (use_double) {
+    const double a = l.AsDouble();
+    const double b = r.AsDouble();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Double(a + b);
+      case BinaryOp::kSub:
+        return Value::Double(a - b);
+      case BinaryOp::kMul:
+        return Value::Double(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return Status::ExecError("division by zero");
+        return Value::Double(a / b);
+      case BinaryOp::kMod:
+        if (b == 0.0) return Status::ExecError("division by zero");
+        return Value::Double(std::fmod(a, b));
+      default:
+        break;
+    }
+  }
+  const int64_t a = l.AsInt64();
+  const int64_t b = r.AsInt64();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Int64(a + b);
+    case BinaryOp::kSub:
+      return Value::Int64(a - b);
+    case BinaryOp::kMul:
+      return Value::Int64(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0) return Status::ExecError("division by zero");
+      return Value::Int64(a / b);
+    case BinaryOp::kMod:
+      if (b == 0) return Status::ExecError("division by zero");
+      return Value::Int64(a % b);
+    default:
+      break;
+  }
+  return Status::Internal("bad arithmetic operator");
+}
+
+}  // namespace
+
+Result<Value> BinaryExpr::Eval(udf::EvalContext* ctx, const Row& row) const {
+  // AND/OR use three-valued logic with short-circuiting.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    HTG_ASSIGN_OR_RETURN(Value l, left_->Eval(ctx, row));
+    const bool l_null = l.is_null();
+    const bool l_true = !l_null && l.AsBool();
+    if (op_ == BinaryOp::kAnd && !l_null && !l_true) {
+      return Value::Bool(false);
+    }
+    if (op_ == BinaryOp::kOr && l_true) return Value::Bool(true);
+    HTG_ASSIGN_OR_RETURN(Value r, right_->Eval(ctx, row));
+    const bool r_null = r.is_null();
+    const bool r_true = !r_null && r.AsBool();
+    if (op_ == BinaryOp::kAnd) {
+      if (!r_null && !r_true) return Value::Bool(false);
+      if (l_null || r_null) return Value::Null();
+      return Value::Bool(true);
+    }
+    if (r_true) return Value::Bool(true);
+    if (l_null || r_null) return Value::Null();
+    return Value::Bool(false);
+  }
+
+  HTG_ASSIGN_OR_RETURN(Value l, left_->Eval(ctx, row));
+  HTG_ASSIGN_OR_RETURN(Value r, right_->Eval(ctx, row));
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  switch (op_) {
+    case BinaryOp::kEq:
+      return Value::Bool(l.Compare(r) == 0);
+    case BinaryOp::kNe:
+      return Value::Bool(l.Compare(r) != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(l.Compare(r) < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(l.Compare(r) <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(l.Compare(r) > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(l.Compare(r) >= 0);
+    default:
+      return EvalArithmetic(op_, l, r);
+  }
+}
+
+DataType BinaryExpr::result_type() const {
+  switch (op_) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return DataType::kBool;
+    default: {
+      // Compute each child's type exactly once: result_type() recurses,
+      // and re-evaluating children would make deeply nested expressions
+      // exponential.
+      const DataType left = left_->result_type();
+      const DataType right = right_->result_type();
+      if (left == DataType::kString) return DataType::kString;
+      if (left == DataType::kDouble || right == DataType::kDouble) {
+        return DataType::kDouble;
+      }
+      return DataType::kInt64;
+    }
+  }
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left_->ToString() + " " + std::string(BinaryOpName(op_)) + " " +
+         right_->ToString() + ")";
+}
+
+Result<Value> UnaryExpr::Eval(udf::EvalContext* ctx, const Row& row) const {
+  HTG_ASSIGN_OR_RETURN(Value v, operand_->Eval(ctx, row));
+  if (v.is_null()) return Value::Null();
+  if (op_ == Op::kNot) return Value::Bool(!v.AsBool());
+  if (v.IsDoubleKind()) return Value::Double(-v.AsDouble());
+  return Value::Int64(-v.AsInt64());
+}
+
+std::string UnaryExpr::ToString() const {
+  return std::string(op_ == Op::kNot ? "NOT " : "-") + operand_->ToString();
+}
+
+Result<Value> FnCallExpr::Eval(udf::EvalContext* ctx, const Row& row) const {
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  bool any_null = false;
+  for (const ExprPtr& a : args_) {
+    HTG_ASSIGN_OR_RETURN(Value v, a->Eval(ctx, row));
+    any_null = any_null || v.is_null();
+    args.push_back(std::move(v));
+  }
+  if (any_null && !fn_->null_tolerant) return Value::Null();
+  return fn_->eval(ctx, args);
+}
+
+std::string FnCallExpr::ToString() const {
+  std::string out(fn_->name);
+  out += '(';
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ')';
+  return out;
+}
+
+ExprPtr FnCallExpr::Clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) args.push_back(a->Clone());
+  return std::make_unique<FnCallExpr>(fn_, std::move(args));
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + operand_->ToString() + " AS " +
+         std::string(DataTypeName(target_)) + ")";
+}
+
+std::string IsNullExpr::ToString() const {
+  return operand_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+Result<Value> CaseExpr::Eval(udf::EvalContext* ctx, const Row& row) const {
+  for (const auto& [cond, result] : branches_) {
+    HTG_ASSIGN_OR_RETURN(Value c, cond->Eval(ctx, row));
+    if (!c.is_null() && c.AsBool()) return result->Eval(ctx, row);
+  }
+  if (else_ != nullptr) return else_->Eval(ctx, row);
+  return Value::Null();
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const auto& [cond, result] : branches_) {
+    out += " WHEN " + cond->ToString() + " THEN " + result->ToString();
+  }
+  if (else_ != nullptr) out += " ELSE " + else_->ToString();
+  out += " END";
+  return out;
+}
+
+ExprPtr CaseExpr::Clone() const {
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  branches.reserve(branches_.size());
+  for (const auto& [c, r] : branches_) {
+    branches.emplace_back(c->Clone(), r->Clone());
+  }
+  return std::make_unique<CaseExpr>(std::move(branches),
+                                    else_ ? else_->Clone() : nullptr);
+}
+
+bool LikeExpr::Match(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard matcher with backtracking over the last '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> LikeExpr::Eval(udf::EvalContext* ctx, const Row& row) const {
+  HTG_ASSIGN_OR_RETURN(Value v, operand_->Eval(ctx, row));
+  if (v.is_null()) return Value::Null();
+  const bool matched = Match(v.AsString(), pattern_);
+  return Value::Bool(matched != negated_);
+}
+
+std::string LikeExpr::ToString() const {
+  return operand_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "'";
+}
+
+Result<bool> EvalPredicate(const Expr& expr, udf::EvalContext* ctx,
+                           const Row& row) {
+  HTG_ASSIGN_OR_RETURN(Value v, expr.Eval(ctx, row));
+  return !v.is_null() && v.AsBool();
+}
+
+}  // namespace htg::exec

@@ -1,0 +1,413 @@
+#include "exec/join_ops.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace htg::exec {
+
+namespace {
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 14695981039346656037ULL;
+    for (const Value& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+Result<Row> EvalKeys(const std::vector<ExprPtr>& keys, udf::EvalContext* eval,
+                     const Row& row) {
+  Row out;
+  out.reserve(keys.size());
+  for (const ExprPtr& k : keys) {
+    HTG_ASSIGN_OR_RETURN(Value v, k->Eval(eval, row));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string DescribeJoinKeys(const std::vector<ExprPtr>& l,
+                             const std::vector<ExprPtr>& r) {
+  std::string out = "[";
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += l[i]->ToString() + " = " + r[i]->ToString();
+  }
+  out += "]";
+  return out;
+}
+
+class HashJoinIterator : public storage::RowIterator {
+ public:
+  HashJoinIterator(std::unique_ptr<storage::RowIterator> left,
+                   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>
+                       build,
+                   const std::vector<ExprPtr>* left_keys,
+                   udf::EvalContext* eval, bool left_outer, int right_width)
+      : left_(std::move(left)),
+        build_(std::move(build)),
+        left_keys_(left_keys),
+        eval_(eval),
+        left_outer_(left_outer),
+        right_width_(right_width) {}
+
+  bool Next(Row* row) override {
+    for (;;) {
+      if (matches_ != nullptr && match_index_ < matches_->size()) {
+        *row = ConcatRows(left_row_, (*matches_)[match_index_++]);
+        return true;
+      }
+      if (!left_->Next(&left_row_)) {
+        status_ = left_->status();
+        return false;
+      }
+      Result<Row> key = EvalKeys(*left_keys_, eval_, left_row_);
+      if (!key.ok()) {
+        status_ = key.status();
+        return false;
+      }
+      // SQL equi-join: NULL keys never match.
+      bool has_null = false;
+      for (const Value& v : *key) has_null = has_null || v.is_null();
+      auto it = has_null ? build_.end() : build_.find(*key);
+      if (it == build_.end()) {
+        if (left_outer_) {
+          // Unmatched left row: pad the right side with NULLs.
+          *row = ConcatRows(left_row_, Row(right_width_, Value::Null()));
+          matches_ = nullptr;
+          return true;
+        }
+        matches_ = nullptr;
+        continue;
+      }
+      matches_ = &it->second;
+      match_index_ = 0;
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  std::unique_ptr<storage::RowIterator> left_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
+  const std::vector<ExprPtr>* left_keys_;
+  udf::EvalContext* eval_;
+  bool left_outer_;
+  int right_width_;
+  Row left_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_index_ = 0;
+  Status status_;
+};
+
+// Streaming merge join. Both inputs ascend on their keys; buffers the
+// right-side group matching the current key.
+class MergeJoinIterator : public storage::RowIterator {
+ public:
+  MergeJoinIterator(std::unique_ptr<storage::RowIterator> left,
+                    std::unique_ptr<storage::RowIterator> right,
+                    const std::vector<ExprPtr>* left_keys,
+                    const std::vector<ExprPtr>* right_keys,
+                    udf::EvalContext* eval)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(left_keys),
+        right_keys_(right_keys),
+        eval_(eval) {}
+
+  bool Next(Row* row) override {
+    if (!status_.ok()) return false;
+    for (;;) {
+      if (emitting_ && group_index_ < right_group_.size()) {
+        *row = ConcatRows(left_row_, right_group_[group_index_++]);
+        return true;
+      }
+      emitting_ = false;
+      // Advance the left side.
+      if (!AdvanceLeft()) return false;
+      // Align the right side's buffered group to the new left key.
+      for (;;) {
+        const int cmp = group_valid_
+                            ? CompareKeys(left_key_, right_group_key_)
+                            : 1;
+        if (group_valid_ && cmp == 0) {
+          emitting_ = true;
+          group_index_ = 0;
+          break;
+        }
+        if (group_valid_ && cmp < 0) {
+          // Left key smaller: this left row has no match.
+          break;
+        }
+        if (!LoadNextRightGroup()) {
+          if (!status_.ok()) return false;
+          return false;  // right exhausted: no further matches possible
+        }
+      }
+      if (!emitting_) continue;
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  static int CompareKeys(const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      const int r = a[i].Compare(b[i]);
+      if (r != 0) return r;
+    }
+    return 0;
+  }
+
+  bool AdvanceLeft() {
+    if (!left_->Next(&left_row_)) {
+      status_ = left_->status();
+      return false;
+    }
+    Result<Row> key = EvalKeys(*left_keys_, eval_, left_row_);
+    if (!key.ok()) {
+      status_ = key.status();
+      return false;
+    }
+    left_key_ = std::move(*key);
+    return true;
+  }
+
+  // Reads the next run of equal-keyed rows from the right input.
+  bool LoadNextRightGroup() {
+    right_group_.clear();
+    if (!pending_valid_) {
+      if (!right_->Next(&pending_row_)) {
+        status_ = right_->status();
+        group_valid_ = false;
+        return false;
+      }
+      Result<Row> key = EvalKeys(*right_keys_, eval_, pending_row_);
+      if (!key.ok()) {
+        status_ = key.status();
+        return false;
+      }
+      pending_key_ = std::move(*key);
+      pending_valid_ = true;
+    }
+    right_group_key_ = pending_key_;
+    right_group_.push_back(std::move(pending_row_));
+    pending_valid_ = false;
+    // Pull until the key changes.
+    for (;;) {
+      if (!right_->Next(&pending_row_)) {
+        status_ = right_->status();
+        break;
+      }
+      Result<Row> key = EvalKeys(*right_keys_, eval_, pending_row_);
+      if (!key.ok()) {
+        status_ = key.status();
+        return false;
+      }
+      if (CompareKeys(*key, right_group_key_) == 0) {
+        right_group_.push_back(std::move(pending_row_));
+        continue;
+      }
+      pending_key_ = std::move(*key);
+      pending_valid_ = true;
+      break;
+    }
+    group_valid_ = true;
+    return true;
+  }
+
+  std::unique_ptr<storage::RowIterator> left_;
+  std::unique_ptr<storage::RowIterator> right_;
+  const std::vector<ExprPtr>* left_keys_;
+  const std::vector<ExprPtr>* right_keys_;
+  udf::EvalContext* eval_;
+
+  Row left_row_;
+  Row left_key_;
+  std::vector<Row> right_group_;
+  Row right_group_key_;
+  bool group_valid_ = false;
+  size_t group_index_ = 0;
+  bool emitting_ = false;
+  Row pending_row_;
+  Row pending_key_;
+  bool pending_valid_ = false;
+  Status status_;
+};
+
+class NestedLoopIterator : public storage::RowIterator {
+ public:
+  NestedLoopIterator(std::unique_ptr<storage::RowIterator> left,
+                     std::vector<Row> right, const Expr* predicate,
+                     udf::EvalContext* eval)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        predicate_(predicate),
+        eval_(eval) {}
+
+  bool Next(Row* row) override {
+    for (;;) {
+      while (right_index_ < right_.size()) {
+        Row candidate = ConcatRows(left_row_, right_[right_index_++]);
+        if (predicate_ == nullptr) {
+          *row = std::move(candidate);
+          return true;
+        }
+        Result<bool> keep = EvalPredicate(*predicate_, eval_, candidate);
+        if (!keep.ok()) {
+          status_ = keep.status();
+          return false;
+        }
+        if (*keep) {
+          *row = std::move(candidate);
+          return true;
+        }
+      }
+      if (!left_->Next(&left_row_)) {
+        status_ = left_->status();
+        return false;
+      }
+      right_index_ = 0;
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  std::unique_ptr<storage::RowIterator> left_;
+  std::vector<Row> right_;
+  const Expr* predicate_;
+  udf::EvalContext* eval_;
+  Row left_row_;
+  size_t right_index_ = static_cast<size_t>(-1);
+  Status status_;
+};
+
+}  // namespace
+
+Schema ConcatSchemas(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Column& c : right.columns()) out.AddColumn(c);
+  return out;
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys, bool left_outer)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      left_outer_(left_outer),
+      schema_(ConcatSchemas(left_->output_schema(), right_->output_schema())) {
+  if (left_outer_) {
+    // Outer-padded right columns are nullable in the output schema.
+    Schema padded = left_->output_schema();
+    for (Column col : right_->output_schema().columns()) {
+      col.nullable = true;
+      padded.AddColumn(std::move(col));
+    }
+    schema_ = std::move(padded);
+  }
+}
+
+Result<std::unique_ptr<storage::RowIterator>> HashJoinOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> right,
+                       right_->Open(ctx));
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build;
+  Row row;
+  while (right->Next(&row)) {
+    HTG_ASSIGN_OR_RETURN(Row key, EvalKeys(right_keys_, &ctx->eval, row));
+    bool has_null = false;
+    for (const Value& v : key) has_null = has_null || v.is_null();
+    if (has_null) continue;
+    build[std::move(key)].push_back(std::move(row));
+    row.clear();
+  }
+  HTG_RETURN_IF_ERROR(right->status());
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> left,
+                       left_->Open(ctx));
+  return {std::make_unique<HashJoinIterator>(
+      std::move(left), std::move(build), &left_keys_, &ctx->eval, left_outer_,
+      right_->output_schema().num_columns())};
+}
+
+std::string HashJoinOp::Describe() const {
+  return std::string(left_outer_ ? "Hash Match (Left Outer Join) "
+                                 : "Hash Match (Inner Join) ") +
+         DescribeJoinKeys(left_keys_, right_keys_);
+}
+
+MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
+                         std::vector<ExprPtr> left_keys,
+                         std::vector<ExprPtr> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      schema_(ConcatSchemas(left_->output_schema(), right_->output_schema())) {}
+
+Result<std::unique_ptr<storage::RowIterator>> MergeJoinOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> left,
+                       left_->Open(ctx));
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> right,
+                       right_->Open(ctx));
+  return {std::make_unique<MergeJoinIterator>(std::move(left), std::move(right),
+                                              &left_keys_, &right_keys_,
+                                              &ctx->eval)};
+}
+
+std::string MergeJoinOp::Describe() const {
+  return "Merge Join (Inner Join) " +
+         DescribeJoinKeys(left_keys_, right_keys_);
+}
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      schema_(ConcatSchemas(left_->output_schema(), right_->output_schema())) {}
+
+Result<std::unique_ptr<storage::RowIterator>> NestedLoopJoinOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> right,
+                       right_->Open(ctx));
+  std::vector<Row> right_rows;
+  HTG_RETURN_IF_ERROR(DrainIterator(right.get(), &right_rows));
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> left,
+                       left_->Open(ctx));
+  return {std::make_unique<NestedLoopIterator>(
+      std::move(left), std::move(right_rows), predicate_.get(), &ctx->eval)};
+}
+
+std::string NestedLoopJoinOp::Describe() const {
+  return "Nested Loops (Inner Join) [" +
+         (predicate_ ? predicate_->ToString() : std::string("true")) + "]";
+}
+
+}  // namespace htg::exec

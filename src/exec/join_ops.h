@@ -1,0 +1,86 @@
+#ifndef HTG_EXEC_JOIN_OPS_H_
+#define HTG_EXEC_JOIN_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace htg::exec {
+
+// Equi-join via a hash table on the right input ("Hash Match (Inner
+// Join)" / "Hash Match (Left Outer Join)"). Blocking on the build side.
+// Left-outer emits unmatched left rows padded with NULLs.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+             bool left_outer = false);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  bool left_outer_;
+  Schema schema_;
+};
+
+// Inner equi-join over inputs ordered ascending on their join keys ("Merge
+// Join (Inner Join)"): non-blocking, streams both sides once, buffering
+// only the current right-side key group. This is the plan the paper's
+// Fig. 10 shows for Alignment ⋈ Read over clustered indexes.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(OperatorPtr left, OperatorPtr right,
+              std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  Schema schema_;
+};
+
+// Inner join with an arbitrary residual predicate; materializes the right
+// input ("Nested Loops (Inner Join)"). The fallback for non-equi joins.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;
+  Schema schema_;
+};
+
+// Concatenates the schemas of two join inputs.
+Schema ConcatSchemas(const Schema& left, const Schema& right);
+
+}  // namespace htg::exec
+
+#endif  // HTG_EXEC_JOIN_OPS_H_

@@ -1,0 +1,33 @@
+#include "exec/operator.h"
+
+namespace htg::exec {
+
+namespace {
+
+void ExplainRec(const Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.Describe());
+  out->push_back('\n');
+  for (const Operator* child : op.children()) {
+    ExplainRec(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) {
+  std::string out;
+  ExplainRec(root, 0, &out);
+  return out;
+}
+
+Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows) {
+  Row row;
+  while (iter->Next(&row)) {
+    rows->push_back(std::move(row));
+    row.clear();
+  }
+  return iter->status();
+}
+
+}  // namespace htg::exec

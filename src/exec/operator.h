@@ -1,0 +1,64 @@
+#ifndef HTG_EXEC_OPERATOR_H_
+#define HTG_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "exec/expression.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace htg::exec {
+
+// Per-execution state threaded through every operator.
+struct ExecContext {
+  Database* db = nullptr;
+  ThreadPool* pool = nullptr;
+  int dop = 1;
+  udf::EvalContext eval;
+
+  static ExecContext For(Database* db) {
+    ExecContext ctx;
+    ctx.db = db;
+    ctx.pool = &ThreadPool::Default();
+    ctx.dop = db != nullptr ? db->options().max_dop : 1;
+    if (db != nullptr) ctx.eval = db->MakeEvalContext();
+    return ctx;
+  }
+};
+
+// A physical plan node. Open() builds the pull-based row stream; the tree
+// structure is also what EXPLAIN prints.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const Schema& output_schema() const = 0;
+  virtual Result<std::unique_ptr<storage::RowIterator>> Open(
+      ExecContext* ctx) = 0;
+
+  // One-line plan description, e.g. "Hash Match (Aggregate) [groups=1]".
+  virtual std::string Describe() const = 0;
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Renders the plan tree, most SQL-Server-showplan-looking thing we print:
+//
+//   Sequence Project (ROW_NUMBER)
+//     Sort [COUNT(*) DESC]
+//       Gather Streams (DOP=4)
+//         Hash Match (Partial Aggregate) ...
+std::string ExplainPlan(const Operator& root);
+
+// Drains `iter`, appending every row to `rows`.
+Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows);
+
+}  // namespace htg::exec
+
+#endif  // HTG_EXEC_OPERATOR_H_

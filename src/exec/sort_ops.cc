@@ -1,0 +1,106 @@
+#include "exec/sort_ops.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace htg::exec {
+
+namespace {
+
+class RowsIterator : public storage::RowIterator {
+ public:
+  explicit RowsIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  bool Next(Row* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = std::move(rows_[next_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+std::string DescribeKeys(const std::vector<SortKey>& keys) {
+  std::string out = "[";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys[i].expr->ToString();
+    if (keys[i].descending) out += " DESC";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> DrainAndSort(Operator* child,
+                                      const std::vector<SortKey>& keys,
+                                      ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
+                       child->Open(ctx));
+  std::vector<Row> rows;
+  HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &rows));
+
+  // Precompute sort keys once per row (exprs may be arbitrarily costly).
+  std::vector<Row> sort_keys;
+  sort_keys.reserve(rows.size());
+  for (const Row& row : rows) {
+    Row key;
+    key.reserve(keys.size());
+    for (const SortKey& k : keys) {
+      HTG_ASSIGN_OR_RETURN(Value v, k.expr->Eval(&ctx->eval, row));
+      key.push_back(std::move(v));
+    }
+    sort_keys.push_back(std::move(key));
+  }
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+      if (cmp != 0) return keys[k].descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows.size());
+  for (size_t i : order) sorted.push_back(std::move(rows[i]));
+  return sorted;
+}
+
+Result<std::unique_ptr<storage::RowIterator>> SortOp::Open(ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       DrainAndSort(child_.get(), keys_, ctx));
+  return {std::make_unique<RowsIterator>(std::move(rows))};
+}
+
+std::string SortOp::Describe() const { return "Sort " + DescribeKeys(keys_); }
+
+RowNumberOp::RowNumberOp(OperatorPtr child, std::vector<SortKey> keys,
+                         std::string column_name)
+    : child_(std::move(child)), keys_(std::move(keys)) {
+  schema_ = child_->output_schema();
+  Column col;
+  col.name = std::move(column_name);
+  col.type = DataType::kInt64;
+  schema_.AddColumn(col);
+}
+
+Result<std::unique_ptr<storage::RowIterator>> RowNumberOp::Open(
+    ExecContext* ctx) {
+  HTG_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       DrainAndSort(child_.get(), keys_, ctx));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i].push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+  }
+  return {std::make_unique<RowsIterator>(std::move(rows))};
+}
+
+std::string RowNumberOp::Describe() const {
+  return "Sequence Project (ROW_NUMBER) over Sort " + DescribeKeys(keys_);
+}
+
+}  // namespace htg::exec

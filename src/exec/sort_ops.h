@@ -1,0 +1,64 @@
+#ifndef HTG_EXEC_SORT_OPS_H_
+#define HTG_EXEC_SORT_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace htg::exec {
+
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+// In-memory sort (blocking).
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+};
+
+// ROW_NUMBER() OVER (ORDER BY keys): sorts the input and appends a BIGINT
+// rank column ("Sequence Project" in SQL Server plans).
+class RowNumberOp : public Operator {
+ public:
+  RowNumberOp(OperatorPtr child, std::vector<SortKey> keys,
+              std::string column_name);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  Schema schema_;
+};
+
+// Shared helper: drains `child`, sorts rows by `keys`.
+Result<std::vector<Row>> DrainAndSort(Operator* child,
+                                      const std::vector<SortKey>& keys,
+                                      ExecContext* ctx);
+
+}  // namespace htg::exec
+
+#endif  // HTG_EXEC_SORT_OPS_H_

@@ -1,0 +1,134 @@
+#include "genomics/aligner.h"
+
+#include <algorithm>
+
+#include "genomics/nucleotide.h"
+
+namespace htg::genomics {
+
+Aligner::Aligner(const ReferenceGenome* reference, AlignerOptions options)
+    : reference_(reference), options_(options) {
+  if (options_.seed_length > 31) options_.seed_length = 31;
+  BuildIndex();
+}
+
+bool Aligner::EncodeKmer(const char* seq, int len, uint64_t* kmer) {
+  uint64_t k = 0;
+  for (int i = 0; i < len; ++i) {
+    const int code = BaseCode(seq[i]);
+    if (code < 0) return false;
+    k = (k << 2) | static_cast<uint64_t>(code);
+  }
+  *kmer = k;
+  return true;
+}
+
+void Aligner::BuildIndex() {
+  const int k = options_.seed_length;
+  for (int c = 0; c < reference_->num_chromosomes(); ++c) {
+    const std::string& seq = reference_->chromosome(c).sequence;
+    if (static_cast<int>(seq.size()) < k) continue;
+    for (size_t pos = 0; pos + k <= seq.size(); ++pos) {
+      uint64_t kmer = 0;
+      if (!EncodeKmer(seq.data() + pos, k, &kmer)) continue;
+      seed_index_[kmer].push_back({c, static_cast<int64_t>(pos)});
+    }
+  }
+}
+
+void Aligner::Verify(const std::string& seq, const std::string& qual,
+                     const Candidate& cand, bool reverse, Alignment* best,
+                     Alignment* second) const {
+  const std::string& ref = reference_->chromosome(cand.chromosome).sequence;
+  const size_t len = seq.size();
+  if (cand.position < 0 ||
+      cand.position + static_cast<int64_t>(len) >
+          static_cast<int64_t>(ref.size())) {
+    return;
+  }
+  int mismatches = 0;
+  int quality_score = 0;
+  for (size_t i = 0; i < len; ++i) {
+    const char read_base = seq[i];
+    const char ref_base = ref[cand.position + i];
+    if (BaseCode(read_base) < 0) continue;  // N never counts as a mismatch
+    if (read_base != ref_base) {
+      ++mismatches;
+      quality_score += qual.empty() ? 30 : CharToPhred(qual[i]);
+      if (mismatches > options_.max_mismatches) return;
+    }
+  }
+  Alignment candidate;
+  candidate.chromosome = cand.chromosome;
+  candidate.position = cand.position;
+  candidate.reverse_strand = reverse;
+  candidate.mismatches = mismatches;
+  candidate.quality_score = quality_score;
+  // Keep the two best-scoring hits (lowest summed mismatch quality).
+  auto better = [](const Alignment& a, const Alignment& b) {
+    if (a.quality_score != b.quality_score) {
+      return a.quality_score < b.quality_score;
+    }
+    return a.mismatches < b.mismatches;
+  };
+  if (best->chromosome < 0 || better(candidate, *best)) {
+    *second = *best;
+    *best = candidate;
+  } else if (second->chromosome < 0 || better(candidate, *second)) {
+    *second = candidate;
+  }
+}
+
+Result<Alignment> Aligner::AlignRead(const ShortRead& read) const {
+  const int k = options_.seed_length;
+  if (static_cast<int>(read.sequence.size()) < k) {
+    return Status::InvalidArgument("read shorter than seed length");
+  }
+  Alignment best;
+  Alignment second;
+
+  auto probe = [&](const std::string& seq, const std::string& qual,
+                   bool reverse) {
+    uint64_t kmer = 0;
+    if (!EncodeKmer(seq.data(), k, &kmer)) return;  // N in the seed
+    auto it = seed_index_.find(kmer);
+    if (it == seed_index_.end()) return;
+    for (const Candidate& cand : it->second) {
+      Verify(seq, qual, cand, reverse, &best, &second);
+    }
+  };
+
+  probe(read.sequence, read.quality, false);
+  if (options_.align_reverse) {
+    std::string rc_seq = ReverseComplement(read.sequence);
+    std::string rc_qual(read.quality.rbegin(), read.quality.rend());
+    probe(rc_seq, rc_qual, true);
+  }
+
+  if (best.chromosome < 0) {
+    return Status::NotFound("read does not align");
+  }
+  // Mapping quality: margin between best and second-best scores, capped.
+  if (second.chromosome < 0) {
+    best.mapping_quality = 60;
+  } else {
+    const int margin = second.quality_score - best.quality_score;
+    best.mapping_quality = std::min(60, std::max(0, margin));
+  }
+  return best;
+}
+
+std::vector<Alignment> Aligner::AlignBatch(const std::vector<ShortRead>& reads,
+                                           int64_t first_id) const {
+  std::vector<Alignment> alignments;
+  alignments.reserve(reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    Result<Alignment> a = AlignRead(reads[i]);
+    if (!a.ok()) continue;
+    a->read_id = first_id + static_cast<int64_t>(i);
+    alignments.push_back(std::move(*a));
+  }
+  return alignments;
+}
+
+}  // namespace htg::genomics

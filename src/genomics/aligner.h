@@ -1,0 +1,79 @@
+#ifndef HTG_GENOMICS_ALIGNER_H_
+#define HTG_GENOMICS_ALIGNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "genomics/formats.h"
+#include "genomics/reference.h"
+
+namespace htg::genomics {
+
+// One alignment of a short read against the reference (level-2 data).
+struct Alignment {
+  int64_t read_id = -1;  // caller-assigned id of the aligned read
+  int chromosome = -1;
+  int64_t position = -1;  // 0-based position of the read's first base
+  bool reverse_strand = false;
+  int mismatches = 0;
+  // MAQ-style mapping quality: confidence that this is the true origin.
+  int mapping_quality = 0;
+  // Sum of Phred qualities at mismatching positions (the alignment score
+  // MAQ minimizes).
+  int quality_score = 0;
+};
+
+struct AlignerOptions {
+  int seed_length = 18;    // exact-match seed (MAQ seeds the first 28 bp)
+  int max_mismatches = 2;  // per full read
+  bool align_reverse = true;
+};
+
+// A hash-seeded, quality-aware ungapped short-read aligner: the engine's
+// stand-in for MAQ (see DESIGN.md substitutions). The reference is indexed
+// by k-mer; each read's leading seed proposes candidate positions that are
+// verified base-by-base with at most `max_mismatches` mismatches; the
+// candidate minimizing the summed Phred quality at mismatching positions
+// wins, and the margin to the runner-up yields the mapping quality.
+class Aligner {
+ public:
+  Aligner(const ReferenceGenome* reference, AlignerOptions options);
+
+  // Aligns one read (sequence + ASCII qualities). Returns the best
+  // alignment, or NotFound when nothing aligns within the thresholds.
+  Result<Alignment> AlignRead(const ShortRead& read) const;
+
+  // Aligns a batch, assigning read ids [first_id, first_id + n). Unaligned
+  // reads are skipped (typical pipelines drop them).
+  std::vector<Alignment> AlignBatch(const std::vector<ShortRead>& reads,
+                                    int64_t first_id = 0) const;
+
+  const AlignerOptions& options() const { return options_; }
+  size_t index_size() const { return seed_index_.size(); }
+
+ private:
+  void BuildIndex();
+  // Encodes `len` bases at `seq` as a 2-bit k-mer; false if an N occurs.
+  static bool EncodeKmer(const char* seq, int len, uint64_t* kmer);
+
+  struct Candidate {
+    int chromosome;
+    int64_t position;
+  };
+
+  void Verify(const std::string& seq, const std::string& qual,
+              const Candidate& cand, bool reverse, Alignment* best,
+              Alignment* second) const;
+
+  const ReferenceGenome* reference_;
+  AlignerOptions options_;
+  // k-mer -> positions (chromosome, offset) where it occurs.
+  std::unordered_map<uint64_t, std::vector<Candidate>> seed_index_;
+};
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_ALIGNER_H_

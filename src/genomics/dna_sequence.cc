@@ -1,0 +1,92 @@
+#include "genomics/dna_sequence.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+#include "genomics/nucleotide.h"
+
+namespace htg::genomics {
+
+DnaSequence DnaSequence::FromText(std::string_view text) {
+  DnaSequence seq;
+  seq.length_ = text.size();
+  seq.packed_.assign((text.size() + 3) / 4, 0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    int code = BaseCode(text[i]);
+    if (code < 0) {
+      seq.n_positions_.push_back(static_cast<uint32_t>(i));
+      code = 0;  // placeholder bits under an N
+    }
+    seq.packed_[i / 4] |= static_cast<uint8_t>(code << ((i % 4) * 2));
+  }
+  return seq;
+}
+
+std::string DnaSequence::ToBlob() const {
+  std::string out;
+  PutVarint64(&out, length_);
+  PutVarint64(&out, n_positions_.size());
+  uint32_t prev = 0;
+  for (uint32_t pos : n_positions_) {
+    PutVarint64(&out, pos - prev);
+    prev = pos;
+  }
+  out.append(reinterpret_cast<const char*>(packed_.data()), packed_.size());
+  return out;
+}
+
+Result<DnaSequence> DnaSequence::FromBlob(std::string_view blob) {
+  DnaSequence seq;
+  const char* p = blob.data();
+  const char* limit = blob.data() + blob.size();
+  uint64_t length = 0;
+  uint64_t num_exceptions = 0;
+  p = GetVarint64(p, limit, &length);
+  if (p == nullptr) return Status::Corruption("bad DnaSequence header");
+  p = GetVarint64(p, limit, &num_exceptions);
+  if (p == nullptr) return Status::Corruption("bad DnaSequence header");
+  seq.length_ = length;
+  uint64_t pos = 0;
+  for (uint64_t i = 0; i < num_exceptions; ++i) {
+    uint64_t delta = 0;
+    p = GetVarint64(p, limit, &delta);
+    if (p == nullptr) return Status::Corruption("bad DnaSequence exceptions");
+    pos = i == 0 ? delta : pos + delta;
+    seq.n_positions_.push_back(static_cast<uint32_t>(pos));
+  }
+  const size_t packed_bytes = (length + 3) / 4;
+  if (static_cast<size_t>(limit - p) < packed_bytes) {
+    return Status::Corruption("truncated DnaSequence payload");
+  }
+  seq.packed_.assign(reinterpret_cast<const uint8_t*>(p),
+                     reinterpret_cast<const uint8_t*>(p) + packed_bytes);
+  return seq;
+}
+
+char DnaSequence::BaseAt(size_t i) const {
+  if (std::binary_search(n_positions_.begin(), n_positions_.end(),
+                         static_cast<uint32_t>(i))) {
+    return 'N';
+  }
+  const int code = (packed_[i / 4] >> ((i % 4) * 2)) & 3;
+  return CodeBase(code);
+}
+
+std::string DnaSequence::ToText() const {
+  std::string out;
+  out.reserve(length_);
+  size_t next_exception = 0;
+  for (size_t i = 0; i < length_; ++i) {
+    if (next_exception < n_positions_.size() &&
+        n_positions_[next_exception] == i) {
+      out.push_back('N');
+      ++next_exception;
+      continue;
+    }
+    const int code = (packed_[i / 4] >> ((i % 4) * 2)) & 3;
+    out.push_back(CodeBase(code));
+  }
+  return out;
+}
+
+}  // namespace htg::genomics

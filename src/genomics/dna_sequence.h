@@ -1,0 +1,53 @@
+#ifndef HTG_GENOMICS_DNA_SEQUENCE_H_
+#define HTG_GENOMICS_DNA_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htg::genomics {
+
+// The domain-specific short-read sequence type the paper's §5.1.2 calls
+// for: "a bit-encoding of the sequences could reduce the size to just
+// about a quarter. This could be achieved by introducing a corresponding
+// domain-specific short-read data type."
+//
+// Bases pack 4-per-byte (2 bits each); 'N' positions are kept in an
+// exception list. The serialized form is stored in VARBINARY columns and
+// manipulated through the PACK_DNA / UNPACK_DNA / DNA_LENGTH scalar UDFs.
+class DnaSequence {
+ public:
+  DnaSequence() = default;
+
+  // Builds from a text sequence (ACGTN, case-insensitive).
+  static DnaSequence FromText(std::string_view text);
+
+  // Parses the serialized blob form.
+  static Result<DnaSequence> FromBlob(std::string_view blob);
+
+  // Serialized form: varint length, varint #exceptions, exception
+  // positions (varint deltas), packed 2-bit payload.
+  std::string ToBlob() const;
+
+  // Expands back to ACGTN text.
+  std::string ToText() const;
+
+  size_t length() const { return length_; }
+  char BaseAt(size_t i) const;
+
+  bool operator==(const DnaSequence& other) const {
+    return length_ == other.length_ && packed_ == other.packed_ &&
+           n_positions_ == other.n_positions_;
+  }
+
+ private:
+  size_t length_ = 0;
+  std::vector<uint8_t> packed_;
+  std::vector<uint32_t> n_positions_;  // sorted
+};
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_DNA_SEQUENCE_H_

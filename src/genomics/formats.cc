@@ -1,0 +1,219 @@
+#include "genomics/formats.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace htg::genomics {
+
+std::string FormatReadName(const ReadCoordinates& coords) {
+  return StringPrintf("%s_%d:%d:%d:%d:%d", coords.machine.c_str(),
+                      coords.flowcell, coords.lane, coords.tile, coords.x,
+                      coords.y);
+}
+
+Result<ReadCoordinates> ParseReadName(const std::string& name) {
+  const size_t underscore = name.find('_');
+  if (underscore == std::string::npos) {
+    return Status::InvalidArgument("read name missing machine prefix: " +
+                                   name);
+  }
+  ReadCoordinates coords;
+  coords.machine = name.substr(0, underscore);
+  const std::vector<std::string_view> parts =
+      Split(std::string_view(name).substr(underscore + 1), ':');
+  if (parts.size() != 5) {
+    return Status::InvalidArgument("read name needs 5 coordinates: " + name);
+  }
+  HTG_ASSIGN_OR_RETURN(int64_t flowcell, ParseInt64(parts[0]));
+  HTG_ASSIGN_OR_RETURN(int64_t lane, ParseInt64(parts[1]));
+  HTG_ASSIGN_OR_RETURN(int64_t tile, ParseInt64(parts[2]));
+  HTG_ASSIGN_OR_RETURN(int64_t x, ParseInt64(parts[3]));
+  HTG_ASSIGN_OR_RETURN(int64_t y, ParseInt64(parts[4]));
+  coords.flowcell = static_cast<int>(flowcell);
+  coords.lane = static_cast<int>(lane);
+  coords.tile = static_cast<int>(tile);
+  coords.x = static_cast<int>(x);
+  coords.y = static_cast<int>(y);
+  return coords;
+}
+
+namespace {
+
+// Finds the next '\n' at or after `pos`; npos if none.
+size_t FindNewline(const char* buffer, size_t size, size_t pos) {
+  for (size_t i = pos; i < size; ++i) {
+    if (buffer[i] == '\n') return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+std::string_view LineAt(const char* buffer, size_t begin, size_t end) {
+  // Trim a trailing '\r' (Windows line endings).
+  if (end > begin && buffer[end - 1] == '\r') --end;
+  return std::string_view(buffer + begin, end - begin);
+}
+
+}  // namespace
+
+bool FastqChunkParser::ParseRecord(const char* buffer, size_t size,
+                                   size_t* pos, ShortRead* out) {
+  size_t p = *pos;
+  // Skip blank lines between records.
+  while (p < size && (buffer[p] == '\n' || buffer[p] == '\r')) ++p;
+  if (p >= size) return false;
+
+  // Line 1: @name
+  const size_t l1 = FindNewline(buffer, size, p);
+  if (l1 == static_cast<size_t>(-1)) return false;
+  std::string_view name_line = LineAt(buffer, p, l1);
+  if (name_line.empty() || name_line[0] != '@') {
+    status_ = Status::Corruption("FASTQ record does not start with '@'");
+    return false;
+  }
+  // Line 2: sequence
+  const size_t l2 = FindNewline(buffer, size, l1 + 1);
+  if (l2 == static_cast<size_t>(-1)) return false;
+  std::string_view seq = LineAt(buffer, l1 + 1, l2);
+  // Line 3: + comment
+  const size_t l3 = FindNewline(buffer, size, l2 + 1);
+  if (l3 == static_cast<size_t>(-1)) return false;
+  std::string_view plus = LineAt(buffer, l2 + 1, l3);
+  if (plus.empty() || plus[0] != '+') {
+    status_ = Status::Corruption("FASTQ record missing '+' separator");
+    return false;
+  }
+  // Line 4: qualities. May be the last line of the file without '\n'.
+  size_t l4 = FindNewline(buffer, size, l3 + 1);
+  bool last_line = false;
+  if (l4 == static_cast<size_t>(-1)) {
+    // Complete only if the qualities already span the sequence length —
+    // otherwise more bytes may follow in the next chunk.
+    if (size - (l3 + 1) < seq.size()) return false;
+    l4 = size;
+    last_line = true;
+  }
+  std::string_view qual = LineAt(buffer, l3 + 1, l4);
+  if (qual.size() != seq.size()) {
+    if (last_line) return false;  // partial quality line: page more bytes
+    status_ = Status::Corruption("FASTQ quality length mismatch");
+    return false;
+  }
+  out->name = std::string(name_line.substr(1));
+  out->sequence = std::string(seq);
+  out->quality = std::string(qual);
+  *pos = last_line ? size : l4 + 1;
+  return true;
+}
+
+bool FastaChunkParser::ParseRecord(const char* buffer, size_t size,
+                                   size_t* pos, ShortRead* out) {
+  size_t p = *pos;
+  while (p < size && (buffer[p] == '\n' || buffer[p] == '\r')) ++p;
+  if (p >= size) return false;
+  if (buffer[p] != '>') {
+    status_ = Status::Corruption("FASTA record does not start with '>'");
+    return false;
+  }
+  const size_t l1 = FindNewline(buffer, size, p);
+  if (l1 == static_cast<size_t>(-1)) return false;
+  std::string_view name_line = LineAt(buffer, p, l1);
+
+  // Sequence lines until the next '>' or (at EOF) end of buffer.
+  std::string seq;
+  size_t cursor = l1 + 1;
+  for (;;) {
+    if (cursor >= size) {
+      if (!at_eof_) return false;  // record may continue in the next chunk
+      break;
+    }
+    if (buffer[cursor] == '>') break;
+    size_t eol = FindNewline(buffer, size, cursor);
+    if (eol == static_cast<size_t>(-1)) {
+      if (!at_eof_) return false;
+      eol = size;
+      std::string_view line = LineAt(buffer, cursor, eol);
+      seq.append(line);
+      cursor = size;
+      break;
+    }
+    std::string_view line = LineAt(buffer, cursor, eol);
+    seq.append(line);
+    cursor = eol + 1;
+  }
+  out->name = std::string(name_line.substr(1));
+  out->sequence = std::move(seq);
+  out->quality.clear();
+  *pos = cursor;
+  return true;
+}
+
+Result<std::vector<ShortRead>> ReadFastqFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  fclose(f);
+  std::vector<ShortRead> reads;
+  FastqChunkParser parser;
+  size_t pos = 0;
+  ShortRead read;
+  while (parser.ParseRecord(data.data(), data.size(), &pos, &read)) {
+    reads.push_back(std::move(read));
+  }
+  HTG_RETURN_IF_ERROR(parser.status());
+  return reads;
+}
+
+Status WriteFastqFile(const std::string& path,
+                      const std::vector<ShortRead>& reads) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  for (const ShortRead& r : reads) {
+    fprintf(f, "@%s\n%s\n+\n%s\n", r.name.c_str(), r.sequence.c_str(),
+            r.quality.c_str());
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<ShortRead>& records, int wrap) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  for (const ShortRead& r : records) {
+    fprintf(f, ">%s\n", r.name.c_str());
+    const std::string& seq = r.sequence;
+    for (size_t i = 0; i < seq.size(); i += wrap) {
+      const size_t len = std::min<size_t>(wrap, seq.size() - i);
+      fwrite(seq.data() + i, 1, len, f);
+      fputc('\n', f);
+    }
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<ShortRead>> ReadFastaFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  fclose(f);
+  std::vector<ShortRead> records;
+  FastaChunkParser parser;
+  parser.set_at_eof(true);
+  size_t pos = 0;
+  ShortRead rec;
+  while (parser.ParseRecord(data.data(), data.size(), &pos, &rec)) {
+    records.push_back(std::move(rec));
+  }
+  HTG_RETURN_IF_ERROR(parser.status());
+  return records;
+}
+
+}  // namespace htg::genomics

@@ -1,0 +1,97 @@
+#include "genomics/gene_expression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "genomics/nucleotide.h"
+
+namespace htg::genomics {
+
+std::vector<TagCount> BinUniqueReads(const std::vector<ShortRead>& reads) {
+  std::unordered_map<std::string_view, int64_t> counts;
+  counts.reserve(reads.size());
+  for (const ShortRead& r : reads) {
+    if (!IsUnambiguous(r.sequence)) continue;  // CHARINDEX('N', seq) = 0
+    ++counts[r.sequence];
+  }
+  std::vector<TagCount> tags;
+  tags.reserve(counts.size());
+  for (const auto& [seq, freq] : counts) {
+    tags.push_back({std::string(seq), freq, 0});
+  }
+  std::sort(tags.begin(), tags.end(), [](const TagCount& a, const TagCount& b) {
+    if (a.frequency != b.frequency) return a.frequency > b.frequency;
+    return a.sequence < b.sequence;
+  });
+  for (size_t i = 0; i < tags.size(); ++i) {
+    tags[i].rank = static_cast<int64_t>(i + 1);
+  }
+  return tags;
+}
+
+std::vector<GeneExpression> AggregateExpression(
+    const std::vector<AlignedTag>& alignments) {
+  std::unordered_map<int64_t, GeneExpression> by_gene;
+  for (const AlignedTag& t : alignments) {
+    GeneExpression& g = by_gene[t.gene_id];
+    g.gene_id = t.gene_id;
+    g.total_frequency += t.frequency;
+    g.tag_count += 1;
+  }
+  std::vector<GeneExpression> out;
+  out.reserve(by_gene.size());
+  for (auto& [id, g] : by_gene) out.push_back(g);
+  std::sort(out.begin(), out.end(),
+            [](const GeneExpression& a, const GeneExpression& b) {
+              return a.total_frequency > b.total_frequency;
+            });
+  return out;
+}
+
+std::vector<DifferentialExpression> CompareExpression(
+    const std::vector<GeneExpression>& sample_a,
+    const std::vector<GeneExpression>& sample_b) {
+  std::unordered_map<int64_t, std::pair<int64_t, int64_t>> merged;
+  int64_t total_a = 0;
+  int64_t total_b = 0;
+  for (const GeneExpression& g : sample_a) {
+    merged[g.gene_id].first += g.total_frequency;
+    total_a += g.total_frequency;
+  }
+  for (const GeneExpression& g : sample_b) {
+    merged[g.gene_id].second += g.total_frequency;
+    total_b += g.total_frequency;
+  }
+  if (total_a == 0) total_a = 1;
+  if (total_b == 0) total_b = 1;
+  std::vector<DifferentialExpression> out;
+  out.reserve(merged.size());
+  for (const auto& [gene, counts] : merged) {
+    DifferentialExpression d;
+    d.gene_id = gene;
+    d.count_a = counts.first;
+    d.count_b = counts.second;
+    // Normalized counts with a pseudo-count of 1.
+    const double na = (d.count_a + 1.0) / static_cast<double>(total_a);
+    const double nb = (d.count_b + 1.0) / static_cast<double>(total_b);
+    d.log2_fold_change = std::log2(nb / na);
+    // Chi-square against the pooled expectation.
+    const double pooled =
+        static_cast<double>(d.count_a + d.count_b) / (total_a + total_b);
+    const double expect_a = pooled * total_a;
+    const double expect_b = pooled * total_b;
+    if (expect_a > 0 && expect_b > 0) {
+      d.chi_square = (d.count_a - expect_a) * (d.count_a - expect_a) / expect_a +
+                     (d.count_b - expect_b) * (d.count_b - expect_b) / expect_b;
+    }
+    out.push_back(d);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DifferentialExpression& a,
+               const DifferentialExpression& b) {
+              return a.chi_square > b.chi_square;
+            });
+  return out;
+}
+
+}  // namespace htg::genomics

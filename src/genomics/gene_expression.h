@@ -1,0 +1,60 @@
+#ifndef HTG_GENOMICS_GENE_EXPRESSION_H_
+#define HTG_GENOMICS_GENE_EXPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/formats.h"
+
+namespace htg::genomics {
+
+// A unique tag with its observation count (the output of the paper's
+// Query 1 / the 26-line Perl script).
+struct TagCount {
+  std::string sequence;
+  int64_t frequency = 0;
+  int64_t rank = 0;  // 1-based, most frequent first
+};
+
+// Bins unique short reads: drops sequences containing 'N', counts
+// duplicates, ranks by descending frequency. The in-memory reference
+// implementation both baselines and tests compare against.
+std::vector<TagCount> BinUniqueReads(const std::vector<ShortRead>& reads);
+
+// Gene-level expression: total tag frequency and distinct tag count per
+// gene (the paper's Query 2 output).
+struct GeneExpression {
+  int64_t gene_id = 0;
+  int64_t total_frequency = 0;
+  int64_t tag_count = 0;
+};
+
+// One aligned tag: which gene it hit and how often the tag occurred.
+struct AlignedTag {
+  int64_t gene_id = 0;
+  int64_t tag_id = 0;
+  int64_t frequency = 0;
+};
+
+std::vector<GeneExpression> AggregateExpression(
+    const std::vector<AlignedTag>& alignments);
+
+// Differential expression between two samples: log2 fold change with a
+// pseudo-count, plus a simple chi-square score against proportionality.
+struct DifferentialExpression {
+  int64_t gene_id = 0;
+  int64_t count_a = 0;
+  int64_t count_b = 0;
+  double log2_fold_change = 0.0;
+  double chi_square = 0.0;
+};
+
+std::vector<DifferentialExpression> CompareExpression(
+    const std::vector<GeneExpression>& sample_a,
+    const std::vector<GeneExpression>& sample_b);
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_GENE_EXPRESSION_H_

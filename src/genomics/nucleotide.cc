@@ -1,0 +1,90 @@
+#include "genomics/nucleotide.h"
+
+#include <cmath>
+
+namespace htg::genomics {
+
+int BaseCode(char base) {
+  switch (base) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+char CodeBase(int code) {
+  return (code >= 0 && code < kNumBases) ? kBases[code] : 'N';
+}
+
+char Complement(char base) {
+  switch (base) {
+    case 'A':
+      return 'T';
+    case 'C':
+      return 'G';
+    case 'G':
+      return 'C';
+    case 'T':
+      return 'A';
+    case 'a':
+      return 't';
+    case 'c':
+      return 'g';
+    case 'g':
+      return 'c';
+    case 't':
+      return 'a';
+    default:
+      return 'N';
+  }
+}
+
+std::string ReverseComplement(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (size_t i = seq.size(); i > 0; --i) {
+    out.push_back(Complement(seq[i - 1]));
+  }
+  return out;
+}
+
+bool IsUnambiguous(std::string_view seq) {
+  for (char c : seq) {
+    if (BaseCode(c) < 0) return false;
+  }
+  return true;
+}
+
+char PhredToChar(int phred) {
+  if (phred < 0) phred = 0;
+  if (phred > kMaxPhred) phred = kMaxPhred;
+  return static_cast<char>(phred + kPhredOffset);
+}
+
+int CharToPhred(char c) {
+  const int q = static_cast<unsigned char>(c) - kPhredOffset;
+  return q < 0 ? 0 : q;
+}
+
+double PhredToErrorProbability(int phred) {
+  return std::pow(10.0, -phred / 10.0);
+}
+
+int ErrorProbabilityToPhred(double p) {
+  if (p <= 0) return kMaxPhred;
+  const int q = static_cast<int>(std::lround(-10.0 * std::log10(p)));
+  return q < 0 ? 0 : (q > kMaxPhred ? kMaxPhred : q);
+}
+
+}  // namespace htg::genomics

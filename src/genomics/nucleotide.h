@@ -1,0 +1,48 @@
+#ifndef HTG_GENOMICS_NUCLEOTIDE_H_
+#define HTG_GENOMICS_NUCLEOTIDE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace htg::genomics {
+
+// Nucleotide codes: A=0, C=1, G=2, T=3. 'N' (uncertain call) is
+// represented outside the 2-bit alphabet.
+inline constexpr int kNumBases = 4;
+inline constexpr char kBases[kNumBases + 1] = "ACGT";
+
+// Returns 0-3 for ACGT (case-insensitive), -1 for anything else ('N').
+int BaseCode(char base);
+
+// Returns the base character for a 0-3 code.
+char CodeBase(int code);
+
+// Watson-Crick complement; 'N' maps to 'N'.
+char Complement(char base);
+
+// Reverse complement of a sequence.
+std::string ReverseComplement(std::string_view seq);
+
+// True if the sequence contains only A/C/G/T (upper or lower case).
+bool IsUnambiguous(std::string_view seq);
+
+// Phred quality scores and their FASTQ ASCII encoding (offset 33, the
+// Sanger convention; the paper's Fig. 3 example uses the printable form).
+inline constexpr int kPhredOffset = 33;
+inline constexpr int kMaxPhred = 93;
+
+// Encodes one Phred score (clamped to [0, 93]) as its ASCII character.
+char PhredToChar(int phred);
+
+// Decodes an ASCII quality character to its Phred score.
+int CharToPhred(char c);
+
+// Error probability of a Phred score: p = 10^(-q/10).
+double PhredToErrorProbability(int phred);
+
+// Phred score of an error probability (clamped to [0, 93]).
+int ErrorProbabilityToPhred(double p);
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_NUCLEOTIDE_H_

@@ -1,0 +1,67 @@
+#include "genomics/reference.h"
+
+#include "common/string_util.h"
+#include "genomics/formats.h"
+#include "genomics/nucleotide.h"
+
+namespace htg::genomics {
+
+ReferenceGenome ReferenceGenome::Random(uint64_t total_bases,
+                                        int num_chromosomes, uint64_t seed) {
+  ::htg::Random rng(seed);
+  std::vector<Chromosome> chromosomes;
+  chromosomes.reserve(num_chromosomes);
+  // Decreasing sizes: chromosome i gets weight (n - i).
+  uint64_t weight_sum = 0;
+  for (int i = 0; i < num_chromosomes; ++i) weight_sum += num_chromosomes - i;
+  for (int i = 0; i < num_chromosomes; ++i) {
+    Chromosome chr;
+    chr.name = StringPrintf("chr%d", i + 1);
+    const uint64_t size =
+        std::max<uint64_t>(1000, total_bases * (num_chromosomes - i) /
+                                     weight_sum);
+    chr.sequence.reserve(size);
+    for (uint64_t b = 0; b < size; ++b) {
+      chr.sequence.push_back(kBases[rng.Uniform(4)]);
+    }
+    chromosomes.push_back(std::move(chr));
+  }
+  return ReferenceGenome(std::move(chromosomes));
+}
+
+Result<ReferenceGenome> ReferenceGenome::LoadFasta(const std::string& path) {
+  HTG_ASSIGN_OR_RETURN(std::vector<ShortRead> records, ReadFastaFile(path));
+  std::vector<Chromosome> chromosomes;
+  chromosomes.reserve(records.size());
+  for (ShortRead& r : records) {
+    chromosomes.push_back({std::move(r.name), std::move(r.sequence)});
+  }
+  return ReferenceGenome(std::move(chromosomes));
+}
+
+Status ReferenceGenome::SaveFasta(const std::string& path) const {
+  std::vector<ShortRead> records;
+  records.reserve(chromosomes_.size());
+  for (const Chromosome& c : chromosomes_) {
+    ShortRead r;
+    r.name = c.name;
+    r.sequence = c.sequence;
+    records.push_back(std::move(r));
+  }
+  return WriteFastaFile(path, records);
+}
+
+uint64_t ReferenceGenome::total_bases() const {
+  uint64_t total = 0;
+  for (const Chromosome& c : chromosomes_) total += c.sequence.size();
+  return total;
+}
+
+int ReferenceGenome::FindChromosome(std::string_view name) const {
+  for (int i = 0; i < num_chromosomes(); ++i) {
+    if (chromosomes_[i].name == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace htg::genomics

@@ -1,0 +1,48 @@
+#ifndef HTG_GENOMICS_REFERENCE_H_
+#define HTG_GENOMICS_REFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace htg::genomics {
+
+struct Chromosome {
+  std::string name;
+  std::string sequence;
+};
+
+// A reference genome: a set of named chromosomes (for the human reference
+// the paper aligns against, 25 sequences: 22 autosomes + X, Y, MT).
+class ReferenceGenome {
+ public:
+  ReferenceGenome() = default;
+  explicit ReferenceGenome(std::vector<Chromosome> chromosomes)
+      : chromosomes_(std::move(chromosomes)) {}
+
+  // A synthetic reference: `num_chromosomes` random sequences whose sizes
+  // split `total_bases` in decreasing chromosome-like proportions.
+  static ReferenceGenome Random(uint64_t total_bases, int num_chromosomes,
+                                uint64_t seed);
+
+  static Result<ReferenceGenome> LoadFasta(const std::string& path);
+  Status SaveFasta(const std::string& path) const;
+
+  int num_chromosomes() const { return static_cast<int>(chromosomes_.size()); }
+  const Chromosome& chromosome(int i) const { return chromosomes_[i]; }
+  const std::vector<Chromosome>& chromosomes() const { return chromosomes_; }
+
+  uint64_t total_bases() const;
+
+  // Index of a chromosome by name, -1 if absent.
+  int FindChromosome(std::string_view name) const;
+
+ private:
+  std::vector<Chromosome> chromosomes_;
+};
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_REFERENCE_H_

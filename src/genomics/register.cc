@@ -1,0 +1,133 @@
+#include "genomics/register.h"
+
+#include "genomics/align_tvf.h"
+#include "genomics/consensus.h"
+#include "genomics/dna_sequence.h"
+#include "genomics/file_wrapper.h"
+#include "genomics/nucleotide.h"
+#include "genomics/srf.h"
+
+namespace htg::genomics {
+
+Status RegisterGenomicsExtensions(Database* db) {
+  udf::FunctionRegistry* registry = db->functions();
+
+  // Scalar UDFs over the DnaSequence UDT blob encoding.
+  {
+    udf::ScalarFunction fn;
+    fn.name = "PACK_DNA";
+    fn.min_args = 1;
+    fn.max_args = 1;
+    fn.result_type = [](const std::vector<DataType>&) {
+      return DataType::kBlob;
+    };
+    fn.eval = [](udf::EvalContext*,
+                 const std::vector<Value>& a) -> Result<Value> {
+      return Value::Blob(DnaSequence::FromText(a[0].AsString()).ToBlob());
+    };
+    HTG_RETURN_IF_ERROR(registry->RegisterScalar(std::move(fn)));
+  }
+  {
+    udf::ScalarFunction fn;
+    fn.name = "UNPACK_DNA";
+    fn.min_args = 1;
+    fn.max_args = 1;
+    fn.result_type = [](const std::vector<DataType>&) {
+      return DataType::kString;
+    };
+    fn.eval = [](udf::EvalContext*,
+                 const std::vector<Value>& a) -> Result<Value> {
+      HTG_ASSIGN_OR_RETURN(DnaSequence seq,
+                           DnaSequence::FromBlob(a[0].AsString()));
+      return Value::String(seq.ToText());
+    };
+    HTG_RETURN_IF_ERROR(registry->RegisterScalar(std::move(fn)));
+  }
+  {
+    udf::ScalarFunction fn;
+    fn.name = "DNA_LENGTH";
+    fn.min_args = 1;
+    fn.max_args = 1;
+    fn.result_type = [](const std::vector<DataType>&) {
+      return DataType::kInt64;
+    };
+    fn.eval = [](udf::EvalContext*,
+                 const std::vector<Value>& a) -> Result<Value> {
+      HTG_ASSIGN_OR_RETURN(DnaSequence seq,
+                           DnaSequence::FromBlob(a[0].AsString()));
+      return Value::Int64(static_cast<int64_t>(seq.length()));
+    };
+    HTG_RETURN_IF_ERROR(registry->RegisterScalar(std::move(fn)));
+  }
+  {
+    udf::ScalarFunction fn;
+    fn.name = "REVCOMP";
+    fn.min_args = 1;
+    fn.max_args = 1;
+    fn.result_type = [](const std::vector<DataType>&) {
+      return DataType::kString;
+    };
+    fn.eval = [](udf::EvalContext*,
+                 const std::vector<Value>& a) -> Result<Value> {
+      return Value::String(ReverseComplement(a[0].AsString()));
+    };
+    HTG_RETURN_IF_ERROR(registry->RegisterScalar(std::move(fn)));
+  }
+  {
+    udf::ScalarFunction fn;
+    fn.name = "PHRED_AVG";
+    fn.min_args = 1;
+    fn.max_args = 1;
+    fn.result_type = [](const std::vector<DataType>&) {
+      return DataType::kDouble;
+    };
+    fn.eval = [](udf::EvalContext*,
+                 const std::vector<Value>& a) -> Result<Value> {
+      const std::string& quals = a[0].AsString();
+      if (quals.empty()) return Value::Double(0.0);
+      double sum = 0;
+      for (char c : quals) sum += CharToPhred(c);
+      return Value::Double(sum / static_cast<double>(quals.size()));
+    };
+    HTG_RETURN_IF_ERROR(registry->RegisterScalar(std::move(fn)));
+  }
+  {
+    // reads.PathName() of the paper's T-SQL appears here as
+    // PATHNAME(reads): FILESTREAM values already store the path.
+    udf::ScalarFunction fn;
+    fn.name = "PATHNAME";
+    fn.min_args = 1;
+    fn.max_args = 1;
+    fn.result_type = [](const std::vector<DataType>&) {
+      return DataType::kString;
+    };
+    fn.eval = [](udf::EvalContext*,
+                 const std::vector<Value>& a) -> Result<Value> {
+      return Value::String(a[0].AsString());
+    };
+    HTG_RETURN_IF_ERROR(registry->RegisterScalar(std::move(fn)));
+  }
+
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterTableFunction(std::make_unique<ListShortReadsTvf>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterTableFunction(std::make_unique<ReadFastqFileTvf>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterTableFunction(std::make_unique<ReadFastaFileTvf>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterTableFunction(std::make_unique<PivotAlignmentTvf>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterTableFunction(std::make_unique<ReadSrfFileTvf>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterTableFunction(std::make_unique<AlignReadsTvf>()));
+
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterAggregate(std::make_unique<CallBaseAggregate>()));
+  HTG_RETURN_IF_ERROR(registry->RegisterAggregate(
+      std::make_unique<AssembleSequenceAggregate>()));
+  HTG_RETURN_IF_ERROR(registry->RegisterAggregate(
+      std::make_unique<AssembleConsensusAggregate>()));
+  return Status::OK();
+}
+
+}  // namespace htg::genomics

@@ -1,0 +1,20 @@
+#ifndef HTG_GENOMICS_REGISTER_H_
+#define HTG_GENOMICS_REGISTER_H_
+
+#include "catalog/database.h"
+
+namespace htg::genomics {
+
+// Installs the genomics "assembly" into a database — the equivalent of
+// CREATE ASSEMBLY + CREATE FUNCTION for the paper's CLR extensions:
+//
+//  scalar UDFs : PACK_DNA, UNPACK_DNA, DNA_LENGTH, REVCOMP, PHRED_AVG,
+//                PATHNAME
+//  TVFs        : ListShortReads, ReadFastqFile, ReadFastaFile,
+//                PivotAlignment
+//  UDAs        : CallBase, AssembleSequence, AssembleConsensus
+Status RegisterGenomicsExtensions(Database* db);
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_REGISTER_H_

@@ -1,0 +1,124 @@
+#include "genomics/simulator.h"
+
+#include <algorithm>
+
+#include "genomics/nucleotide.h"
+
+namespace htg::genomics {
+
+ReadSimulator::ReadSimulator(const ReferenceGenome* reference,
+                             SimulatorOptions options)
+    : reference_(reference), options_(options), rng_(options.seed) {}
+
+ShortRead ReadSimulator::MakeRead(int chromosome, int64_t pos, bool reverse,
+                                  int index) {
+  const std::string& chr = reference_->chromosome(chromosome).sequence;
+  std::string seq = chr.substr(pos, options_.read_length);
+  if (reverse) seq = ReverseComplement(seq);
+
+  ShortRead read;
+  read.sequence.reserve(seq.size());
+  read.quality.reserve(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const double error_p =
+        options_.base_error_rate + options_.error_rate_slope *
+                                       (static_cast<double>(i) / seq.size());
+    char base = seq[i];
+    int phred = ErrorProbabilityToPhred(error_p);
+    if (rng_.Bernoulli(options_.n_rate * (i + 1) / seq.size())) {
+      base = 'N';
+      phred = 2;
+    } else if (rng_.Bernoulli(error_p)) {
+      // Miscall: substitute a different base; quality stays plausible.
+      const int original = BaseCode(base);
+      int substitute = static_cast<int>(rng_.Uniform(3));
+      if (substitute >= original) ++substitute;
+      base = CodeBase(substitute);
+    }
+    // Jitter the reported quality a little around the true error rate.
+    phred += static_cast<int>(rng_.Uniform(7)) - 3;
+    if (phred < 2) phred = 2;
+    read.sequence.push_back(base);
+    read.quality.push_back(PhredToChar(phred));
+  }
+
+  ReadCoordinates coords;
+  coords.machine = options_.machine;
+  coords.flowcell = options_.flowcell;
+  coords.lane = options_.lane;
+  coords.tile = 1 + index % options_.tiles;
+  coords.x = static_cast<int>(rng_.Uniform(2048));
+  coords.y = static_cast<int>(rng_.Uniform(2048));
+  read.name = FormatReadName(coords);
+  return read;
+}
+
+std::vector<ShortRead> ReadSimulator::SimulateResequencing(
+    uint64_t num_reads, std::vector<SimulatedOrigin>* origins) {
+  std::vector<ShortRead> reads;
+  reads.reserve(num_reads);
+  const int nchrom = reference_->num_chromosomes();
+  // Weight chromosomes by length for uniform genome coverage.
+  std::vector<uint64_t> cumulative(nchrom);
+  uint64_t total = 0;
+  for (int c = 0; c < nchrom; ++c) {
+    total += reference_->chromosome(c).sequence.size();
+    cumulative[c] = total;
+  }
+  for (uint64_t i = 0; i < num_reads; ++i) {
+    const uint64_t r = rng_.Uniform(total);
+    int chromosome = 0;
+    while (cumulative[chromosome] <= r) ++chromosome;
+    const std::string& chr = reference_->chromosome(chromosome).sequence;
+    if (chr.size() < static_cast<size_t>(options_.read_length)) continue;
+    const int64_t pos = static_cast<int64_t>(
+        rng_.Uniform(chr.size() - options_.read_length + 1));
+    const bool reverse = rng_.Bernoulli(0.5);
+    reads.push_back(MakeRead(chromosome, pos, reverse, static_cast<int>(i)));
+    if (origins != nullptr) {
+      origins->push_back({chromosome, pos, reverse, -1});
+    }
+  }
+  return reads;
+}
+
+std::vector<ShortRead> ReadSimulator::SimulateDge(
+    uint64_t num_reads, const DgeOptions& dge,
+    std::vector<SimulatedOrigin>* origins) {
+  // Pick gene tag sites: fixed (chromosome, position, strand) per gene.
+  struct GeneSite {
+    int chromosome;
+    int64_t position;
+    bool reverse;
+  };
+  std::vector<GeneSite> genes;
+  genes.reserve(dge.num_genes);
+  const int nchrom = reference_->num_chromosomes();
+  for (int g = 0; g < dge.num_genes; ++g) {
+    const int chromosome = static_cast<int>(rng_.Uniform(nchrom));
+    const std::string& chr = reference_->chromosome(chromosome).sequence;
+    if (chr.size() < static_cast<size_t>(options_.read_length + 1)) {
+      genes.push_back({chromosome, 0, false});
+      continue;
+    }
+    genes.push_back({chromosome,
+                     static_cast<int64_t>(rng_.Uniform(
+                         chr.size() - options_.read_length)),
+                     rng_.Bernoulli(0.5)});
+  }
+  std::vector<ShortRead> reads;
+  reads.reserve(num_reads);
+  for (uint64_t i = 0; i < num_reads; ++i) {
+    const int gene =
+        static_cast<int>(rng_.Zipf(dge.num_genes, dge.zipf_exponent));
+    const GeneSite& site = genes[gene];
+    reads.push_back(MakeRead(site.chromosome, site.position, site.reverse,
+                             static_cast<int>(i)));
+    if (origins != nullptr) {
+      origins->push_back({site.chromosome, site.position, site.reverse, gene});
+    }
+  }
+  return reads;
+}
+
+}  // namespace htg::genomics

@@ -1,0 +1,73 @@
+#ifndef HTG_GENOMICS_SIMULATOR_H_
+#define HTG_GENOMICS_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "genomics/formats.h"
+#include "genomics/reference.h"
+
+namespace htg::genomics {
+
+// Configuration of one simulated flowcell lane.
+struct SimulatorOptions {
+  uint64_t seed = 42;
+  int read_length = 36;       // Illumina-era short reads (paper: 35-300 bp)
+  int lane = 1;
+  int tiles = 300;            // tiles per lane (paper §2.1: ~300)
+  double base_error_rate = 0.005;  // error probability at read start
+  double error_rate_slope = 0.01;  // additional error per base position
+  double n_rate = 0.01;            // probability of an uncalled base ('N')
+  std::string machine = "IL4";
+  int flowcell = 855;
+};
+
+// Digital-gene-expression mode parameters: tags are drawn from a small set
+// of transcript positions with Zipf-distributed abundance, so the tag
+// multiset is highly repetitive (paper §2.1.2, §5.1.1).
+struct DgeOptions {
+  int num_genes = 5000;
+  double zipf_exponent = 1.05;
+};
+
+// Where a simulated read came from (ground truth for aligner tests).
+struct SimulatedOrigin {
+  int chromosome = 0;
+  int64_t position = 0;  // 0-based
+  bool reverse_strand = false;
+  int gene_id = -1;  // DGE mode only
+};
+
+// Generates synthetic level-1 data in the two statistical regimes the
+// paper evaluates: re-sequencing (nearly-unique reads, uniform coverage —
+// the 1000 Genomes workload) and digital gene expression (repetitive
+// Zipf-abundant tags). Substitutes for the proprietary Illumina/Sanger
+// lane data (see DESIGN.md).
+class ReadSimulator {
+ public:
+  ReadSimulator(const ReferenceGenome* reference, SimulatorOptions options);
+
+  // Uniform re-sequencing reads over the whole genome.
+  std::vector<ShortRead> SimulateResequencing(uint64_t num_reads,
+                                              std::vector<SimulatedOrigin>*
+                                                  origins = nullptr);
+
+  // DGE tags: picks gene start sites, then samples reads from genes with
+  // Zipf abundance.
+  std::vector<ShortRead> SimulateDge(uint64_t num_reads, const DgeOptions& dge,
+                                     std::vector<SimulatedOrigin>* origins =
+                                         nullptr);
+
+ private:
+  ShortRead MakeRead(int chromosome, int64_t pos, bool reverse, int index);
+
+  const ReferenceGenome* reference_;
+  SimulatorOptions options_;
+  Random rng_;
+};
+
+}  // namespace htg::genomics
+
+#endif  // HTG_GENOMICS_SIMULATOR_H_

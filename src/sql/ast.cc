@@ -1,0 +1,80 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace htg::sql {
+
+std::string AstExpr::ToText() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      if (literal.is_null()) return "NULL";
+      if (literal.IsStringKind()) return "'" + literal.ToString() + "'";
+      return literal.ToString();
+    case Kind::kIdent: {
+      // Canonicalize to the unqualified upper-case name so that
+      // "GROUP BY t.x" matches "SELECT x".
+      return ToUpper(ident.back());
+    }
+    case Kind::kStar:
+      return "*";
+    case Kind::kUnary:
+      return (unary_not ? std::string("NOT ") : std::string("-")) +
+             operand->ToText();
+    case Kind::kBinary:
+      return "(" + left->ToText() + " " +
+             std::string(exec::BinaryOpName(bin_op)) + " " + right->ToText() +
+             ")";
+    case Kind::kCall: {
+      std::string out = ToUpper(call_name) + "(";
+      if (star_arg) out += "*";
+      if (distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToText();
+      }
+      out += ")";
+      if (has_over) {
+        out += " OVER (ORDER BY ";
+        for (size_t i = 0; i < over_order.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += over_order[i]->ToText();
+          if (over_desc[i]) out += " DESC";
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case Kind::kCast:
+      return "CAST(" + operand->ToText() + " AS " +
+             std::string(DataTypeName(cast_type)) + ")";
+    case Kind::kIsNull:
+      return operand->ToText() + (is_not ? " IS NOT NULL" : " IS NULL");
+    case Kind::kCase: {
+      std::string out = "CASE";
+      for (const auto& [c, r] : case_branches) {
+        out += " WHEN " + c->ToText() + " THEN " + r->ToText();
+      }
+      if (case_else != nullptr) out += " ELSE " + case_else->ToText();
+      out += " END";
+      return out;
+    }
+    case Kind::kIn: {
+      std::string out = operand->ToText() + (is_not ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list[i]->ToText();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kLike:
+      return operand->ToText() + (is_not ? " NOT LIKE '" : " LIKE '") +
+             like_pattern + "'";
+    case Kind::kBetween:
+      return operand->ToText() + (is_not ? " NOT BETWEEN " : " BETWEEN ") +
+             between_low->ToText() + " AND " + between_high->ToText();
+  }
+  return "?";
+}
+
+}  // namespace htg::sql

@@ -1,0 +1,157 @@
+#ifndef HTG_SQL_AST_H_
+#define HTG_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace htg::sql {
+
+// Parse-level expression. A single tagged struct keeps the parser and the
+// binder compact; only the fields relevant to `kind` are populated.
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind {
+    kLiteral,
+    kIdent,   // possibly qualified: a.b
+    kStar,    // bare * (select item or COUNT(*))
+    kUnary,   // -x, NOT x
+    kBinary,
+    kCall,    // fn(args) with optional OVER (ORDER BY ...)
+    kCast,
+    kIsNull,   // x IS [NOT] NULL
+    kCase,
+    kIn,       // x IN (v1, v2, ...)
+    kLike,     // x [NOT] LIKE 'pattern'
+    kBetween,  // x [NOT] BETWEEN low AND high
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  Value literal;
+  std::vector<std::string> ident;
+
+  bool unary_not = false;  // kUnary: true=NOT, false=negate
+  exec::BinaryOp bin_op = exec::BinaryOp::kAdd;
+  AstExprPtr left;
+  AstExprPtr right;
+  AstExprPtr operand;  // kUnary/kCast/kIsNull/kIn subject
+
+  std::string call_name;
+  std::vector<AstExprPtr> args;
+  bool star_arg = false;       // COUNT(*)
+  bool distinct_arg = false;   // COUNT(DISTINCT x)
+  bool has_over = false;
+  std::vector<AstExprPtr> over_order;
+  std::vector<bool> over_desc;
+
+  DataType cast_type = DataType::kString;
+  bool is_not = false;  // IS NOT NULL / NOT IN
+
+  std::vector<std::pair<AstExprPtr, AstExprPtr>> case_branches;
+  AstExprPtr case_else;
+  std::vector<AstExprPtr> in_list;
+  std::string like_pattern;  // kLike
+  AstExprPtr between_low;    // kBetween
+  AstExprPtr between_high;
+
+  // Canonical text used for GROUP BY / aggregate matching in the binder.
+  std::string ToText() const;
+};
+
+struct SelectStmt;
+
+// One FROM-clause source.
+struct TableRef {
+  enum class Kind { kTable, kTvf, kSubquery, kOpenRowset, kNone };
+  Kind kind = Kind::kNone;
+  std::string name;
+  std::string alias;
+  std::vector<AstExprPtr> args;          // kTvf
+  std::unique_ptr<SelectStmt> subquery;  // kSubquery
+  std::string bulk_path;                 // kOpenRowset
+};
+
+struct JoinClause {
+  TableRef ref;
+  AstExprPtr condition;      // JOIN ... ON condition
+  bool cross_apply = false;  // CROSS APPLY tvf(...)
+  bool left_outer = false;   // LEFT [OUTER] JOIN
+};
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;
+  bool star = false;
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  int64_t top = -1;  // -1 = no TOP
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderItem> order_by;
+};
+
+struct ColumnDefAst {
+  std::string name;
+  std::string type_name;
+  int length = 0;        // CHAR(n)/VARCHAR(n); kMaxLength for (MAX)
+  bool filestream = false;
+  bool rowguid = false;
+  bool primary_key = false;
+  bool not_null = false;
+
+  static constexpr int kMaxLength = -1;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDefAst> columns;
+  std::vector<std::string> primary_key;  // table-level PRIMARY KEY (...)
+  std::string compression;               // "", "NONE", "ROW", "PAGE"
+  std::vector<std::string> cluster_by;   // explicit CLUSTER BY (...)
+  std::string filestream_group;          // FILESTREAM_ON <name>
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // optional explicit column list
+  std::vector<std::vector<AstExprPtr>> values_rows;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kDropTable,
+    kTruncate,
+    kInsert,
+    kExplain,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;  // kSelect / kExplain
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<InsertStmt> insert;
+  std::string table_name;  // kDropTable / kTruncate
+};
+
+}  // namespace htg::sql
+
+#endif  // HTG_SQL_AST_H_

@@ -1,0 +1,53 @@
+#ifndef HTG_SQL_BINDER_H_
+#define HTG_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "exec/operator.h"
+#include "sql/ast.h"
+
+namespace htg::sql {
+
+// Binds a parsed SELECT against the catalog and produces a physical
+// operator tree. Planning is rule-based, modeled on the behaviours the
+// paper observes in SQL Server:
+//
+//  * predicates apply below aggregation;
+//  * equi-joins over clustered tables whose clustered keys match the join
+//    keys become merge joins (Fig. 10), other equi-joins hash joins,
+//    anything else nested loops;
+//  * GROUP BY plans over a large heap go parallel: partitioned scans feed
+//    per-worker partial aggregates that merge in a gather step (Fig. 9),
+//    provided every aggregate supports Merge.
+class Binder {
+ public:
+  explicit Binder(Database* db) : db_(db) {}
+
+  Result<exec::OperatorPtr> BindSelect(const SelectStmt& stmt);
+
+  // Binds a standalone scalar expression (INSERT ... VALUES): literals and
+  // functions only, no column references.
+  Result<exec::ExprPtr> BindValueExpr(const AstExpr& ast);
+
+ private:
+  struct Scope;
+  struct AggScope;
+  struct BindContext;
+  struct FromResult;
+
+  Result<FromResult> BindFrom(const SelectStmt& stmt);
+  Result<FromResult> BindTableRef(const TableRef& ref);
+  Result<exec::ExprPtr> BindExpr(const AstExpr& ast, const BindContext& ctx);
+  Result<std::vector<exec::ExprPtr>> BindExprs(
+      const std::vector<AstExprPtr>& asts, const BindContext& ctx);
+
+  Database* db_;
+};
+
+}  // namespace htg::sql
+
+#endif  // HTG_SQL_BINDER_H_

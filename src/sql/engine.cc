@@ -1,0 +1,287 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/heap_table.h"
+#include "storage/transaction.h"
+
+namespace htg::sql {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  if (schema.num_columns() == 0) {
+    return message.empty()
+               ? StringPrintf("(%llu rows affected)",
+                              static_cast<unsigned long long>(rows_affected))
+               : message;
+  }
+  const int ncols = schema.num_columns();
+  std::vector<size_t> widths(ncols);
+  std::vector<std::vector<std::string>> cells;
+  for (int c = 0; c < ncols; ++c) widths[c] = schema.column(c).name.size();
+  const size_t limit = std::min(rows.size(), max_rows);
+  cells.reserve(limit);
+  for (size_t r = 0; r < limit; ++r) {
+    std::vector<std::string> line;
+    line.reserve(ncols);
+    for (int c = 0; c < ncols; ++c) {
+      std::string text = rows[r][c].ToString();
+      if (text.size() > 40) text = text.substr(0, 37) + "...";
+      widths[c] = std::max(widths[c], text.size());
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  for (int c = 0; c < ncols; ++c) {
+    out += StringPrintf("%-*s ", static_cast<int>(widths[c]),
+                        schema.column(c).name.c_str());
+  }
+  out += '\n';
+  for (int c = 0; c < ncols; ++c) {
+    out += std::string(widths[c], '-') + ' ';
+  }
+  out += '\n';
+  for (const auto& line : cells) {
+    for (int c = 0; c < ncols; ++c) {
+      out += StringPrintf("%-*s ", static_cast<int>(widths[c]),
+                          line[c].c_str());
+    }
+    out += '\n';
+  }
+  if (rows.size() > limit) {
+    out += StringPrintf("... (%zu rows total)\n", rows.size());
+  }
+  return out;
+}
+
+Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
+  HTG_ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseSql(sql));
+  if (statements.empty()) {
+    return Status::ParseError("no statement to execute");
+  }
+  QueryResult last;
+  for (const Statement& stmt : statements) {
+    HTG_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+  }
+  return last;
+}
+
+Result<exec::OperatorPtr> SqlEngine::Plan(std::string_view sql) {
+  HTG_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("Plan() expects a SELECT");
+  }
+  Binder binder(db_);
+  return binder.BindSelect(*stmt.select);
+}
+
+Result<std::string> SqlEngine::Explain(std::string_view sql) {
+  HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan, Plan(sql));
+  return exec::ExplainPlan(*plan);
+}
+
+Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case Statement::Kind::kExplain: {
+      Binder binder(db_);
+      HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
+                           binder.BindSelect(*stmt.select));
+      QueryResult result;
+      result.message = exec::ExplainPlan(*plan);
+      return result;
+    }
+    case Statement::Kind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case Statement::Kind::kDropTable: {
+      HTG_RETURN_IF_ERROR(db_->DropTable(stmt.table_name));
+      QueryResult result;
+      result.message = "DROP TABLE " + stmt.table_name;
+      return result;
+    }
+    case Statement::Kind::kTruncate: {
+      HTG_ASSIGN_OR_RETURN(catalog::TableDef * table,
+                           db_->GetTable(stmt.table_name));
+      table->table->Truncate();
+      QueryResult result;
+      result.message = "TRUNCATE TABLE " + stmt.table_name;
+      return result;
+    }
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(*stmt.insert);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt) {
+  Binder binder(db_);
+  HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan, binder.BindSelect(stmt));
+  exec::ExecContext ctx = exec::ExecContext::For(db_);
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
+                       plan->Open(&ctx));
+  QueryResult result;
+  result.schema = plan->output_schema();
+  HTG_RETURN_IF_ERROR(exec::DrainIterator(iter.get(), &result.rows));
+  result.rows_affected = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  catalog::TableDef def;
+  def.name = stmt.name;
+  std::vector<std::string> pk = stmt.primary_key;
+  for (const ColumnDefAst& ast : stmt.columns) {
+    Column col;
+    col.name = ast.name;
+    HTG_ASSIGN_OR_RETURN(col.type, DataTypeFromName(ast.type_name));
+    // Only CHAR/NCHAR are fixed-length (blank padded).
+    if (ast.length > 0 && (EqualsIgnoreCase(ast.type_name, "CHAR") ||
+                           EqualsIgnoreCase(ast.type_name, "NCHAR"))) {
+      col.fixed_length = ast.length;
+    }
+    // N-types store UTF-16 (2 bytes/char in SQL Server 2008).
+    if (EqualsIgnoreCase(ast.type_name, "NCHAR") ||
+        EqualsIgnoreCase(ast.type_name, "NVARCHAR") ||
+        EqualsIgnoreCase(ast.type_name, "NTEXT")) {
+      col.utf16 = true;
+    }
+    col.nullable = !ast.not_null && !ast.primary_key;
+    col.filestream = ast.filestream;
+    col.rowguid = ast.rowguid;
+    if (col.filestream && col.type != DataType::kBlob) {
+      return Status::InvalidArgument(
+          "FILESTREAM requires VARBINARY(MAX): " + col.name);
+    }
+    if (ast.primary_key) pk.push_back(ast.name);
+    def.schema.AddColumn(std::move(col));
+  }
+  // Clustering: explicit CLUSTER BY wins, else the primary key (SQL
+  // Server's PRIMARY KEY CLUSTERED default).
+  const std::vector<std::string>& cluster =
+      stmt.cluster_by.empty() ? pk : stmt.cluster_by;
+  for (const std::string& name : cluster) {
+    HTG_ASSIGN_OR_RETURN(int idx, def.schema.ResolveColumn(name));
+    def.clustered_key.push_back(idx);
+  }
+  if (!stmt.compression.empty()) {
+    if (EqualsIgnoreCase(stmt.compression, "NONE")) {
+      def.compression = storage::Compression::kNone;
+    } else if (EqualsIgnoreCase(stmt.compression, "ROW")) {
+      def.compression = storage::Compression::kRow;
+    } else if (EqualsIgnoreCase(stmt.compression, "PAGE")) {
+      def.compression = storage::Compression::kPage;
+    } else {
+      return Status::InvalidArgument("bad DATA_COMPRESSION: " +
+                                     stmt.compression);
+    }
+  }
+  HTG_RETURN_IF_ERROR(db_->CreateTable(std::move(def)));
+  QueryResult result;
+  result.message = "CREATE TABLE " + stmt.name;
+  return result;
+}
+
+Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * table, db_->GetTable(stmt.table));
+  const Schema& schema = table->schema;
+
+  // Map the supplied column order to table positions.
+  std::vector<int> positions;
+  if (stmt.columns.empty()) {
+    for (int i = 0; i < schema.num_columns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      HTG_ASSIGN_OR_RETURN(int idx, schema.ResolveColumn(name));
+      positions.push_back(idx);
+    }
+  }
+
+  storage::Transaction txn;
+  auto* heap = dynamic_cast<storage::HeapTable*>(table->table.get());
+  if (heap != nullptr) {
+    const uint64_t prior_rows = heap->num_rows();
+    txn.OnRollback([heap, prior_rows] { heap->TruncateToRows(prior_rows); });
+  }
+
+  uint64_t inserted = 0;
+  auto insert_source_row = [&](Row source) -> Status {
+    if (source.size() != positions.size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "INSERT supplies %zu values for %zu columns", source.size(),
+          positions.size()));
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      row[positions[i]] = std::move(source[i]);
+    }
+    HTG_RETURN_IF_ERROR(db_->InsertRow(table, std::move(row), &txn));
+    ++inserted;
+    return Status::OK();
+  };
+
+  if (!stmt.values_rows.empty()) {
+    Binder binder(db_);
+    udf::EvalContext eval = db_->MakeEvalContext();
+    for (const auto& exprs : stmt.values_rows) {
+      Row source;
+      for (const AstExprPtr& ast : exprs) {
+        // VALUES expressions are scalar (no column references).
+        Result<exec::ExprPtr> bound = binder.BindValueExpr(*ast);
+        if (!bound.ok()) {
+          txn.Rollback();
+          return bound.status();
+        }
+        Result<Value> v = (*bound)->Eval(&eval, Row{});
+        if (!v.ok()) {
+          txn.Rollback();
+          return v.status();
+        }
+        source.push_back(std::move(*v));
+      }
+      const Status s = insert_source_row(std::move(source));
+      if (!s.ok()) {
+        txn.Rollback();
+        return s;
+      }
+    }
+  } else if (stmt.select != nullptr) {
+    Binder binder(db_);
+    Result<exec::OperatorPtr> plan = binder.BindSelect(*stmt.select);
+    if (!plan.ok()) {
+      txn.Rollback();
+      return plan.status();
+    }
+    exec::ExecContext ctx = exec::ExecContext::For(db_);
+    Result<std::unique_ptr<storage::RowIterator>> iter = (*plan)->Open(&ctx);
+    if (!iter.ok()) {
+      txn.Rollback();
+      return iter.status();
+    }
+    Row row;
+    while ((*iter)->Next(&row)) {
+      const Status s = insert_source_row(std::move(row));
+      if (!s.ok()) {
+        txn.Rollback();
+        return s;
+      }
+      row.clear();
+    }
+    const Status s = (*iter)->status();
+    if (!s.ok()) {
+      txn.Rollback();
+      return s;
+    }
+  }
+  txn.Commit();
+  QueryResult result;
+  result.rows_affected = inserted;
+  result.message = StringPrintf("(%llu rows affected)",
+                                static_cast<unsigned long long>(inserted));
+  return result;
+}
+
+}  // namespace htg::sql

@@ -1,0 +1,59 @@
+#ifndef HTG_SQL_ENGINE_H_
+#define HTG_SQL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "exec/operator.h"
+#include "sql/ast.h"
+
+namespace htg::sql {
+
+// Materialized result of one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  uint64_t rows_affected = 0;
+  // EXPLAIN output / DDL acknowledgement.
+  std::string message;
+
+  // Renders an ASCII table (for examples and the shell).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+// The SQL surface of the engine: parse → bind/plan → execute.
+//
+//   SqlEngine engine(db);
+//   auto result = engine.Execute("SELECT COUNT(*) FROM Read");
+class SqlEngine {
+ public:
+  explicit SqlEngine(Database* db) : db_(db) {}
+
+  // Executes one or more ';'-separated statements; returns the last
+  // statement's result.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  // Plans a single SELECT without executing it (benchmarks stream the
+  // iterator themselves).
+  Result<exec::OperatorPtr> Plan(std::string_view sql);
+
+  // Returns the EXPLAIN plan text for a single SELECT.
+  Result<std::string> Explain(std::string_view sql);
+
+  Database* db() { return db_; }
+
+ private:
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+
+  Database* db_;
+};
+
+}  // namespace htg::sql
+
+#endif  // HTG_SQL_ENGINE_H_

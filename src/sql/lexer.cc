@@ -1,0 +1,157 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace htg::sql {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+
+    Token tok;
+    tok.offset = i;
+
+    // Identifiers (plain, [bracketed], or "quoted").
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@' ||
+        c == '#') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_' || sql[j] == '@' || sql[j] == '#' ||
+                       sql[j] == '$')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i, j - i));
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    if (c == '[') {
+      const size_t close = sql.find(']', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated [identifier]");
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i + 1, close - i - 1));
+      tokens.push_back(std::move(tok));
+      i = close + 1;
+      continue;
+    }
+
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_float = true;
+        ++j;
+      }
+      const std::string text(sql.substr(i, j - i));
+      if (is_float) {
+        HTG_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+        tok.type = TokenType::kFloat;
+        tok.float_value = v;
+      } else {
+        HTG_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+        tok.type = TokenType::kInteger;
+        tok.int_value = v;
+      }
+      tok.text = text;
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+
+    // Strings with '' escaping. N'...' Unicode prefix handled above as
+    // identifier would swallow N — special-case: previous token "N"
+    // immediately before a string is dropped.
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      for (;;) {
+        if (j >= n) return Status::ParseError("unterminated string literal");
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!tokens.empty() && tokens.back().type == TokenType::kIdentifier &&
+          EqualsIgnoreCase(tokens.back().text, "N") &&
+          tokens.back().offset + 1 == i) {
+        tokens.pop_back();
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      i = j + 1;
+      continue;
+    }
+
+    // Operators.
+    static const char* kTwoChar[] = {"<>", "!=", "<=", ">=", "||"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1]) {
+        tok.type = TokenType::kOperator;
+        tok.text = op;
+        tokens.push_back(std::move(tok));
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingle = "(),.;=<>+-*/%";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StringPrintf("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace htg::sql

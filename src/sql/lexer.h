@@ -1,0 +1,38 @@
+#ifndef HTG_SQL_LEXER_H_
+#define HTG_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htg::sql {
+
+enum class TokenType {
+  kIdentifier,  // foo, [Read] (brackets stripped)
+  kInteger,
+  kFloat,
+  kString,      // 'text' (quotes stripped, '' unescaped)
+  kOperator,    // punctuation and multi-char operators
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;  // position in the source, for error messages
+
+  bool IsKeyword(std::string_view kw) const;
+  bool IsOp(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+// Tokenizes a SQL string. Comments (-- and /* */) are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace htg::sql
+
+#endif  // HTG_SQL_LEXER_H_

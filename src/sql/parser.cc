@@ -1,0 +1,742 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+
+namespace htg::sql {
+
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> statements;
+    for (;;) {
+      while (CurIsOp(";")) Advance();
+      if (Cur().type == TokenType::kEnd) break;
+      HTG_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      statements.push_back(std::move(stmt));
+    }
+    return statements;
+  }
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (CurIsKw("SELECT")) {
+      stmt.kind = Statement::Kind::kSelect;
+      HTG_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      return stmt;
+    }
+    if (CurIsKw("EXPLAIN")) {
+      Advance();
+      stmt.kind = Statement::Kind::kExplain;
+      HTG_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      return stmt;
+    }
+    if (CurIsKw("CREATE")) return ParseCreate();
+    if (CurIsKw("DROP")) {
+      Advance();
+      HTG_RETURN_IF_ERROR(ExpectKw("TABLE"));
+      stmt.kind = Statement::Kind::kDropTable;
+      HTG_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier());
+      return stmt;
+    }
+    if (CurIsKw("TRUNCATE")) {
+      Advance();
+      HTG_RETURN_IF_ERROR(ExpectKw("TABLE"));
+      stmt.kind = Statement::Kind::kTruncate;
+      HTG_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier());
+      return stmt;
+    }
+    if (CurIsKw("INSERT")) return ParseInsert();
+    return Status::ParseError("unexpected token at statement start: " +
+                              Cur().text);
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(int n = 1) const {
+    const size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool CurIsKw(std::string_view kw) const { return Cur().IsKeyword(kw); }
+  bool CurIsOp(std::string_view op) const { return Cur().IsOp(op); }
+
+  bool AcceptKw(std::string_view kw) {
+    if (CurIsKw(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptOp(std::string_view op) {
+    if (CurIsOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKw(std::string_view kw) {
+    if (!AcceptKw(kw)) {
+      return Status::ParseError(StringPrintf(
+          "expected %s near '%s' (offset %zu)", std::string(kw).c_str(),
+          Cur().text.c_str(), Cur().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(std::string_view op) {
+    if (!AcceptOp(op)) {
+      return Status::ParseError(StringPrintf(
+          "expected '%s' near '%s' (offset %zu)", std::string(op).c_str(),
+          Cur().text.c_str(), Cur().offset));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Cur().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier near '" + Cur().text +
+                                "'");
+    }
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  // Reserved words that terminate an implicit alias.
+  static bool IsReserved(const Token& t) {
+    static const char* kReserved[] = {
+        "FROM",  "WHERE",    "GROUP", "ORDER",  "HAVING", "JOIN",   "ON",
+        "CROSS", "APPLY",    "INNER", "SELECT", "TOP",    "AND",    "OR",
+        "NOT",   "AS",       "BY",    "ASC",    "DESC",   "INSERT", "VALUES",
+        "INTO",  "LEFT",     "RIGHT", "SET",    "UNION",  "WITH",   "CASE",
+        "DISTINCT",
+        "WHEN",  "THEN",     "ELSE",  "END",    "IS",     "NULL",   "IN",
+        "LIKE",  "BETWEEN",  "EXISTS"};
+    for (const char* kw : kReserved) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  // --- SELECT ---------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    HTG_RETURN_IF_ERROR(ExpectKw("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (AcceptKw("DISTINCT")) stmt->distinct = true;
+    if (AcceptKw("TOP")) {
+      bool paren = AcceptOp("(");
+      if (Cur().type != TokenType::kInteger) {
+        return Status::ParseError("expected integer after TOP");
+      }
+      stmt->top = Cur().int_value;
+      Advance();
+      if (paren) HTG_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    // Select list.
+    for (;;) {
+      SelectItem item;
+      if (CurIsOp("*")) {
+        item.star = true;
+        Advance();
+      } else {
+        HTG_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKw("AS")) {
+          HTG_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Cur().type == TokenType::kIdentifier && !IsReserved(Cur())) {
+          item.alias = Cur().text;
+          Advance();
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!AcceptOp(",")) break;
+    }
+    // FROM.
+    if (AcceptKw("FROM")) {
+      HTG_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+      // Joins / CROSS APPLY.
+      for (;;) {
+        if (AcceptKw("CROSS")) {
+          HTG_RETURN_IF_ERROR(ExpectKw("APPLY"));
+          JoinClause jc;
+          jc.cross_apply = true;
+          HTG_ASSIGN_OR_RETURN(jc.ref, ParseTableRef());
+          stmt->joins.push_back(std::move(jc));
+          continue;
+        }
+        const bool inner = CurIsKw("INNER");
+        const bool left_outer = CurIsKw("LEFT");
+        if (inner || left_outer || CurIsKw("JOIN")) {
+          if (inner || left_outer) Advance();
+          if (left_outer) AcceptKw("OUTER");
+          HTG_RETURN_IF_ERROR(ExpectKw("JOIN"));
+          JoinClause jc;
+          jc.left_outer = left_outer;
+          HTG_ASSIGN_OR_RETURN(jc.ref, ParseTableRef());
+          HTG_RETURN_IF_ERROR(ExpectKw("ON"));
+          HTG_ASSIGN_OR_RETURN(jc.condition, ParseExpr());
+          stmt->joins.push_back(std::move(jc));
+          continue;
+        }
+        break;
+      }
+    }
+    if (AcceptKw("WHERE")) {
+      HTG_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKw("GROUP")) {
+      HTG_RETURN_IF_ERROR(ExpectKw("BY"));
+      for (;;) {
+        HTG_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    if (AcceptKw("HAVING")) {
+      HTG_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (AcceptKw("ORDER")) {
+      HTG_RETURN_IF_ERROR(ExpectKw("BY"));
+      for (;;) {
+        OrderItem item;
+        HTG_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKw("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKw("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (AcceptOp("(")) {
+      ref.kind = TableRef::Kind::kSubquery;
+      HTG_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      HTG_RETURN_IF_ERROR(ExpectOp(")"));
+    } else if (CurIsKw("OPENROWSET")) {
+      Advance();
+      HTG_RETURN_IF_ERROR(ExpectOp("("));
+      HTG_RETURN_IF_ERROR(ExpectKw("BULK"));
+      if (Cur().type != TokenType::kString) {
+        return Status::ParseError("expected path string in OPENROWSET(BULK)");
+      }
+      ref.kind = TableRef::Kind::kOpenRowset;
+      ref.bulk_path = Cur().text;
+      Advance();
+      HTG_RETURN_IF_ERROR(ExpectOp(","));
+      HTG_RETURN_IF_ERROR(ExpectKw("SINGLE_BLOB"));
+      HTG_RETURN_IF_ERROR(ExpectOp(")"));
+    } else {
+      if (IsReserved(Cur())) {
+        return Status::ParseError("expected table name near '" + Cur().text +
+                                  "'");
+      }
+      HTG_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+      if (AcceptOp("(")) {
+        ref.kind = TableRef::Kind::kTvf;
+        if (!CurIsOp(")")) {
+          for (;;) {
+            HTG_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+            ref.args.push_back(std::move(e));
+            if (!AcceptOp(",")) break;
+          }
+        }
+        HTG_RETURN_IF_ERROR(ExpectOp(")"));
+      } else {
+        ref.kind = TableRef::Kind::kTable;
+      }
+    }
+    if (AcceptKw("AS")) {
+      HTG_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Cur().type == TokenType::kIdentifier && !IsReserved(Cur())) {
+      ref.alias = Cur().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // --- CREATE TABLE ----------------------------------------------------
+
+  Result<Statement> ParseCreate() {
+    Advance();  // CREATE
+    HTG_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateTable;
+    stmt.create_table = std::make_unique<CreateTableStmt>();
+    CreateTableStmt& ct = *stmt.create_table;
+    HTG_ASSIGN_OR_RETURN(ct.name, ExpectIdentifier());
+    HTG_RETURN_IF_ERROR(ExpectOp("("));
+    for (;;) {
+      if (CurIsKw("PRIMARY")) {
+        Advance();
+        HTG_RETURN_IF_ERROR(ExpectKw("KEY"));
+        AcceptKw("CLUSTERED");
+        HTG_RETURN_IF_ERROR(ExpectOp("("));
+        for (;;) {
+          HTG_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          ct.primary_key.push_back(std::move(col));
+          AcceptKw("ASC");
+          AcceptKw("DESC");
+          if (!AcceptOp(",")) break;
+        }
+        HTG_RETURN_IF_ERROR(ExpectOp(")"));
+      } else {
+        HTG_ASSIGN_OR_RETURN(ColumnDefAst col, ParseColumnDef());
+        ct.columns.push_back(std::move(col));
+      }
+      if (!AcceptOp(",")) break;
+    }
+    HTG_RETURN_IF_ERROR(ExpectOp(")"));
+    // Trailing options in any order.
+    for (;;) {
+      if (AcceptKw("WITH")) {
+        HTG_RETURN_IF_ERROR(ExpectOp("("));
+        HTG_RETURN_IF_ERROR(ExpectKw("DATA_COMPRESSION"));
+        HTG_RETURN_IF_ERROR(ExpectOp("="));
+        HTG_ASSIGN_OR_RETURN(ct.compression, ExpectIdentifier());
+        HTG_RETURN_IF_ERROR(ExpectOp(")"));
+        continue;
+      }
+      if (AcceptKw("FILESTREAM_ON")) {
+        HTG_ASSIGN_OR_RETURN(ct.filestream_group, ExpectIdentifier());
+        continue;
+      }
+      if (AcceptKw("CLUSTER")) {
+        HTG_RETURN_IF_ERROR(ExpectKw("BY"));
+        HTG_RETURN_IF_ERROR(ExpectOp("("));
+        for (;;) {
+          HTG_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          ct.cluster_by.push_back(std::move(col));
+          if (!AcceptOp(",")) break;
+        }
+        HTG_RETURN_IF_ERROR(ExpectOp(")"));
+        continue;
+      }
+      break;
+    }
+    return stmt;
+  }
+
+  Result<ColumnDefAst> ParseColumnDef() {
+    ColumnDefAst col;
+    HTG_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+    HTG_ASSIGN_OR_RETURN(col.type_name, ExpectIdentifier());
+    if (AcceptOp("(")) {
+      if (CurIsKw("MAX")) {
+        col.length = ColumnDefAst::kMaxLength;
+        Advance();
+      } else if (Cur().type == TokenType::kInteger) {
+        col.length = static_cast<int>(Cur().int_value);
+        Advance();
+      } else {
+        return Status::ParseError("expected length or MAX in type");
+      }
+      HTG_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    for (;;) {
+      if (AcceptKw("FILESTREAM")) {
+        col.filestream = true;
+        continue;
+      }
+      if (AcceptKw("ROWGUIDCOL")) {
+        col.rowguid = true;
+        continue;
+      }
+      if (CurIsKw("PRIMARY")) {
+        Advance();
+        HTG_RETURN_IF_ERROR(ExpectKw("KEY"));
+        AcceptKw("CLUSTERED");
+        col.primary_key = true;
+        continue;
+      }
+      if (CurIsKw("NOT")) {
+        Advance();
+        HTG_RETURN_IF_ERROR(ExpectKw("NULL"));
+        col.not_null = true;
+        continue;
+      }
+      if (AcceptKw("NULL")) continue;
+      break;
+    }
+    return col;
+  }
+
+  // --- INSERT ----------------------------------------------------------
+
+  Result<Statement> ParseInsert() {
+    Advance();  // INSERT
+    AcceptKw("INTO");
+    Statement stmt;
+    stmt.kind = Statement::Kind::kInsert;
+    stmt.insert = std::make_unique<InsertStmt>();
+    InsertStmt& ins = *stmt.insert;
+    HTG_ASSIGN_OR_RETURN(ins.table, ExpectIdentifier());
+    if (CurIsOp("(")) {
+      // Could be a column list. Distinguish from nothing else: always cols.
+      Advance();
+      for (;;) {
+        HTG_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        ins.columns.push_back(std::move(col));
+        if (!AcceptOp(",")) break;
+      }
+      HTG_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    if (AcceptKw("VALUES")) {
+      for (;;) {
+        HTG_RETURN_IF_ERROR(ExpectOp("("));
+        std::vector<AstExprPtr> row;
+        for (;;) {
+          HTG_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (!AcceptOp(",")) break;
+        }
+        HTG_RETURN_IF_ERROR(ExpectOp(")"));
+        ins.values_rows.push_back(std::move(row));
+        if (!AcceptOp(",")) break;
+      }
+      return stmt;
+    }
+    if (CurIsKw("SELECT")) {
+      HTG_ASSIGN_OR_RETURN(ins.select, ParseSelect());
+      return stmt;
+    }
+    return Status::ParseError("expected VALUES or SELECT in INSERT");
+  }
+
+  // --- Expressions -----------------------------------------------------
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    HTG_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+    while (AcceptKw("OR")) {
+      HTG_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+      left = MakeBinary(exec::BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    HTG_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+    while (AcceptKw("AND")) {
+      HTG_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+      left =
+          MakeBinary(exec::BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (AcceptKw("NOT")) {
+      HTG_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::kUnary;
+      e->unary_not = true;
+      e->operand = std::move(operand);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    HTG_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+    // IS [NOT] NULL.
+    if (CurIsKw("IS")) {
+      Advance();
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::kIsNull;
+      e->is_not = AcceptKw("NOT");
+      HTG_RETURN_IF_ERROR(ExpectKw("NULL"));
+      e->operand = std::move(left);
+      return e;
+    }
+    // [NOT] IN / LIKE / BETWEEN.
+    bool not_in = false;
+    if (CurIsKw("NOT") && (Peek().IsKeyword("IN") || Peek().IsKeyword("LIKE") ||
+                           Peek().IsKeyword("BETWEEN"))) {
+      Advance();
+      not_in = true;
+    }
+    if (AcceptKw("LIKE")) {
+      if (Cur().type != TokenType::kString) {
+        return Status::ParseError("LIKE expects a string pattern literal");
+      }
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::kLike;
+      e->is_not = not_in;
+      e->operand = std::move(left);
+      e->like_pattern = Cur().text;
+      Advance();
+      return e;
+    }
+    if (AcceptKw("BETWEEN")) {
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::kBetween;
+      e->is_not = not_in;
+      e->operand = std::move(left);
+      HTG_ASSIGN_OR_RETURN(e->between_low, ParseAdditive());
+      HTG_RETURN_IF_ERROR(ExpectKw("AND"));
+      HTG_ASSIGN_OR_RETURN(e->between_high, ParseAdditive());
+      return e;
+    }
+    if (AcceptKw("IN")) {
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::kIn;
+      e->is_not = not_in;
+      e->operand = std::move(left);
+      HTG_RETURN_IF_ERROR(ExpectOp("("));
+      for (;;) {
+        HTG_ASSIGN_OR_RETURN(AstExprPtr item, ParseExpr());
+        e->in_list.push_back(std::move(item));
+        if (!AcceptOp(",")) break;
+      }
+      HTG_RETURN_IF_ERROR(ExpectOp(")"));
+      return e;
+    }
+    static const std::pair<const char*, exec::BinaryOp> kCmps[] = {
+        {"=", exec::BinaryOp::kEq},  {"<>", exec::BinaryOp::kNe},
+        {"!=", exec::BinaryOp::kNe}, {"<=", exec::BinaryOp::kLe},
+        {">=", exec::BinaryOp::kGe}, {"<", exec::BinaryOp::kLt},
+        {">", exec::BinaryOp::kGt},
+    };
+    for (const auto& [op, bin] : kCmps) {
+      if (CurIsOp(op)) {
+        Advance();
+        HTG_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+        return MakeBinary(bin, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    HTG_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+    for (;;) {
+      exec::BinaryOp op;
+      if (CurIsOp("+")) {
+        op = exec::BinaryOp::kAdd;
+      } else if (CurIsOp("-")) {
+        op = exec::BinaryOp::kSub;
+      } else {
+        break;
+      }
+      Advance();
+      HTG_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    HTG_ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+    for (;;) {
+      exec::BinaryOp op;
+      if (CurIsOp("*")) {
+        op = exec::BinaryOp::kMul;
+      } else if (CurIsOp("/")) {
+        op = exec::BinaryOp::kDiv;
+      } else if (CurIsOp("%")) {
+        op = exec::BinaryOp::kMod;
+      } else {
+        break;
+      }
+      Advance();
+      HTG_ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (AcceptOp("-")) {
+      HTG_ASSIGN_OR_RETURN(AstExprPtr operand, ParseUnary());
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::kUnary;
+      e->unary_not = false;
+      e->operand = std::move(operand);
+      return e;
+    }
+    AcceptOp("+");
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    auto e = std::make_unique<AstExpr>();
+    const Token& t = Cur();
+    switch (t.type) {
+      case TokenType::kInteger:
+        e->kind = AstExpr::Kind::kLiteral;
+        e->literal = Value::Int64(t.int_value);
+        Advance();
+        return e;
+      case TokenType::kFloat:
+        e->kind = AstExpr::Kind::kLiteral;
+        e->literal = Value::Double(t.float_value);
+        Advance();
+        return e;
+      case TokenType::kString:
+        e->kind = AstExpr::Kind::kLiteral;
+        e->literal = Value::String(t.text);
+        Advance();
+        return e;
+      case TokenType::kOperator:
+        if (t.text == "(") {
+          Advance();
+          HTG_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+          HTG_RETURN_IF_ERROR(ExpectOp(")"));
+          return inner;
+        }
+        if (t.text == "*") {
+          e->kind = AstExpr::Kind::kStar;
+          Advance();
+          return e;
+        }
+        break;
+      case TokenType::kIdentifier: {
+        if (t.IsKeyword("NULL")) {
+          e->kind = AstExpr::Kind::kLiteral;
+          e->literal = Value::Null();
+          Advance();
+          return e;
+        }
+        if (t.IsKeyword("CAST")) {
+          Advance();
+          HTG_RETURN_IF_ERROR(ExpectOp("("));
+          HTG_ASSIGN_OR_RETURN(AstExprPtr operand, ParseExpr());
+          HTG_RETURN_IF_ERROR(ExpectKw("AS"));
+          HTG_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+          if (AcceptOp("(")) {  // CAST(x AS VARCHAR(10)): length ignored
+            if (!AcceptKw("MAX")) Advance();
+            HTG_RETURN_IF_ERROR(ExpectOp(")"));
+          }
+          HTG_RETURN_IF_ERROR(ExpectOp(")"));
+          HTG_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+          e->kind = AstExpr::Kind::kCast;
+          e->cast_type = type;
+          e->operand = std::move(operand);
+          return e;
+        }
+        if (t.IsKeyword("CASE")) {
+          Advance();
+          e->kind = AstExpr::Kind::kCase;
+          while (AcceptKw("WHEN")) {
+            HTG_ASSIGN_OR_RETURN(AstExprPtr cond, ParseExpr());
+            HTG_RETURN_IF_ERROR(ExpectKw("THEN"));
+            HTG_ASSIGN_OR_RETURN(AstExprPtr result, ParseExpr());
+            e->case_branches.emplace_back(std::move(cond), std::move(result));
+          }
+          if (AcceptKw("ELSE")) {
+            HTG_ASSIGN_OR_RETURN(e->case_else, ParseExpr());
+          }
+          HTG_RETURN_IF_ERROR(ExpectKw("END"));
+          return e;
+        }
+        // Function call?
+        if (Peek().IsOp("(")) {
+          e->kind = AstExpr::Kind::kCall;
+          e->call_name = t.text;
+          Advance();
+          Advance();  // '('
+          if (CurIsOp("*")) {
+            e->star_arg = true;
+            Advance();
+          } else if (CurIsKw("DISTINCT")) {
+            e->distinct_arg = true;
+            Advance();
+            for (;;) {
+              HTG_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+              if (!AcceptOp(",")) break;
+            }
+          } else if (!CurIsOp(")")) {
+            for (;;) {
+              HTG_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+              if (!AcceptOp(",")) break;
+            }
+          }
+          HTG_RETURN_IF_ERROR(ExpectOp(")"));
+          if (CurIsKw("OVER")) {
+            Advance();
+            e->has_over = true;
+            HTG_RETURN_IF_ERROR(ExpectOp("("));
+            HTG_RETURN_IF_ERROR(ExpectKw("ORDER"));
+            HTG_RETURN_IF_ERROR(ExpectKw("BY"));
+            for (;;) {
+              HTG_ASSIGN_OR_RETURN(AstExprPtr key, ParseExpr());
+              e->over_order.push_back(std::move(key));
+              if (AcceptKw("DESC")) {
+                e->over_desc.push_back(true);
+              } else {
+                AcceptKw("ASC");
+                e->over_desc.push_back(false);
+              }
+              if (!AcceptOp(",")) break;
+            }
+            HTG_RETURN_IF_ERROR(ExpectOp(")"));
+          }
+          return e;
+        }
+        // Qualified identifier.
+        e->kind = AstExpr::Kind::kIdent;
+        e->ident.push_back(t.text);
+        Advance();
+        while (CurIsOp(".")) {
+          Advance();
+          HTG_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier());
+          e->ident.push_back(std::move(part));
+        }
+        return e;
+      }
+      default:
+        break;
+    }
+    return Status::ParseError("unexpected token in expression: '" + t.text +
+                              "'");
+  }
+
+  static AstExprPtr MakeBinary(exec::BinaryOp op, AstExprPtr left,
+                               AstExprPtr right) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::kBinary;
+    e->bin_op = op;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> ParseSql(std::string_view sql) {
+  HTG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  HTG_ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseSql(sql));
+  if (statements.size() != 1) {
+    return Status::ParseError(
+        StringPrintf("expected one statement, found %zu", statements.size()));
+  }
+  return std::move(statements[0]);
+}
+
+}  // namespace htg::sql

@@ -1,0 +1,21 @@
+#ifndef HTG_SQL_PARSER_H_
+#define HTG_SQL_PARSER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace htg::sql {
+
+// Parses one or more ';'-separated statements.
+Result<std::vector<Statement>> ParseSql(std::string_view sql);
+
+// Parses exactly one statement.
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace htg::sql
+
+#endif  // HTG_SQL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "storage/clustered_table.h"
+
+namespace htg::storage {
+
+class ClusteredTable::ScanIterator : public RowIterator {
+ public:
+  ScanIterator(const ClusteredTable* table, BPlusTree::Cursor cursor)
+      : table_(table), cursor_(cursor) {}
+
+  bool Next(Row* row) override {
+    if (!cursor_.Valid()) return false;
+    status_ = DecodeRow(table_->schema_, table_->row_mode_,
+                        Slice(cursor_.payload()), row);
+    if (!status_.ok()) return false;
+    cursor_.Advance();
+    return true;
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  const ClusteredTable* table_;
+  BPlusTree::Cursor cursor_;
+  Status status_;
+};
+
+ClusteredTable::ClusteredTable(Schema schema, std::vector<int> key_columns,
+                               Compression mode)
+    : schema_(std::move(schema)),
+      key_columns_(std::move(key_columns)),
+      mode_(mode),
+      row_mode_(mode == Compression::kNone ? Compression::kNone
+                                           : Compression::kRow) {}
+
+Status ClusteredTable::Insert(const Row& row) {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (int c : key_columns_) {
+    if (c < 0 || c >= static_cast<int>(row.size())) {
+      return Status::Internal("clustered key column out of range");
+    }
+    key.push_back(row[c]);
+  }
+  std::string payload;
+  HTG_RETURN_IF_ERROR(EncodeRow(schema_, row, row_mode_, &payload));
+  tree_.Insert(std::move(key), std::move(payload));
+  return Status::OK();
+}
+
+StorageStats ClusteredTable::Stats() const {
+  StorageStats stats;
+  stats.rows = tree_.size();
+  stats.pages = tree_.num_nodes();
+  stats.data_bytes = tree_.payload_bytes() + tree_.ApproxNodeBytes();
+  return stats;
+}
+
+std::unique_ptr<RowIterator> ClusteredTable::NewScan() {
+  return std::make_unique<ScanIterator>(this, tree_.First());
+}
+
+Result<std::unique_ptr<RowIterator>> ClusteredTable::NewScanFrom(
+    const Row& prefix) {
+  if (prefix.size() > key_columns_.size()) {
+    return Status::InvalidArgument("seek key longer than clustered key");
+  }
+  return {std::make_unique<ScanIterator>(this, tree_.Seek(prefix))};
+}
+
+void ClusteredTable::Truncate() { tree_.Clear(); }
+
+}  // namespace htg::storage

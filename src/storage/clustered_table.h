@@ -1,0 +1,50 @@
+#ifndef HTG_STORAGE_CLUSTERED_TABLE_H_
+#define HTG_STORAGE_CLUSTERED_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/bplus_tree.h"
+#include "storage/table.h"
+
+namespace htg::storage {
+
+// A table stored in clustered-index order: rows live in a B+-tree keyed by
+// the clustered key columns. Scans return rows in key order, which is what
+// lets the planner pick merge joins (paper Fig. 10) and lets the
+// consensus-calling UDA stream alignments in position order (§5.3.3).
+//
+// Rows are ROW-compression encoded in the leaves. (SQL Server would also
+// allow PAGE compression on indexes; we restrict page compression to heaps
+// and note it in DESIGN.md — the storage study of Tables 1/2 uses heaps.)
+class ClusteredTable : public TableStorage {
+ public:
+  ClusteredTable(Schema schema, std::vector<int> key_columns,
+                 Compression mode);
+
+  const Schema& schema() const override { return schema_; }
+  Compression compression() const override { return mode_; }
+  const std::vector<int>& clustered_key() const override {
+    return key_columns_;
+  }
+
+  Status Insert(const Row& row) override;
+  uint64_t num_rows() const override { return tree_.size(); }
+  StorageStats Stats() const override;
+  std::unique_ptr<RowIterator> NewScan() override;
+  Result<std::unique_ptr<RowIterator>> NewScanFrom(const Row& prefix) override;
+  void Truncate() override;
+
+ private:
+  class ScanIterator;
+
+  Schema schema_;
+  std::vector<int> key_columns_;
+  Compression mode_;
+  Compression row_mode_;  // encoding used in leaves (kNone or kRow)
+  BPlusTree tree_;
+};
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_CLUSTERED_TABLE_H_

@@ -1,0 +1,142 @@
+#include "storage/filestream.h"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace htg::storage {
+
+namespace fs = std::filesystem;
+
+FileStreamReader::~FileStreamReader() {
+  if (file_ != nullptr) fclose(file_);
+}
+
+Result<size_t> FileStreamReader::GetBytes(uint64_t offset, char* buf,
+                                          size_t len) {
+  if (offset >= size_) return size_t{0};
+  if (offset != pos_) {
+    if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed in filestream blob");
+    }
+    pos_ = offset;
+  }
+  const size_t n = fread(buf, 1, len, file_);
+  if (n == 0 && ferror(file_)) {
+    return Status::IOError("read failed in filestream blob");
+  }
+  pos_ += n;
+  return n;
+}
+
+Result<std::unique_ptr<FileStreamStore>> FileStreamStore::Open(
+    std::string root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IOError("cannot create filestream root " + root + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<FileStreamStore>(new FileStreamStore(std::move(root)));
+}
+
+Result<std::string> FileStreamStore::CreateBlob(const std::string& name_hint,
+                                                std::string_view bytes) {
+  std::string safe_hint;
+  for (char c : name_hint) {
+    safe_hint.push_back(
+        (isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_')
+            ? c
+            : '_');
+  }
+  const std::string path =
+      root_ + "/" + StringPrintf("%06llu_",
+                                 static_cast<unsigned long long>(next_id_++)) +
+      safe_hint;
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create filestream blob " + path);
+  }
+  if (!bytes.empty() && fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    fclose(f);
+    return Status::IOError("short write to filestream blob " + path);
+  }
+  fclose(f);
+  return path;
+}
+
+Result<std::string> FileStreamStore::ImportFile(const std::string& source_path,
+                                                const std::string& name_hint) {
+  std::error_code ec;
+  if (!fs::exists(source_path, ec)) {
+    return Status::NotFound("bulk import source missing: " + source_path);
+  }
+  HTG_ASSIGN_OR_RETURN(std::string path, CreateBlob(name_hint, ""));
+  fs::copy_file(source_path, path, fs::copy_options::overwrite_existing, ec);
+  if (ec) {
+    return Status::IOError("bulk import failed: " + ec.message());
+  }
+  return path;
+}
+
+Result<std::unique_ptr<FileStreamReader>> FileStreamStore::OpenStream(
+    const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("filestream blob missing: " + path);
+  }
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    fclose(f);
+    return Status::IOError("cannot stat filestream blob: " + path);
+  }
+  return std::unique_ptr<FileStreamReader>(new FileStreamReader(f, size));
+}
+
+Result<std::string> FileStreamStore::ReadAll(const std::string& path) const {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<FileStreamReader> reader,
+                       OpenStream(path));
+  std::string out;
+  out.resize(reader->size());
+  HTG_ASSIGN_OR_RETURN(size_t n,
+                       reader->GetBytes(0, out.data(), out.size()));
+  out.resize(n);
+  return out;
+}
+
+Result<uint64_t> FileStreamStore::BlobSize(const std::string& path) const {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("filestream blob missing: " + path);
+  return size;
+}
+
+Status FileStreamStore::Delete(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IOError("cannot delete filestream blob: " + path);
+  }
+  return Status::OK();
+}
+
+uint64_t FileStreamStore::TotalBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+Status FileStreamStore::Clear() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    fs::remove_all(entry.path(), ec);
+  }
+  return Status::OK();
+}
+
+}  // namespace htg::storage

@@ -1,0 +1,85 @@
+#ifndef HTG_STORAGE_FILESTREAM_H_
+#define HTG_STORAGE_FILESTREAM_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace htg::storage {
+
+// Streaming reader over one FileStream BLOB, modeled on SqlBytes.GetBytes
+// with the SequentialAccess flag: positioned reads that are cheap when
+// sequential. The file-wrapper TVFs call GetBytes from their ReadChunk()
+// pager (paper Fig. 5).
+class FileStreamReader {
+ public:
+  ~FileStreamReader();
+
+  FileStreamReader(const FileStreamReader&) = delete;
+  FileStreamReader& operator=(const FileStreamReader&) = delete;
+
+  // Reads up to `len` bytes starting at `offset` into `buf`; returns the
+  // number of bytes read (0 at EOF).
+  Result<size_t> GetBytes(uint64_t offset, char* buf, size_t len);
+
+  uint64_t size() const { return size_; }
+
+ private:
+  friend class FileStreamStore;
+  FileStreamReader(FILE* file, uint64_t size) : file_(file), size_(size) {}
+
+  FILE* file_;
+  uint64_t size_;
+  uint64_t pos_ = 0;
+};
+
+// The engine-managed BLOB container: each FILESTREAM column value is a
+// file in this directory tree, under the engine's control (created and
+// deleted with the owning row, counted by the table's storage statistics),
+// while remaining accessible by path to external tools — the SQL Server
+// 2008 FileStream design the paper's hybrid approach builds on (§2.3.6).
+class FileStreamStore {
+ public:
+  // `root` is created if missing.
+  static Result<std::unique_ptr<FileStreamStore>> Open(std::string root);
+
+  // Writes `bytes` to a fresh BLOB file and returns its absolute path
+  // (PathName() in the paper's T-SQL listing).
+  Result<std::string> CreateBlob(const std::string& name_hint,
+                                 std::string_view bytes);
+
+  // Bulk-imports an existing file (OPENROWSET(BULK ..., SINGLE_BLOB)).
+  Result<std::string> ImportFile(const std::string& source_path,
+                                 const std::string& name_hint);
+
+  // Opens a BLOB for streaming reads.
+  Result<std::unique_ptr<FileStreamReader>> OpenStream(
+      const std::string& path) const;
+
+  // Reads an entire BLOB into memory (small BLOBs / tests).
+  Result<std::string> ReadAll(const std::string& path) const;
+
+  Result<uint64_t> BlobSize(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+
+  // Total bytes across every BLOB in the store.
+  uint64_t TotalBytes() const;
+
+  const std::string& root() const { return root_; }
+
+  // Removes every BLOB (used by DROP DATABASE and test teardown).
+  Status Clear();
+
+ private:
+  explicit FileStreamStore(std::string root) : root_(std::move(root)) {}
+
+  std::string root_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_FILESTREAM_H_

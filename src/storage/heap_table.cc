@@ -1,0 +1,120 @@
+#include "storage/heap_table.h"
+
+namespace htg::storage {
+
+class HeapTable::ScanIterator : public RowIterator {
+ public:
+  ScanIterator(HeapTable* table, size_t first_page, size_t end_page)
+      : table_(table), page_index_(first_page), end_page_(end_page) {}
+
+  bool Next(Row* row) override {
+    for (;;) {
+      if (reader_ != nullptr && reader_->Next(row)) return true;
+      if (reader_ != nullptr) {
+        status_ = reader_->status();
+        if (!status_.ok()) return false;
+      }
+      if (page_index_ >= end_page_ || page_index_ >= table_->pages_.size()) {
+        return false;
+      }
+      reader_ = std::make_unique<PageReader>(&table_->schema_,
+                                             Slice(table_->pages_[page_index_]));
+      ++page_index_;
+      status_ = reader_->Init();
+      if (!status_.ok()) return false;
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  HeapTable* table_;
+  size_t page_index_;
+  size_t end_page_;
+  std::unique_ptr<PageReader> reader_;
+  Status status_;
+};
+
+HeapTable::HeapTable(Schema schema, Compression mode, size_t page_size)
+    : schema_(std::move(schema)),
+      mode_(mode),
+      page_size_(page_size),
+      builder_(&schema_, mode, page_size) {}
+
+Status HeapTable::Insert(const Row& row) {
+  HTG_RETURN_IF_ERROR(builder_.Add(row));
+  ++num_rows_;
+  if (builder_.ShouldFlush()) SealCurrentPage();
+  return Status::OK();
+}
+
+void HeapTable::SealCurrentPage() {
+  if (builder_.empty()) return;
+  page_rows_.push_back(builder_.row_count());
+  pages_.push_back(builder_.Finish());
+}
+
+StorageStats HeapTable::Stats() const {
+  StorageStats stats;
+  stats.rows = num_rows_;
+  stats.pages = pages_.size() + (builder_.empty() ? 0 : 1);
+  for (const std::string& p : pages_) stats.data_bytes += p.size();
+  stats.data_bytes += builder_.raw_bytes();
+  return stats;
+}
+
+std::unique_ptr<RowIterator> HeapTable::NewScan() {
+  SealCurrentPage();
+  return std::make_unique<ScanIterator>(this, 0, pages_.size());
+}
+
+std::unique_ptr<RowIterator> HeapTable::NewScanRange(size_t first_page,
+                                                     size_t end_page) {
+  SealCurrentPage();
+  return std::make_unique<ScanIterator>(this, first_page,
+                                        std::min(end_page, pages_.size()));
+}
+
+void HeapTable::Truncate() {
+  pages_.clear();
+  page_rows_.clear();
+  builder_ = PageBuilder(&schema_, mode_, page_size_);
+  num_rows_ = 0;
+}
+
+void HeapTable::TruncateToRows(uint64_t target_rows) {
+  SealCurrentPage();
+  if (target_rows >= num_rows_) return;
+  // Drop whole tail pages; if the boundary falls inside a page, re-insert
+  // the surviving prefix of that page.
+  uint64_t rows = num_rows_;
+  std::vector<Row> survivors;
+  while (!pages_.empty() && rows > target_rows) {
+    const uint64_t page_rows = page_rows_.back();
+    if (rows - page_rows >= target_rows) {
+      rows -= page_rows;
+      pages_.pop_back();
+      page_rows_.pop_back();
+      continue;
+    }
+    // Partial page: keep the first (target_rows - (rows - page_rows)) rows.
+    const uint64_t keep = target_rows - (rows - page_rows);
+    PageReader reader(&schema_, Slice(pages_.back()));
+    if (reader.Init().ok()) {
+      Row row;
+      for (uint64_t i = 0; i < keep && reader.Next(&row); ++i) {
+        survivors.push_back(row);
+      }
+    }
+    rows -= page_rows;
+    pages_.pop_back();
+    page_rows_.pop_back();
+  }
+  num_rows_ = rows;
+  for (const Row& r : survivors) {
+    Insert(r).ok();  // re-encoding previously-valid rows cannot fail
+  }
+  SealCurrentPage();
+}
+
+}  // namespace htg::storage

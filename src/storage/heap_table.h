@@ -1,0 +1,59 @@
+#ifndef HTG_STORAGE_HEAP_TABLE_H_
+#define HTG_STORAGE_HEAP_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/table.h"
+
+namespace htg::storage {
+
+// An append-oriented heap table: rows accumulate into a PageBuilder and
+// seal into immutable serialized pages. Scans stream page by page.
+class HeapTable : public TableStorage {
+ public:
+  HeapTable(Schema schema, Compression mode,
+            size_t page_size = kDefaultPageSize);
+
+  const Schema& schema() const override { return schema_; }
+  Compression compression() const override { return mode_; }
+
+  Status Insert(const Row& row) override;
+  uint64_t num_rows() const override { return num_rows_; }
+  StorageStats Stats() const override;
+  std::unique_ptr<RowIterator> NewScan() override;
+  void Truncate() override;
+
+  // Scan over the page subrange [first_page, end_page) — the unit of
+  // parallel-scan partitioning. Seals the in-progress page first.
+  std::unique_ptr<RowIterator> NewScanRange(size_t first_page,
+                                            size_t end_page);
+
+  size_t num_pages_sealed() const { return pages_.size(); }
+
+  // Seals the in-progress page so Stats()/scans see every row.
+  void SealCurrentPage();
+
+  // Drops rows from the tail until `target_rows` remain (transaction undo;
+  // only supports undoing appends).
+  void TruncateToRows(uint64_t target_rows);
+
+  const std::vector<std::string>& pages() const { return pages_; }
+
+ private:
+  class ScanIterator;
+
+  Schema schema_;
+  Compression mode_;
+  size_t page_size_;
+  std::vector<std::string> pages_;
+  std::vector<int> page_rows_;  // row count per sealed page
+  PageBuilder builder_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_HEAP_TABLE_H_

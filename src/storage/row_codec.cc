@@ -1,0 +1,350 @@
+#include "storage/row_codec.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "common/varint.h"
+
+namespace htg::storage {
+
+namespace {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+const char* GetFixed32(const char* p, const char* limit, uint32_t* v) {
+  if (limit - p < 4) return nullptr;
+  memcpy(v, p, 4);
+  return p + 4;
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+const char* GetFixed64(const char* p, const char* limit, uint64_t* v) {
+  if (limit - p < 8) return nullptr;
+  memcpy(v, p, 8);
+  return p + 8;
+}
+
+// Expands ASCII text to UTF-16LE (the NVARCHAR on-disk form).
+void AppendUtf16(std::string_view s, std::string* out) {
+  out->reserve(out->size() + s.size() * 2);
+  for (char c : s) {
+    out->push_back(c);
+    out->push_back('\0');
+  }
+}
+
+// Collapses UTF-16LE back to ASCII text.
+std::string FromUtf16(std::string_view wide) {
+  std::string out;
+  out.reserve(wide.size() / 2);
+  for (size_t i = 0; i + 1 < wide.size(); i += 2) {
+    out.push_back(wide[i]);
+  }
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view CompressionName(Compression c) {
+  switch (c) {
+    case Compression::kNone:
+      return "NONE";
+    case Compression::kRow:
+      return "ROW";
+    case Compression::kPage:
+      return "PAGE";
+  }
+  return "?";
+}
+
+std::string GuidToBytes(const std::string& guid) {
+  std::string out;
+  out.reserve(16);
+  int hi = -1;
+  for (char c : guid) {
+    if (c == '-') continue;
+    const int d = HexDigit(c);
+    if (d < 0) return "";
+    if (hi < 0) {
+      hi = d;
+    } else {
+      out.push_back(static_cast<char>((hi << 4) | d));
+      hi = -1;
+    }
+  }
+  if (out.size() != 16 || hi >= 0) return "";
+  return out;
+}
+
+std::string BytesToGuid(std::string_view bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+    const unsigned char b = static_cast<unsigned char>(bytes[i]);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+void EncodeField(const Column& column, const Value& value, Compression mode,
+                 std::string* out) {
+  const bool compact = mode != Compression::kNone;
+  switch (column.type) {
+    case DataType::kBool:
+      out->push_back(value.AsBool() ? 1 : 0);
+      return;
+    case DataType::kInt32:
+      if (compact) {
+        PutVarintSigned64(out, value.AsInt64());
+      } else {
+        PutFixed32(out, static_cast<uint32_t>(value.AsInt64()));
+      }
+      return;
+    case DataType::kInt64:
+      if (compact) {
+        PutVarintSigned64(out, value.AsInt64());
+      } else {
+        PutFixed64(out, static_cast<uint64_t>(value.AsInt64()));
+      }
+      return;
+    case DataType::kDouble: {
+      uint64_t bits;
+      const double d = value.AsDouble();
+      memcpy(&bits, &d, 8);
+      PutFixed64(out, bits);
+      return;
+    }
+    case DataType::kString: {
+      const std::string& s = value.AsString();
+      if (column.fixed_length > 0 && !compact) {
+        // CHAR(n): blank-pad (or truncate) to the declared width.
+        std::string padded = s.substr(0, column.fixed_length);
+        padded.resize(column.fixed_length, ' ');
+        if (column.utf16) {
+          AppendUtf16(padded, out);
+        } else {
+          out->append(padded);
+        }
+        return;
+      }
+      std::string_view body = s;
+      if (column.fixed_length > 0 && compact) {
+        // ROW compression stores fixed-length character data trimmed.
+        size_t end = std::min<size_t>(s.size(), column.fixed_length);
+        while (end > 0 && s[end - 1] == ' ') --end;
+        body = std::string_view(s).substr(0, end);
+      }
+      // NVARCHAR stores two bytes per character (no Unicode compression
+      // in SQL Server 2008).
+      std::string wide;
+      if (column.utf16) {
+        AppendUtf16(body, &wide);
+        body = wide;
+      }
+      if (compact) {
+        PutLengthPrefixed(out, body);
+      } else {
+        PutFixed32(out, static_cast<uint32_t>(body.size()));
+        out->append(body);
+      }
+      return;
+    }
+    case DataType::kBlob: {
+      const std::string& s = value.AsString();
+      if (compact) {
+        PutLengthPrefixed(out, s);
+      } else {
+        PutFixed32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+      }
+      return;
+    }
+    case DataType::kGuid: {
+      const std::string bytes = GuidToBytes(value.AsString());
+      if (bytes.size() == 16) {
+        out->push_back(1);
+        out->append(bytes);
+      } else {
+        // Non-canonical GUID text: store verbatim, length-prefixed.
+        out->push_back(0);
+        PutLengthPrefixed(out, value.AsString());
+      }
+      return;
+    }
+  }
+}
+
+const char* DecodeField(const Column& column, Compression mode, const char* p,
+                        const char* limit, Value* value) {
+  const bool compact = mode != Compression::kNone;
+  switch (column.type) {
+    case DataType::kBool: {
+      if (p >= limit) return nullptr;
+      *value = Value::Bool(*p != 0);
+      return p + 1;
+    }
+    case DataType::kInt32: {
+      if (compact) {
+        int64_t v = 0;
+        p = GetVarintSigned64(p, limit, &v);
+        if (p == nullptr) return nullptr;
+        *value = Value::Int32(static_cast<int32_t>(v));
+        return p;
+      }
+      uint32_t v = 0;
+      p = GetFixed32(p, limit, &v);
+      if (p == nullptr) return nullptr;
+      *value = Value::Int32(static_cast<int32_t>(v));
+      return p;
+    }
+    case DataType::kInt64: {
+      if (compact) {
+        int64_t v = 0;
+        p = GetVarintSigned64(p, limit, &v);
+        if (p == nullptr) return nullptr;
+        *value = Value::Int64(v);
+        return p;
+      }
+      uint64_t v = 0;
+      p = GetFixed64(p, limit, &v);
+      if (p == nullptr) return nullptr;
+      *value = Value::Int64(static_cast<int64_t>(v));
+      return p;
+    }
+    case DataType::kDouble: {
+      uint64_t bits = 0;
+      p = GetFixed64(p, limit, &bits);
+      if (p == nullptr) return nullptr;
+      double d;
+      memcpy(&d, &bits, 8);
+      *value = Value::Double(d);
+      return p;
+    }
+    case DataType::kString: {
+      if (column.fixed_length > 0 && !compact) {
+        const int width =
+            column.utf16 ? column.fixed_length * 2 : column.fixed_length;
+        if (limit - p < width) return nullptr;
+        std::string_view raw(p, width);
+        *value = Value::String(column.utf16 ? FromUtf16(raw)
+                                            : std::string(raw));
+        return p + width;
+      }
+      std::string_view body;
+      if (compact) {
+        p = GetLengthPrefixed(p, limit, &body);
+      } else {
+        uint32_t len = 0;
+        p = GetFixed32(p, limit, &len);
+        if (p == nullptr || static_cast<uint32_t>(limit - p) < len) {
+          return nullptr;
+        }
+        body = std::string_view(p, len);
+        p += len;
+      }
+      if (p == nullptr) return nullptr;
+      *value = Value::String(column.utf16 ? FromUtf16(body)
+                                          : std::string(body));
+      return p;
+    }
+    case DataType::kBlob: {
+      std::string_view body;
+      if (compact) {
+        p = GetLengthPrefixed(p, limit, &body);
+        if (p == nullptr) return nullptr;
+      } else {
+        uint32_t len = 0;
+        p = GetFixed32(p, limit, &len);
+        if (p == nullptr || static_cast<uint32_t>(limit - p) < len) {
+          return nullptr;
+        }
+        body = std::string_view(p, len);
+        p += len;
+      }
+      *value = Value::Blob(std::string(body));
+      return p;
+    }
+    case DataType::kGuid: {
+      if (p >= limit) return nullptr;
+      const char tag = *p++;
+      if (tag == 1) {
+        if (limit - p < 16) return nullptr;
+        *value = Value::Guid(BytesToGuid(std::string_view(p, 16)));
+        return p + 16;
+      }
+      std::string_view body;
+      p = GetLengthPrefixed(p, limit, &body);
+      if (p == nullptr) return nullptr;
+      *value = Value::Guid(std::string(body));
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+Status EncodeRow(const Schema& schema, const Row& row, Compression mode,
+                 std::string* out) {
+  const int ncols = schema.num_columns();
+  if (static_cast<int>(row.size()) != ncols) {
+    return Status::Internal(StringPrintf(
+        "row width %zu does not match schema width %d", row.size(), ncols));
+  }
+  const size_t bitmap_offset = out->size();
+  out->append((ncols + 7) / 8, '\0');
+  for (int i = 0; i < ncols; ++i) {
+    if (row[i].is_null()) {
+      (*out)[bitmap_offset + i / 8] |= static_cast<char>(1 << (i % 8));
+    } else {
+      EncodeField(schema.column(i), row[i], mode, out);
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeRow(const Schema& schema, Compression mode, Slice data,
+                 Row* row) {
+  const int ncols = schema.num_columns();
+  const int bitmap_bytes = (ncols + 7) / 8;
+  if (static_cast<int>(data.size()) < bitmap_bytes) {
+    return Status::Corruption("row shorter than null bitmap");
+  }
+  const char* bitmap = data.data();
+  const char* p = data.data() + bitmap_bytes;
+  const char* limit = data.data() + data.size();
+  row->clear();
+  row->resize(ncols);
+  for (int i = 0; i < ncols; ++i) {
+    const bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (is_null) {
+      (*row)[i] = Value::Null();
+      continue;
+    }
+    p = DecodeField(schema.column(i), mode, p, limit, &(*row)[i]);
+    if (p == nullptr) {
+      return Status::Corruption("truncated field in row: " +
+                                schema.column(i).name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace htg::storage

@@ -1,0 +1,51 @@
+#ifndef HTG_STORAGE_ROW_CODEC_H_
+#define HTG_STORAGE_ROW_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace htg::storage {
+
+// Table compression levels, mirroring SQL Server 2008's
+// `WITH (DATA_COMPRESSION = NONE | ROW | PAGE)`:
+//
+//  * kNone — fixed-width storage: INT is 4 bytes, BIGINT 8, CHAR(n) is blank
+//    padded to n, variable strings carry a 4-byte length.
+//  * kRow  — variable-length storage for numeric types and fixed-length
+//    character strings (varints, trimmed CHAR), per the paper's §2.3.5.
+//  * kPage — row compression plus per-page column-prefix and dictionary
+//    compression, applied by PageBuilder over the rows sharing a page.
+enum class Compression { kNone = 0, kRow = 1, kPage = 2 };
+
+std::string_view CompressionName(Compression c);
+
+// Encodes one field (without null information) at the given level.
+// kPage fields use the kRow field encoding; the prefix/dictionary stage
+// happens in PageBuilder over these encoded fields.
+void EncodeField(const Column& column, const Value& value, Compression mode,
+                 std::string* out);
+
+// Decodes one field written by EncodeField. Returns the byte past the field
+// or nullptr on corruption.
+const char* DecodeField(const Column& column, Compression mode, const char* p,
+                        const char* limit, Value* value);
+
+// Encodes a full row: null bitmap followed by the non-null fields.
+Status EncodeRow(const Schema& schema, const Row& row, Compression mode,
+                 std::string* out);
+
+// Decodes a full row written by EncodeRow.
+Status DecodeRow(const Schema& schema, Compression mode, Slice data, Row* row);
+
+// Parses a canonical 36-char GUID into 16 raw bytes ("" on failure).
+std::string GuidToBytes(const std::string& guid);
+// Formats 16 raw bytes as a canonical GUID string.
+std::string BytesToGuid(std::string_view bytes);
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_ROW_CODEC_H_

@@ -1,0 +1,74 @@
+#ifndef HTG_STORAGE_TABLE_H_
+#define HTG_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/row_codec.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace htg::storage {
+
+// Pull-based row cursor, the engine's universal scan interface.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  // Produces the next row. Returns false at end of stream or on error
+  // (check status() to distinguish).
+  virtual bool Next(Row* row) = 0;
+
+  virtual Status status() const { return Status::OK(); }
+};
+
+// Physical storage accounting, the measurement behind Tables 1 and 2.
+struct StorageStats {
+  uint64_t rows = 0;
+  uint64_t pages = 0;
+  // Bytes of serialized page data (relational storage).
+  uint64_t data_bytes = 0;
+  // Bytes held externally in the FileStream store for this table.
+  uint64_t filestream_bytes = 0;
+
+  uint64_t TotalBytes() const { return data_bytes + filestream_bytes; }
+};
+
+// Base interface of heap and clustered (B+-tree) tables.
+class TableStorage {
+ public:
+  virtual ~TableStorage() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual Compression compression() const = 0;
+
+  virtual Status Insert(const Row& row) = 0;
+  virtual uint64_t num_rows() const = 0;
+  virtual StorageStats Stats() const = 0;
+
+  // Full scan. Heap order for heaps, key order for clustered tables.
+  virtual std::unique_ptr<RowIterator> NewScan() = 0;
+
+  // Removes all rows.
+  virtual void Truncate() = 0;
+
+  // Key columns of the clustered index; empty for heaps.
+  virtual const std::vector<int>& clustered_key() const {
+    static const std::vector<int>& empty = *new std::vector<int>();
+    return empty;
+  }
+
+  // Range scan from the first row with key >= prefix. Only clustered
+  // tables support this.
+  virtual Result<std::unique_ptr<RowIterator>> NewScanFrom(const Row& prefix) {
+    (void)prefix;
+    return Status::NotImplemented("table has no clustered index");
+  }
+};
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_TABLE_H_

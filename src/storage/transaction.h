@@ -1,0 +1,52 @@
+#ifndef HTG_STORAGE_TRANSACTION_H_
+#define HTG_STORAGE_TRANSACTION_H_
+
+#include <functional>
+#include <vector>
+
+namespace htg::storage {
+
+// A lightweight unit of work with compensation-based rollback. Loaders and
+// INSERT..SELECT register undo actions (truncate a table back to its prior
+// row count, delete a freshly created FileStream blob); Rollback() runs
+// them in reverse order. This is the "full transactional control" property
+// the paper highlights for FileStream data, scoped to what an in-process
+// analytical engine needs (no concurrent writers, no durability).
+class Transaction {
+ public:
+  Transaction() = default;
+  ~Transaction() {
+    if (active_) Rollback();
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // Registers an action to run if the transaction rolls back.
+  void OnRollback(std::function<void()> undo) {
+    undo_actions_.push_back(std::move(undo));
+  }
+
+  void Commit() {
+    undo_actions_.clear();
+    active_ = false;
+  }
+
+  void Rollback() {
+    for (auto it = undo_actions_.rbegin(); it != undo_actions_.rend(); ++it) {
+      (*it)();
+    }
+    undo_actions_.clear();
+    active_ = false;
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  std::vector<std::function<void()>> undo_actions_;
+  bool active_ = true;
+};
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_TRANSACTION_H_

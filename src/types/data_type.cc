@@ -1,0 +1,61 @@
+#include "types/data_type.h"
+
+#include "common/string_util.h"
+
+namespace htg {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BIT";
+    case DataType::kInt32:
+      return "INT";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "FLOAT";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kBlob:
+      return "VARBINARY";
+    case DataType::kGuid:
+      return "UNIQUEIDENTIFIER";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<DataType> DataTypeFromName(std::string_view name) {
+  const std::string upper = ToUpper(name);
+  if (upper == "BIT") return DataType::kBool;
+  if (upper == "INT" || upper == "INTEGER" || upper == "SMALLINT" ||
+      upper == "TINYINT") {
+    return DataType::kInt32;
+  }
+  if (upper == "BIGINT") return DataType::kInt64;
+  if (upper == "FLOAT" || upper == "REAL" || upper == "DOUBLE") {
+    return DataType::kDouble;
+  }
+  if (upper == "CHAR" || upper == "NCHAR" || upper == "VARCHAR" ||
+      upper == "NVARCHAR" || upper == "TEXT") {
+    return DataType::kString;
+  }
+  if (upper == "VARBINARY" || upper == "BINARY" || upper == "IMAGE") {
+    return DataType::kBlob;
+  }
+  if (upper == "UNIQUEIDENTIFIER") return DataType::kGuid;
+  return Status::InvalidArgument("unknown SQL type: " + std::string(name));
+}
+
+}  // namespace htg

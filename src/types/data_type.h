@@ -1,0 +1,44 @@
+#ifndef HTG_TYPES_DATA_TYPE_H_
+#define HTG_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace htg {
+
+// Scalar SQL types supported by the engine. The mapping to the paper's
+// T-SQL surface syntax:
+//   INT              -> kInt32
+//   BIGINT           -> kInt64
+//   FLOAT / REAL     -> kDouble
+//   BIT              -> kBool
+//   CHAR(n)          -> kString with fixed_length = n (blank padded)
+//   VARCHAR/NVARCHAR -> kString
+//   VARBINARY(MAX)   -> kBlob
+//   UNIQUEIDENTIFIER -> kGuid
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  kBlob,
+  kGuid,
+};
+
+// SQL-facing name of a type, e.g. "BIGINT".
+std::string_view DataTypeName(DataType type);
+
+// True for kBool/kInt32/kInt64/kDouble.
+bool IsNumeric(DataType type);
+
+// Parses a SQL type name (case-insensitive, ignoring any "(n)" suffix,
+// which the caller extracts separately). Unknown names are an error.
+Result<DataType> DataTypeFromName(std::string_view name);
+
+}  // namespace htg
+
+#endif  // HTG_TYPES_DATA_TYPE_H_

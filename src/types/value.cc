@@ -1,0 +1,138 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace htg {
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  // Numeric kinds compare numerically even when widths differ.
+  if (!IsStringKind() && !other.IsStringKind()) {
+    if (IsIntegerKind() && other.IsIntegerKind()) {
+      const int64_t a = AsInt64();
+      const int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (IsStringKind() && other.IsStringKind()) {
+    const int r = AsString().compare(other.AsString());
+    return r < 0 ? -1 : (r > 0 ? 1 : 0);
+  }
+  // Mixed string/number: order numbers before strings (arbitrary but total).
+  return IsStringKind() ? 1 : -1;
+}
+
+size_t Value::Hash() const {
+  constexpr size_t kFnvOffset = 1469598103934665603ULL;
+  constexpr size_t kFnvPrime = 1099511628211ULL;
+  size_t h = kFnvOffset;
+  auto mix_bytes = [&h](const char* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(p[i]);
+      h *= kFnvPrime;
+    }
+  };
+  if (is_null()) {
+    h ^= 0x7f;
+    h *= kFnvPrime;
+    return h;
+  }
+  if (IsIntegerKind()) {
+    const int64_t v = AsInt64();
+    mix_bytes(reinterpret_cast<const char*>(&v), sizeof(v));
+  } else if (IsDoubleKind()) {
+    const double v = AsDouble();
+    mix_bytes(reinterpret_cast<const char*>(&v), sizeof(v));
+  } else {
+    const std::string& s = AsString();
+    mix_bytes(s.data(), s.size());
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type_) {
+    case DataType::kBool:
+      return AsBool() ? "1" : "0";
+    case DataType::kInt32:
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      const double v = AsDouble();
+      if (v == std::floor(v) && std::abs(v) < 1e15) {
+        return StringPrintf("%.1f", v);
+      }
+      return StringPrintf("%g", v);
+    }
+    case DataType::kString:
+    case DataType::kGuid:
+      return AsString();
+    case DataType::kBlob:
+      return StringPrintf("<blob %zu bytes>", AsString().size());
+  }
+  return "?";
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (type_ == target) return *this;
+  switch (target) {
+    case DataType::kBool:
+      if (IsIntegerKind()) return Value::Bool(AsInt64() != 0);
+      if (IsDoubleKind()) return Value::Bool(AsDouble() != 0.0);
+      break;
+    case DataType::kInt32:
+      if (IsIntegerKind()) return Value::Int32(static_cast<int32_t>(AsInt64()));
+      if (IsDoubleKind()) return Value::Int32(static_cast<int32_t>(AsDouble()));
+      if (IsStringKind()) {
+        HTG_ASSIGN_OR_RETURN(int64_t v, ParseInt64(AsString()));
+        return Value::Int32(static_cast<int32_t>(v));
+      }
+      break;
+    case DataType::kInt64:
+      if (IsIntegerKind()) return Value::Int64(AsInt64());
+      if (IsDoubleKind()) return Value::Int64(static_cast<int64_t>(AsDouble()));
+      if (IsStringKind()) {
+        HTG_ASSIGN_OR_RETURN(int64_t v, ParseInt64(AsString()));
+        return Value::Int64(v);
+      }
+      break;
+    case DataType::kDouble:
+      if (IsIntegerKind()) return Value::Double(static_cast<double>(AsInt64()));
+      if (IsStringKind()) {
+        HTG_ASSIGN_OR_RETURN(double v, ParseDouble(AsString()));
+        return Value::Double(v);
+      }
+      break;
+    case DataType::kString:
+      return Value::String(ToString());
+    case DataType::kBlob:
+      if (IsStringKind()) return Value::Blob(AsString());
+      break;
+    case DataType::kGuid:
+      if (IsStringKind()) return Value::Guid(AsString());
+      break;
+  }
+  return Status::InvalidArgument(
+      std::string("cannot cast ") + std::string(DataTypeName(type_)) + " to " +
+      std::string(DataTypeName(target)));
+}
+
+int CompareRowsOn(const Row& a, const Row& b, const std::vector<int>& cols) {
+  for (int c : cols) {
+    const int r = a[c].Compare(b[c]);
+    if (r != 0) return r;
+  }
+  return 0;
+}
+
+}  // namespace htg

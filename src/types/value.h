@@ -1,0 +1,92 @@
+#ifndef HTG_TYPES_VALUE_H_
+#define HTG_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace htg {
+
+// A runtime SQL value: NULL or a scalar of one of the engine's types.
+// Integers are held widened to int64_t; the DataType tag preserves the
+// declared width for storage encoding.
+class Value {
+ public:
+  // NULL (untyped).
+  Value() : type_(DataType::kInt32), data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, int64_t{v}); }
+  static Value Int32(int32_t v) { return Value(DataType::kInt32, int64_t{v}); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Blob(std::string v) {
+    return Value(DataType::kBlob, std::move(v));
+  }
+  static Value Guid(std::string v) {
+    return Value(DataType::kGuid, std::move(v));
+  }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  DataType type() const { return type_; }
+
+  // Accessors. Preconditions: !is_null() and matching storage kind.
+  bool AsBool() const { return std::get<int64_t>(data_) != 0; }
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    if (std::holds_alternative<int64_t>(data_)) {
+      return static_cast<double>(std::get<int64_t>(data_));
+    }
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  std::string&& MoveString() && { return std::get<std::string>(std::move(data_)); }
+
+  bool IsIntegerKind() const { return std::holds_alternative<int64_t>(data_); }
+  bool IsDoubleKind() const { return std::holds_alternative<double>(data_); }
+  bool IsStringKind() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+
+  // SQL three-valued comparison is handled by the expression evaluator;
+  // Compare here is a total order used by sort/join/group operators
+  // (NULL sorts first, mixed numerics compare as double).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Stable hash for hash-based operators (FNV over kind + bytes).
+  size_t Hash() const;
+
+  // Display form (used by result printing and CSV export).
+  std::string ToString() const;
+
+  // Casts to `target`, erroring on lossy/non-sensible conversions.
+  Result<Value> CastTo(DataType target) const;
+
+ private:
+  Value(DataType type, int64_t v) : type_(type), data_(v) {}
+  Value(DataType type, double v) : type_(type), data_(v) {}
+  Value(DataType type, std::string v) : type_(type), data_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+// Row = tuple of values, positionally matched to an output schema.
+using Row = std::vector<Value>;
+
+// Lexicographic comparison of two rows on the given column indexes.
+int CompareRowsOn(const Row& a, const Row& b, const std::vector<int>& cols);
+
+}  // namespace htg
+
+#endif  // HTG_TYPES_VALUE_H_

@@ -1,0 +1,188 @@
+#include <memory>
+
+#include "udf/registry.h"
+
+namespace htg::udf {
+
+namespace {
+
+// COUNT(*) / COUNT(expr): rows, or non-null values.
+class CountInstance : public AggregateInstance {
+ public:
+  Status Accumulate(const std::vector<Value>& args) override {
+    if (args.empty() || !args[0].is_null()) ++count_;
+    return Status::OK();
+  }
+  Status Merge(const AggregateInstance& other) override {
+    count_ += static_cast<const CountInstance&>(other).count_;
+    return Status::OK();
+  }
+  Result<Value> Terminate() override { return Value::Int64(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class CountFunction : public AggregateFunction {
+ public:
+  std::string_view name() const override { return "COUNT"; }
+  int min_args() const override { return 0; }
+  int max_args() const override { return 1; }
+  DataType result_type(const std::vector<DataType>&) const override {
+    return DataType::kInt64;
+  }
+  std::unique_ptr<AggregateInstance> NewInstance() const override {
+    return std::make_unique<CountInstance>();
+  }
+};
+
+// SUM: integer inputs sum in int64, doubles in double. NULLs ignored.
+class SumInstance : public AggregateInstance {
+ public:
+  Status Accumulate(const std::vector<Value>& args) override {
+    if (args[0].is_null()) return Status::OK();
+    seen_ = true;
+    if (args[0].IsDoubleKind()) {
+      is_double_ = true;
+      dsum_ += args[0].AsDouble();
+    } else {
+      isum_ += args[0].AsInt64();
+    }
+    return Status::OK();
+  }
+  Status Merge(const AggregateInstance& other) override {
+    const auto& o = static_cast<const SumInstance&>(other);
+    seen_ = seen_ || o.seen_;
+    is_double_ = is_double_ || o.is_double_;
+    isum_ += o.isum_;
+    dsum_ += o.dsum_;
+    return Status::OK();
+  }
+  Result<Value> Terminate() override {
+    if (!seen_) return Value::Null();
+    if (is_double_) {
+      return Value::Double(dsum_ + static_cast<double>(isum_));
+    }
+    return Value::Int64(isum_);
+  }
+
+ private:
+  bool seen_ = false;
+  bool is_double_ = false;
+  int64_t isum_ = 0;
+  double dsum_ = 0.0;
+};
+
+class SumFunction : public AggregateFunction {
+ public:
+  std::string_view name() const override { return "SUM"; }
+  int min_args() const override { return 1; }
+  int max_args() const override { return 1; }
+  DataType result_type(const std::vector<DataType>& args) const override {
+    return args[0] == DataType::kDouble ? DataType::kDouble : DataType::kInt64;
+  }
+  std::unique_ptr<AggregateInstance> NewInstance() const override {
+    return std::make_unique<SumInstance>();
+  }
+};
+
+// MIN / MAX over any comparable type.
+class MinMaxInstance : public AggregateInstance {
+ public:
+  explicit MinMaxInstance(bool is_min) : is_min_(is_min) {}
+  Status Accumulate(const std::vector<Value>& args) override {
+    if (args[0].is_null()) return Status::OK();
+    Take(args[0]);
+    return Status::OK();
+  }
+  Status Merge(const AggregateInstance& other) override {
+    const auto& o = static_cast<const MinMaxInstance&>(other);
+    if (o.seen_) Take(o.best_);
+    return Status::OK();
+  }
+  Result<Value> Terminate() override {
+    return seen_ ? best_ : Value::Null();
+  }
+
+ private:
+  void Take(const Value& v) {
+    if (!seen_) {
+      best_ = v;
+      seen_ = true;
+      return;
+    }
+    const int cmp = v.Compare(best_);
+    if ((is_min_ && cmp < 0) || (!is_min_ && cmp > 0)) best_ = v;
+  }
+
+  bool is_min_;
+  bool seen_ = false;
+  Value best_;
+};
+
+class MinMaxFunction : public AggregateFunction {
+ public:
+  explicit MinMaxFunction(bool is_min) : is_min_(is_min) {}
+  std::string_view name() const override { return is_min_ ? "MIN" : "MAX"; }
+  int min_args() const override { return 1; }
+  int max_args() const override { return 1; }
+  DataType result_type(const std::vector<DataType>& args) const override {
+    return args[0];
+  }
+  std::unique_ptr<AggregateInstance> NewInstance() const override {
+    return std::make_unique<MinMaxInstance>(is_min_);
+  }
+
+ private:
+  bool is_min_;
+};
+
+// AVG: double mean over non-null inputs.
+class AvgInstance : public AggregateInstance {
+ public:
+  Status Accumulate(const std::vector<Value>& args) override {
+    if (args[0].is_null()) return Status::OK();
+    sum_ += args[0].AsDouble();
+    ++count_;
+    return Status::OK();
+  }
+  Status Merge(const AggregateInstance& other) override {
+    const auto& o = static_cast<const AvgInstance&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+    return Status::OK();
+  }
+  Result<Value> Terminate() override {
+    if (count_ == 0) return Value::Null();
+    return Value::Double(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+class AvgFunction : public AggregateFunction {
+ public:
+  std::string_view name() const override { return "AVG"; }
+  int min_args() const override { return 1; }
+  int max_args() const override { return 1; }
+  DataType result_type(const std::vector<DataType>&) const override {
+    return DataType::kDouble;
+  }
+  std::unique_ptr<AggregateInstance> NewInstance() const override {
+    return std::make_unique<AvgInstance>();
+  }
+};
+
+}  // namespace
+
+void RegisterBuiltinAggregates(FunctionRegistry* registry) {
+  registry->RegisterAggregate(std::make_unique<CountFunction>()).ok();
+  registry->RegisterAggregate(std::make_unique<SumFunction>()).ok();
+  registry->RegisterAggregate(std::make_unique<MinMaxFunction>(true)).ok();
+  registry->RegisterAggregate(std::make_unique<MinMaxFunction>(false)).ok();
+  registry->RegisterAggregate(std::make_unique<AvgFunction>()).ok();
+}
+
+}  // namespace htg::udf

@@ -1,0 +1,58 @@
+#include "udf/registry.h"
+
+#include "common/string_util.h"
+
+namespace htg::udf {
+
+FunctionRegistry::FunctionRegistry() = default;
+
+Status FunctionRegistry::RegisterScalar(ScalarFunction fn) {
+  const std::string key = ToUpper(fn.name);
+  if (scalars_.count(key) > 0) {
+    return Status::AlreadyExists("scalar function exists: " + fn.name);
+  }
+  scalars_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterTableFunction(
+    std::unique_ptr<TableFunction> fn) {
+  const std::string key = ToUpper(fn->name());
+  if (tvfs_.count(key) > 0) {
+    return Status::AlreadyExists("table function exists: " +
+                                 std::string(fn->name()));
+  }
+  tvfs_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterAggregate(
+    std::unique_ptr<AggregateFunction> fn) {
+  const std::string key = ToUpper(fn->name());
+  if (aggregates_.count(key) > 0) {
+    return Status::AlreadyExists("aggregate exists: " +
+                                 std::string(fn->name()));
+  }
+  aggregates_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+const ScalarFunction* FunctionRegistry::FindScalar(
+    std::string_view name) const {
+  auto it = scalars_.find(ToUpper(name));
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const TableFunction* FunctionRegistry::FindTableFunction(
+    std::string_view name) const {
+  auto it = tvfs_.find(ToUpper(name));
+  return it == tvfs_.end() ? nullptr : it->second.get();
+}
+
+const AggregateFunction* FunctionRegistry::FindAggregate(
+    std::string_view name) const {
+  auto it = aggregates_.find(ToUpper(name));
+  return it == aggregates_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace htg::udf

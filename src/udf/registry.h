@@ -1,0 +1,44 @@
+#ifndef HTG_UDF_REGISTRY_H_
+#define HTG_UDF_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "udf/function.h"
+
+namespace htg::udf {
+
+// Name-indexed catalog of scalar functions, table-valued functions, and
+// aggregates — the engine's CREATE FUNCTION surface. Lookup is
+// case-insensitive. Built-ins are registered by RegisterBuiltins();
+// domain extensions (the genomics library) add theirs on database open.
+class FunctionRegistry {
+ public:
+  FunctionRegistry();
+
+  Status RegisterScalar(ScalarFunction fn);
+  Status RegisterTableFunction(std::unique_ptr<TableFunction> fn);
+  Status RegisterAggregate(std::unique_ptr<AggregateFunction> fn);
+
+  // nullptr when not found.
+  const ScalarFunction* FindScalar(std::string_view name) const;
+  const TableFunction* FindTableFunction(std::string_view name) const;
+  const AggregateFunction* FindAggregate(std::string_view name) const;
+
+ private:
+  std::map<std::string, ScalarFunction> scalars_;
+  std::map<std::string, std::unique_ptr<TableFunction>> tvfs_;
+  std::map<std::string, std::unique_ptr<AggregateFunction>> aggregates_;
+};
+
+// Installs the built-in function library (string/math scalars and the
+// COUNT/SUM/MIN/MAX/AVG aggregates).
+void RegisterBuiltins(FunctionRegistry* registry);
+
+// Installs only the standard aggregates (called by RegisterBuiltins).
+void RegisterBuiltinAggregates(FunctionRegistry* registry);
+
+}  // namespace htg::udf
+
+#endif  // HTG_UDF_REGISTRY_H_

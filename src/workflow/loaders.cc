@@ -1,0 +1,142 @@
+#include "workflow/loaders.h"
+
+#include "common/string_util.h"
+
+namespace htg::workflow {
+
+using genomics::Alignment;
+using genomics::ReferenceGenome;
+using genomics::ShortRead;
+using genomics::TagCount;
+
+Result<uint64_t> LoadReads(Database* db, const std::string& table,
+                           const std::vector<ShortRead>& reads,
+                           const SampleKey& key, int64_t first_id) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  uint64_t loaded = 0;
+  for (size_t i = 0; i < reads.size(); ++i) {
+    const ShortRead& r = reads[i];
+    Result<genomics::ReadCoordinates> coords = genomics::ParseReadName(r.name);
+    Row row;
+    row.push_back(Value::Int64(first_id + static_cast<int64_t>(i)));
+    row.push_back(Value::Int32(key.e_id));
+    row.push_back(Value::Int32(key.sg_id));
+    row.push_back(Value::Int32(key.s_id));
+    if (coords.ok()) {
+      row.push_back(Value::Int32(coords->tile));
+      row.push_back(Value::Int32(coords->x));
+      row.push_back(Value::Int32(coords->y));
+    } else {
+      row.push_back(Value::Null());
+      row.push_back(Value::Null());
+      row.push_back(Value::Null());
+    }
+    row.push_back(Value::String(r.sequence));
+    row.push_back(r.quality.empty() ? Value::Null()
+                                    : Value::String(r.quality));
+    HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+Result<uint64_t> LoadReadsOneToOne(Database* db, const std::string& table,
+                                   const std::vector<ShortRead>& reads) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  for (const ShortRead& r : reads) {
+    Row row;
+    row.push_back(Value::String(r.name));
+    row.push_back(Value::String(r.sequence));
+    row.push_back(r.quality.empty() ? Value::Null()
+                                    : Value::String(r.quality));
+    HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+  }
+  return static_cast<uint64_t>(reads.size());
+}
+
+Result<uint64_t> LoadTags(Database* db, const std::string& table,
+                          const std::vector<TagCount>& tags,
+                          const SampleKey& key) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  for (const TagCount& t : tags) {
+    Row row;
+    row.push_back(Value::Int64(t.rank));
+    row.push_back(Value::Int32(key.e_id));
+    row.push_back(Value::Int32(key.sg_id));
+    row.push_back(Value::Int32(key.s_id));
+    row.push_back(Value::String(t.sequence));
+    row.push_back(Value::Int64(t.frequency));
+    HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+  }
+  return static_cast<uint64_t>(tags.size());
+}
+
+Result<uint64_t> LoadReferenceCatalog(Database* db, const std::string& table,
+                                      const ReferenceGenome& ref) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  for (int i = 0; i < ref.num_chromosomes(); ++i) {
+    Row row;
+    row.push_back(Value::Int32(i));
+    row.push_back(Value::String(ref.chromosome(i).name));
+    row.push_back(
+        Value::Int64(static_cast<int64_t>(ref.chromosome(i).sequence.size())));
+    HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+  }
+  return static_cast<uint64_t>(ref.num_chromosomes());
+}
+
+Result<uint64_t> LoadAlignments(Database* db, const std::string& table,
+                                const std::vector<Alignment>& alignments,
+                                const SampleKey& key) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  for (const Alignment& a : alignments) {
+    Row row;
+    row.push_back(Value::Int32(key.e_id));
+    row.push_back(Value::Int32(key.sg_id));
+    row.push_back(Value::Int32(key.s_id));
+    row.push_back(Value::Int64(a.read_id));
+    row.push_back(Value::Int32(a.chromosome));
+    row.push_back(Value::Int64(a.position));
+    row.push_back(Value::Bool(a.reverse_strand));
+    row.push_back(Value::Int32(a.mismatches));
+    row.push_back(Value::Int32(a.mapping_quality));
+    HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+  }
+  return static_cast<uint64_t>(alignments.size());
+}
+
+Result<uint64_t> LoadAlignmentsOneToOne(
+    Database* db, const std::string& table,
+    const std::vector<Alignment>& alignments,
+    const std::vector<ShortRead>& reads, const ReferenceGenome& ref) {
+  HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  for (const Alignment& a : alignments) {
+    if (a.read_id < 0 || a.read_id >= static_cast<int64_t>(reads.size())) {
+      return Status::InvalidArgument("alignment read_id out of range");
+    }
+    Row row;
+    row.push_back(Value::String(reads[a.read_id].name));
+    row.push_back(Value::String(ref.chromosome(a.chromosome).name));
+    row.push_back(Value::Int64(a.position));
+    row.push_back(Value::String(a.reverse_strand ? "-" : "+"));
+    row.push_back(Value::Int32(a.mismatches));
+    row.push_back(Value::Int32(a.mapping_quality));
+    HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+  }
+  return static_cast<uint64_t>(alignments.size());
+}
+
+Status ImportFastqAsFileStream(sql::SqlEngine* engine,
+                               const std::string& table,
+                               const std::string& fastq_path, int sample,
+                               int lane) {
+  const std::string sql = StringPrintf(
+      "INSERT INTO %s (guid, sample, lane, reads) "
+      "SELECT NEWID(), %d, %d, * "
+      "FROM OPENROWSET(BULK '%s', SINGLE_BLOB)",
+      table.c_str(), sample, lane, fastq_path.c_str());
+  Result<sql::QueryResult> result = engine->Execute(sql);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace htg::workflow

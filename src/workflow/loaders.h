@@ -1,0 +1,69 @@
+#ifndef HTG_WORKFLOW_LOADERS_H_
+#define HTG_WORKFLOW_LOADERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "genomics/aligner.h"
+#include "genomics/formats.h"
+#include "genomics/gene_expression.h"
+#include "genomics/reference.h"
+#include "sql/engine.h"
+
+namespace htg::workflow {
+
+// Identifies which experiment/sample the loaded rows belong to
+// (the composite-key context of the normalized schema).
+struct SampleKey {
+  int e_id = 1;
+  int sg_id = 1;
+  int s_id = 1;
+};
+
+// Loads short reads into the normalized Read table, decomposing the
+// textual composite name into (tile, x, y) coordinates and assigning
+// numeric ids [first_id, ...). Returns the number of rows loaded.
+Result<uint64_t> LoadReads(Database* db, const std::string& table,
+                           const std::vector<genomics::ShortRead>& reads,
+                           const SampleKey& key, int64_t first_id = 0);
+
+// Loads reads 1:1 as in the FASTQ file (textual name kept verbatim).
+Result<uint64_t> LoadReadsOneToOne(
+    Database* db, const std::string& table,
+    const std::vector<genomics::ShortRead>& reads);
+
+// Loads unique-tag bins into the normalized Tag table.
+Result<uint64_t> LoadTags(Database* db, const std::string& table,
+                          const std::vector<genomics::TagCount>& tags,
+                          const SampleKey& key);
+
+// Loads the 25-chromosome (or however many) reference catalog.
+Result<uint64_t> LoadReferenceCatalog(Database* db, const std::string& table,
+                                      const genomics::ReferenceGenome& ref);
+
+// Loads alignments into the normalized Alignment table (numeric foreign
+// keys a_r_id → Read.r_id, a_g_id → ReferenceSequence.g_id).
+Result<uint64_t> LoadAlignments(
+    Database* db, const std::string& table,
+    const std::vector<genomics::Alignment>& alignments, const SampleKey& key);
+
+// Loads alignments 1:1 (textual read name + chromosome name per row).
+Result<uint64_t> LoadAlignmentsOneToOne(
+    Database* db, const std::string& table,
+    const std::vector<genomics::Alignment>& alignments,
+    const std::vector<genomics::ShortRead>& reads,
+    const genomics::ReferenceGenome& ref);
+
+// Bulk-imports a FASTQ file into the ShortReadFiles FILESTREAM table via
+// the paper's T-SQL flow: INSERT ... SELECT NEWID(), ..., * FROM
+// OPENROWSET(BULK <path>, SINGLE_BLOB).
+Status ImportFastqAsFileStream(sql::SqlEngine* engine,
+                               const std::string& table,
+                               const std::string& fastq_path, int sample,
+                               int lane);
+
+}  // namespace htg::workflow
+
+#endif  // HTG_WORKFLOW_LOADERS_H_

@@ -1,0 +1,56 @@
+#ifndef HTG_WORKFLOW_PROVENANCE_H_
+#define HTG_WORKFLOW_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "sql/engine.h"
+
+namespace htg::workflow {
+
+// Data-provenance management, the paper's closing future-work item
+// (§6.1): "When and how were short-reads sequenced, which alignment
+// algorithm with certain parameters was used to align them against (a
+// specific version of) the Human reference genome?"
+//
+// The recorder maintains a DataProvenance table of workflow events. Each
+// event names the tool, its parameter string, the input artifact and the
+// output artifact; events chain input→output, so the lineage of any
+// artifact is recoverable with recursive lookups (LineageOf walks the
+// chain for the caller).
+class ProvenanceRecorder {
+ public:
+  // Creates the DataProvenance table if missing.
+  static Result<ProvenanceRecorder> Open(sql::SqlEngine* engine);
+
+  // Appends one event; returns its id.
+  Result<int64_t> Record(const std::string& tool,
+                         const std::string& parameters,
+                         const std::string& input_artifact,
+                         const std::string& output_artifact);
+
+  struct Event {
+    int64_t event_id = 0;
+    int64_t sequence = 0;  // monotonically increasing order of recording
+    std::string tool;
+    std::string parameters;
+    std::string input_artifact;
+    std::string output_artifact;
+  };
+
+  // All events producing (transitively) the named artifact, in recording
+  // order — the provenance chain.
+  Result<std::vector<Event>> LineageOf(const std::string& artifact);
+
+ private:
+  explicit ProvenanceRecorder(sql::SqlEngine* engine) : engine_(engine) {}
+
+  sql::SqlEngine* engine_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace htg::workflow
+
+#endif  // HTG_WORKFLOW_PROVENANCE_H_

@@ -1,0 +1,187 @@
+#include "workflow/schema.h"
+
+#include "common/string_util.h"
+
+namespace htg::workflow {
+
+namespace {
+
+Status Run(sql::SqlEngine* engine, const std::string& ddl) {
+  Result<sql::QueryResult> result = engine->Execute(ddl);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace
+
+Status CreateGenomicsSchema(sql::SqlEngine* engine,
+                            const SchemaOptions& options) {
+  const std::string& sfx = options.suffix;
+  const std::string comp =
+      std::string(storage::CompressionName(options.compression));
+  const std::string bulk_with = " WITH (DATA_COMPRESSION = " + comp + ")";
+
+  // Workflow provenance (the meta-data that today lives in the only
+  // relational part of sequencing labs' stacks, §2.1).
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Experiment%s (
+      e_id INT PRIMARY KEY,
+      name VARCHAR(200) NOT NULL,
+      experiment_type VARCHAR(40),
+      instrument VARCHAR(40),
+      started VARCHAR(40)
+    ))sql",
+                                               sfx.c_str())));
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE SampleGroup%s (
+      sg_e_id INT,
+      sg_id INT,
+      name VARCHAR(200),
+      PRIMARY KEY (sg_e_id, sg_id)
+    ))sql",
+                                               sfx.c_str())));
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Sample%s (
+      s_e_id INT,
+      s_sg_id INT,
+      s_id INT,
+      name VARCHAR(200),
+      flowcell INT,
+      lane INT,
+      PRIMARY KEY (s_e_id, s_sg_id, s_id)
+    ))sql",
+                                               sfx.c_str())));
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Lane%s (
+      l_flowcell INT,
+      l_lane INT,
+      l_control BIT,
+      l_tiles INT,
+      PRIMARY KEY (l_flowcell, l_lane)
+    ))sql",
+                                               sfx.c_str())));
+
+  // Level-1 data: short reads with synthetic numeric ids; the composite
+  // textual name of the FASTQ file is decomposed into its coordinates.
+  const std::string read_cluster =
+      options.clustered_join_keys ? " CLUSTER BY (r_id)" : "";
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Read%s (
+      r_id BIGINT NOT NULL,
+      r_e_id INT,
+      r_sg_id INT,
+      r_s_id INT,
+      tile INT,
+      x INT,
+      y INT,
+      short_read_seq VARCHAR(300) NOT NULL,
+      quality VARCHAR(300)
+    )%s%s)sql",
+                                               sfx.c_str(), bulk_with.c_str(),
+                                               read_cluster.c_str())));
+
+  // Unique tags of a DGE study (level-1 derived).
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Tag%s (
+      t_id BIGINT NOT NULL,
+      t_e_id INT,
+      t_sg_id INT,
+      t_s_id INT,
+      t_seq VARCHAR(300) NOT NULL,
+      t_frequency BIGINT
+    )%s)sql",
+                                               sfx.c_str(), bulk_with.c_str())));
+
+  // Reference sequences (chromosomes / genes) aligned against.
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE ReferenceSequence%s (
+      g_id INT PRIMARY KEY,
+      name VARCHAR(100) NOT NULL,
+      seq_length BIGINT
+    ))sql",
+                                               sfx.c_str())));
+
+  // Level-2 data: alignments referencing reads by foreign key instead of
+  // repeating the read (the normalization win of §3.2).
+  const std::string align_cluster =
+      options.clustered_join_keys ? " CLUSTER BY (a_r_id)" : "";
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Alignment%s (
+      a_e_id INT,
+      a_sg_id INT,
+      a_s_id INT,
+      a_r_id BIGINT NOT NULL,
+      a_g_id INT NOT NULL,
+      a_pos BIGINT NOT NULL,
+      a_strand BIT,
+      a_mismatches INT,
+      a_mapq INT
+    )%s%s)sql",
+                                               sfx.c_str(), bulk_with.c_str(),
+                                               align_cluster.c_str())));
+
+  // Level-3 data: gene expression results (paper Query 2 target).
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE GeneExpression%s (
+      ge_g_id INT,
+      ge_e_id INT,
+      ge_sg_id INT,
+      ge_s_id INT,
+      total_frequency BIGINT,
+      tag_count BIGINT
+    ))sql",
+                                               sfx.c_str())));
+
+  // The hybrid design's FileStream table (§3.3 example).
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE ShortReadFiles%s (
+      guid UNIQUEIDENTIFIER ROWGUIDCOL PRIMARY KEY,
+      sample INT,
+      lane INT,
+      reads VARBINARY(MAX) FILESTREAM
+    ) FILESTREAM_ON FileStreamGroup)sql",
+                                               sfx.c_str())));
+  return Status::OK();
+}
+
+Status CreateOneToOneSchema(sql::SqlEngine* engine, const std::string& sfx) {
+  // Reads exactly as in the FASTQ file: the composite textual name is the
+  // only identifier and is repeated wherever a read is referenced. The
+  // "straightforward" import also lands all text in NVARCHAR (UTF-16,
+  // 2 bytes per character on SQL Server 2008) — the main reason the 1:1
+  // design in the paper's Table 1 nearly doubles the file sizes.
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Read%s (
+      read_name NVARCHAR(100) NOT NULL,
+      short_read_seq NVARCHAR(300) NOT NULL,
+      quality NVARCHAR(300)
+    ))sql",
+                                               sfx.c_str())));
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Tag%s (
+      tag_rank BIGINT,
+      tag_count BIGINT,
+      tag_seq NVARCHAR(300) NOT NULL
+    ))sql",
+                                               sfx.c_str())));
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE Alignment%s (
+      read_name NVARCHAR(100) NOT NULL,
+      chromosome NVARCHAR(100) NOT NULL,
+      pos BIGINT,
+      strand NCHAR(1),
+      mismatches INT,
+      mapq INT
+    ))sql",
+                                               sfx.c_str())));
+  HTG_RETURN_IF_ERROR(Run(engine, StringPrintf(R"sql(
+    CREATE TABLE GeneExpression%s (
+      gene_name NVARCHAR(100) NOT NULL,
+      sample_name NVARCHAR(100) NOT NULL,
+      total_frequency BIGINT,
+      tag_count BIGINT
+    ))sql",
+                                               sfx.c_str())));
+  return Status::OK();
+}
+
+}  // namespace htg::workflow

@@ -1,0 +1,41 @@
+#ifndef HTG_WORKFLOW_SCHEMA_H_
+#define HTG_WORKFLOW_SCHEMA_H_
+
+#include <string>
+
+#include "sql/engine.h"
+#include "storage/row_codec.h"
+
+namespace htg::workflow {
+
+// Options for instantiating the normalized genomics schema (the paper's
+// Fig. 4 conceptual model mapped to relations, §3.2).
+struct SchemaOptions {
+  // Applied to the bulk tables (Read, Tag, Alignment).
+  storage::Compression compression = storage::Compression::kNone;
+  // Cluster Read on r_id and Alignment on a_r_id so that
+  // Alignment ⋈ Read plans merge-join off the clustered indexes (§5.3.3).
+  bool clustered_join_keys = false;
+  // Suffix appended to every table name, for side-by-side physical-design
+  // comparisons (e.g. "_row" → Read_row).
+  std::string suffix;
+};
+
+// Creates the normalized schema through SQL DDL:
+//   Experiment, SampleGroup, Sample, Lane,
+//   Read, Tag, ReferenceSequence, Alignment, GeneExpression,
+//   ShortReadFiles (FILESTREAM).
+// Workflow provenance and sequence data share one schema — the departure
+// from file-centric practice the paper advocates.
+Status CreateGenomicsSchema(sql::SqlEngine* engine,
+                            const SchemaOptions& options = {});
+
+// Creates the "straightforward 1:1 import" schema that mimics the file
+// structures, repeating the textual composite read names in every table —
+// the physical design whose storage blow-up Tables 1 & 2 quantify.
+Status CreateOneToOneSchema(sql::SqlEngine* engine,
+                            const std::string& suffix = "_1to1");
+
+}  // namespace htg::workflow
+
+#endif  // HTG_WORKFLOW_SCHEMA_H_

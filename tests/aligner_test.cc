@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "genomics/aligner.h"
+#include "genomics/nucleotide.h"
+#include "genomics/simulator.h"
+
+namespace htg::genomics {
+namespace {
+
+class AlignerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reference_ = ReferenceGenome::Random(60000, 3, 21);
+  }
+
+  ReferenceGenome reference_;
+};
+
+TEST_F(AlignerTest, ExactReadsAlignToOrigin) {
+  SimulatorOptions sim_options;
+  sim_options.seed = 22;
+  sim_options.base_error_rate = 0.0;
+  sim_options.error_rate_slope = 0.0;
+  sim_options.n_rate = 0.0;
+  ReadSimulator sim(&reference_, sim_options);
+  std::vector<SimulatedOrigin> origins;
+  std::vector<ShortRead> reads = sim.SimulateResequencing(300, &origins);
+
+  Aligner aligner(&reference_, {});
+  int aligned = 0;
+  int correct = 0;
+  for (size_t i = 0; i < reads.size(); ++i) {
+    Result<Alignment> a = aligner.AlignRead(reads[i]);
+    if (!a.ok()) continue;
+    ++aligned;
+    if (a->chromosome == origins[i].chromosome &&
+        a->position == origins[i].position &&
+        a->reverse_strand == origins[i].reverse_strand) {
+      ++correct;
+    }
+  }
+  // Error-free 36-mers over a 60 kbp random genome are essentially unique.
+  EXPECT_EQ(aligned, 300);
+  EXPECT_GE(correct, 298);
+}
+
+TEST_F(AlignerTest, ReadsWithErrorsStillAlign) {
+  SimulatorOptions sim_options;
+  sim_options.seed = 23;
+  sim_options.base_error_rate = 0.01;
+  sim_options.error_rate_slope = 0.01;
+  sim_options.n_rate = 0.0;
+  ReadSimulator sim(&reference_, sim_options);
+  std::vector<SimulatedOrigin> origins;
+  std::vector<ShortRead> reads = sim.SimulateResequencing(300, &origins);
+  Aligner aligner(&reference_, {});
+  int correct = 0;
+  for (size_t i = 0; i < reads.size(); ++i) {
+    Result<Alignment> a = aligner.AlignRead(reads[i]);
+    if (a.ok() && a->chromosome == origins[i].chromosome &&
+        a->position == origins[i].position) {
+      ++correct;
+    }
+  }
+  // Seed errors cost some reads; the bulk must still map home.
+  EXPECT_GT(correct, 200);
+}
+
+TEST_F(AlignerTest, ReverseStrandDetected) {
+  const std::string& chr = reference_.chromosome(0).sequence;
+  ShortRead read;
+  read.sequence = ReverseComplement(chr.substr(1000, 36));
+  read.quality = std::string(36, 'I');
+  read.name = "rc";
+  Aligner aligner(&reference_, {});
+  Result<Alignment> a = aligner.AlignRead(read);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->reverse_strand);
+  EXPECT_EQ(a->chromosome, 0);
+  EXPECT_EQ(a->position, 1000);
+}
+
+TEST_F(AlignerTest, MismatchLimitEnforced) {
+  const std::string& chr = reference_.chromosome(0).sequence;
+  ShortRead read;
+  read.sequence = chr.substr(2000, 36);
+  read.quality = std::string(36, 'I');
+  read.name = "mm";
+  // Introduce 3 mismatches (limit is 2) far from the seed (first 18 bp).
+  for (int i : {20, 26, 32}) {
+    read.sequence[i] = Complement(read.sequence[i]);
+  }
+  AlignerOptions options;
+  options.max_mismatches = 2;
+  Aligner strict(&reference_, options);
+  EXPECT_FALSE(strict.AlignRead(read).ok());
+  options.max_mismatches = 3;
+  Aligner lenient(&reference_, options);
+  Result<Alignment> a = lenient.AlignRead(read);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->position, 2000);
+  EXPECT_EQ(a->mismatches, 3);
+}
+
+TEST_F(AlignerTest, NInSeedSkipsRead) {
+  ShortRead read;
+  read.sequence = std::string(36, 'N');
+  read.quality = std::string(36, '!');
+  read.name = "n";
+  Aligner aligner(&reference_, {});
+  EXPECT_FALSE(aligner.AlignRead(read).ok());
+}
+
+TEST_F(AlignerTest, MappingQualityReflectsAmbiguity) {
+  // Construct a reference with an exact repeat: reads from it must get
+  // mapping quality 0; unique reads get high quality.
+  std::string chr = reference_.chromosome(0).sequence.substr(0, 5000);
+  const std::string repeat = chr.substr(100, 200);
+  chr += repeat;  // duplicate the segment at the end
+  ReferenceGenome repeated({{"chrR", chr}});
+  Aligner aligner(&repeated, {});
+
+  ShortRead ambiguous;
+  ambiguous.sequence = repeat.substr(50, 36);
+  ambiguous.quality = std::string(36, 'I');
+  Result<Alignment> amb = aligner.AlignRead(ambiguous);
+  ASSERT_TRUE(amb.ok());
+  EXPECT_EQ(amb->mapping_quality, 0);
+
+  ShortRead unique;
+  unique.sequence = chr.substr(2000, 36);
+  unique.quality = std::string(36, 'I');
+  Result<Alignment> uni = aligner.AlignRead(unique);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_GT(uni->mapping_quality, 30);
+}
+
+TEST_F(AlignerTest, BatchAssignsReadIds) {
+  SimulatorOptions sim_options;
+  sim_options.seed = 24;
+  sim_options.base_error_rate = 0.0;
+  sim_options.error_rate_slope = 0.0;
+  sim_options.n_rate = 0.0;
+  ReadSimulator sim(&reference_, sim_options);
+  std::vector<ShortRead> reads = sim.SimulateResequencing(50);
+  Aligner aligner(&reference_, {});
+  std::vector<Alignment> alignments = aligner.AlignBatch(reads, 1000);
+  ASSERT_EQ(alignments.size(), 50u);
+  EXPECT_EQ(alignments.front().read_id, 1000);
+  EXPECT_EQ(alignments.back().read_id, 1049);
+}
+
+TEST_F(AlignerTest, ShortReadRejected) {
+  ShortRead read;
+  read.sequence = "ACGT";
+  Aligner aligner(&reference_, {});
+  EXPECT_FALSE(aligner.AlignRead(read).ok());
+}
+
+}  // namespace
+}  // namespace htg::genomics

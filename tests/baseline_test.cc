@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "baseline/file_pipeline.h"
+#include "baseline/script_binning.h"
+#include "genomics/gene_expression.h"
+#include "genomics/simulator.h"
+
+namespace htg::baseline {
+namespace {
+
+using genomics::ReferenceGenome;
+using genomics::ShortRead;
+
+TEST(ScriptBinningTest, MatchesInMemoryReference) {
+  ReferenceGenome ref = ReferenceGenome::Random(30000, 2, 51);
+  genomics::SimulatorOptions options;
+  options.seed = 52;
+  genomics::ReadSimulator sim(&ref, options);
+  genomics::DgeOptions dge;
+  dge.num_genes = 100;
+  std::vector<ShortRead> reads = sim.SimulateDge(2000, dge);
+  const std::string fastq = "/tmp/htg_script_binning.fastq";
+  ASSERT_TRUE(genomics::WriteFastqFile(fastq, reads).ok());
+
+  const std::string out = "/tmp/htg_script_binning.txt";
+  Result<ScriptBinningReport> report = RunScriptBinning(fastq, out);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->reads_total, 2000u);
+
+  std::vector<genomics::TagCount> expected = genomics::BinUniqueReads(reads);
+  EXPECT_EQ(report->unique_tags, expected.size());
+
+  // Output file lines: rank \t freq \t seq.
+  FILE* f = fopen(out.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  long long rank, freq;
+  char seq[512];
+  ASSERT_EQ(fscanf(f, "%lld\t%lld\t%511s", &rank, &freq, seq), 3);
+  EXPECT_EQ(rank, 1);
+  EXPECT_EQ(freq, expected[0].frequency);
+  fclose(f);
+}
+
+TEST(ScriptBinningTest, MissingInputFails) {
+  EXPECT_FALSE(RunScriptBinning("/nonexistent.fastq", "/tmp/x.txt").ok());
+}
+
+class FilePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ref_ = ReferenceGenome::Random(40000, 2, 61);
+    ASSERT_TRUE(ref_.SaveFasta(fasta_).ok());
+    genomics::SimulatorOptions options;
+    options.seed = 62;
+    options.base_error_rate = 0.0;
+    options.error_rate_slope = 0.0;
+    options.n_rate = 0.0;
+    genomics::ReadSimulator sim(&ref_, options);
+    reads_ = sim.SimulateResequencing(200);
+    ASSERT_TRUE(genomics::WriteFastqFile(fastq_, reads_).ok());
+  }
+
+  ReferenceGenome ref_;
+  std::vector<ShortRead> reads_;
+  const std::string fasta_ = "/tmp/htg_pipeline_ref.fa";
+  const std::string fastq_ = "/tmp/htg_pipeline_reads.fastq";
+};
+
+TEST_F(FilePipelineTest, BfqRoundTrip) {
+  const std::string bfq = "/tmp/htg_pipeline.bfq";
+  ASSERT_TRUE(ConvertFastqToBfq(fastq_, bfq).ok());
+  Result<std::vector<ShortRead>> loaded = ReadBfq(bfq);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), reads_.size());
+  EXPECT_EQ((*loaded)[5].sequence, reads_[5].sequence);
+  EXPECT_EQ((*loaded)[5].quality, reads_[5].quality);
+  EXPECT_EQ((*loaded)[5].name, reads_[5].name);
+}
+
+TEST_F(FilePipelineTest, BfqIsSmallerThanFastq) {
+  const std::string bfq = "/tmp/htg_pipeline_size.bfq";
+  ASSERT_TRUE(ConvertFastqToBfq(fastq_, bfq).ok());
+  FILE* a = fopen(fastq_.c_str(), "rb");
+  FILE* b = fopen(bfq.c_str(), "rb");
+  fseek(a, 0, SEEK_END);
+  fseek(b, 0, SEEK_END);
+  const long fastq_size = ftell(a);
+  const long bfq_size = ftell(b);
+  fclose(a);
+  fclose(b);
+  EXPECT_LT(bfq_size, fastq_size);
+}
+
+TEST_F(FilePipelineTest, BfaRoundTrip) {
+  const std::string bfa = "/tmp/htg_pipeline.bfa";
+  ASSERT_TRUE(ConvertFastaToBfa(fasta_, bfa).ok());
+  Result<ReferenceGenome> loaded = ReadBfa(bfa);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_chromosomes(), 2);
+  EXPECT_EQ(loaded->chromosome(0).sequence, ref_.chromosome(0).sequence);
+}
+
+TEST_F(FilePipelineTest, FullPipelineProducesAlignments) {
+  const std::string bfq = "/tmp/htg_pipe_full.bfq";
+  const std::string bfa = "/tmp/htg_pipe_full.bfa";
+  const std::string map = "/tmp/htg_pipe_full.map";
+  const std::string text = "/tmp/htg_pipe_full.txt";
+  ASSERT_TRUE(ConvertFastqToBfq(fastq_, bfq).ok());
+  ASSERT_TRUE(ConvertFastaToBfa(fasta_, bfa).ok());
+  ASSERT_TRUE(AlignBinary(bfq, bfa, map, {}).ok());
+  Result<std::vector<genomics::Alignment>> alignments = ReadMap(map);
+  ASSERT_TRUE(alignments.ok());
+  EXPECT_EQ(alignments->size(), reads_.size());  // error-free: all align
+  ASSERT_TRUE(MapToText(map, text, ref_).ok());
+  // Text output is tab-separated with chromosome names.
+  FILE* f = fopen(text.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char line[512];
+  ASSERT_NE(fgets(line, sizeof(line), f), nullptr);
+  EXPECT_NE(std::string(line).find("chr"), std::string::npos);
+  fclose(f);
+}
+
+}  // namespace
+}  // namespace htg::baseline

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/guid.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/varint.h"
+
+namespace htg {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  HTG_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  const uint64_t values[] = {0,      1,        127,        128,
+                             16383,  16384,    1u << 21,   1ull << 35,
+                             1ull << 63, ~0ull};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    uint64_t decoded = 0;
+    const char* end = GetVarint64(buf.data(), buf.data() + buf.size(), &decoded);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(end, buf.data() + buf.size());
+  }
+}
+
+TEST(VarintTest, SignedZigZag) {
+  const int64_t values[] = {0, -1, 1, -64, 63, -12345678, 12345678,
+                            INT64_MIN, INT64_MAX};
+  for (int64_t v : values) {
+    std::string buf;
+    PutVarintSigned64(&buf, v);
+    int64_t decoded = 0;
+    ASSERT_NE(GetVarintSigned64(buf.data(), buf.data() + buf.size(), &decoded),
+              nullptr);
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, SmallNegativesStayShort) {
+  std::string buf;
+  PutVarintSigned64(&buf, -2);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(VarintTest, TruncatedInputReturnsNull) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  uint64_t decoded = 0;
+  EXPECT_EQ(GetVarint64(buf.data(), buf.data() + 2, &decoded), nullptr);
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  std::string_view a, b, c;
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  p = GetLengthPrefixed(p, limit, &a);
+  ASSERT_NE(p, nullptr);
+  p = GetLengthPrefixed(p, limit, &b);
+  ASSERT_NE(p, nullptr);
+  p = GetLengthPrefixed(p, limit, &c);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_FALSE(ParseInt64("42x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(5ull * 1024 * 1024), "5.00 MiB");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(GuidTest, FormatIsCanonical) {
+  const std::string g = NewGuid();
+  EXPECT_TRUE(IsGuid(g)) << g;
+  EXPECT_EQ(g.size(), 36u);
+}
+
+TEST(GuidTest, GuidsAreDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(NewGuid());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, ZipfIsSkewed) {
+  Random rng(13);
+  int rank0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(1000, 1.1) == 0) ++rank0;
+  }
+  // Rank 0 should dominate: far more than the uniform 1/1000 share.
+  EXPECT_GT(rank0, n / 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, WaitDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace htg

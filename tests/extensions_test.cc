@@ -1,0 +1,214 @@
+// Tests for the future-work extensions the paper sketches: the SRF
+// container (§5.3.1), in-database alignment (§6.1), and data provenance
+// (§6.1).
+
+#include <gtest/gtest.h>
+
+#include "genomics/nucleotide.h"
+#include "genomics/register.h"
+#include "genomics/simulator.h"
+#include "genomics/srf.h"
+#include "sql/engine.h"
+#include "workflow/provenance.h"
+#include "workflow/schema.h"
+
+namespace htg {
+namespace {
+
+using genomics::ReferenceGenome;
+using genomics::ShortRead;
+using genomics::SrfRecord;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    DatabaseOptions options;
+    options.filestream_root =
+        "/tmp/htg_ext_test_" + std::to_string(counter++);
+    auto db = Database::Open("ext", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->filestream()->Clear().ok());
+    ASSERT_TRUE(genomics::RegisterGenomicsExtensions(db_.get()).ok());
+    engine_ = std::make_unique<sql::SqlEngine>(db_.get());
+
+    reference_ = ReferenceGenome::Random(40000, 2, 91);
+    genomics::SimulatorOptions sim_options;
+    sim_options.seed = 92;
+    genomics::ReadSimulator sim(&reference_, sim_options);
+    reads_ = sim.SimulateResequencing(300);
+  }
+
+  sql::QueryResult Exec(const std::string& sql) {
+    Result<sql::QueryResult> result = engine_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n--> " << result.status().ToString();
+    return result.ok() ? std::move(*result) : sql::QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<sql::SqlEngine> engine_;
+  ReferenceGenome reference_;
+  std::vector<ShortRead> reads_;
+};
+
+TEST_F(ExtensionsTest, SrfFileRoundTrip) {
+  std::vector<SrfRecord> records = genomics::AttachSrfSignals(reads_, 93);
+  ASSERT_EQ(records.size(), reads_.size());
+  const std::string path = "/tmp/htg_ext_lane.srf";
+  ASSERT_TRUE(genomics::WriteSrfFile(path, records).ok());
+  Result<std::vector<SrfRecord>> loaded = genomics::ReadSrfFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), records.size());
+  EXPECT_EQ((*loaded)[7].read.name, records[7].read.name);
+  EXPECT_EQ((*loaded)[7].read.sequence, records[7].read.sequence);
+  EXPECT_EQ((*loaded)[7].intensities.size(), records[7].intensities.size());
+  EXPECT_FLOAT_EQ((*loaded)[7].signal_to_noise,
+                  records[7].signal_to_noise);
+}
+
+TEST_F(ExtensionsTest, SrfRejectsNonSrfInput) {
+  const std::string path = "/tmp/htg_ext_notsrf.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("@this is fastq\n", f);
+  fclose(f);
+  EXPECT_FALSE(genomics::ReadSrfFile(path).ok());
+}
+
+TEST_F(ExtensionsTest, SrfIntensityTracksQuality) {
+  // Higher Phred ⇒ higher expected intensity: check aggregate ordering.
+  std::vector<ShortRead> two = {
+      {"hi", "ACGTACGTAC", std::string(10, genomics::PhredToChar(40))},
+      {"lo", "ACGTACGTAC", std::string(10, genomics::PhredToChar(5))}};
+  std::vector<SrfRecord> records = genomics::AttachSrfSignals(two, 94);
+  double hi = 0;
+  double lo = 0;
+  for (float v : records[0].intensities) hi += v;
+  for (float v : records[1].intensities) lo += v;
+  EXPECT_GT(hi, lo * 2);
+  EXPECT_GT(records[0].signal_to_noise, records[1].signal_to_noise);
+}
+
+TEST_F(ExtensionsTest, SrfTvfStreamsThroughSql) {
+  std::vector<SrfRecord> records = genomics::AttachSrfSignals(reads_, 95);
+  const std::string path = "/tmp/htg_ext_tvf.srf";
+  ASSERT_TRUE(genomics::WriteSrfFile(path, records).ok());
+  const std::string blob =
+      *db_->filestream()->ImportFile(path, "lane.srf");
+  sql::QueryResult count =
+      Exec("SELECT COUNT(*) FROM ReadSrfFile('" + blob + "')");
+  EXPECT_EQ(count.rows[0][0].AsInt64(), static_cast<int64_t>(reads_.size()));
+  // Level-0-derived signals are queryable alongside the sequence data.
+  sql::QueryResult noisy = Exec(
+      "SELECT COUNT(*) FROM ReadSrfFile('" + blob + "') WHERE snr < 5.0");
+  EXPECT_GE(noisy.rows[0][0].AsInt64(), 0);
+  sql::QueryResult top = Exec(
+      "SELECT TOP 1 read_name, avg_intensity FROM ReadSrfFile('" + blob +
+      "') ORDER BY avg_intensity DESC");
+  ASSERT_EQ(top.rows.size(), 1u);
+  EXPECT_GT(top.rows[0][1].AsDouble(), 0.0);
+}
+
+TEST_F(ExtensionsTest, SrfTvfSmallChunksMatch) {
+  std::vector<SrfRecord> records = genomics::AttachSrfSignals(reads_, 96);
+  const std::string path = "/tmp/htg_ext_chunk.srf";
+  ASSERT_TRUE(genomics::WriteSrfFile(path, records).ok());
+  const std::string blob = *db_->filestream()->ImportFile(path, "c.srf");
+  // 4 KiB chunks force mid-record paging.
+  sql::QueryResult count =
+      Exec("SELECT COUNT(*) FROM ReadSrfFile('" + blob + "', 4)");
+  EXPECT_EQ(count.rows[0][0].AsInt64(), static_cast<int64_t>(reads_.size()));
+}
+
+TEST_F(ExtensionsTest, AlignReadsTvfEndToEnd) {
+  // The in-database secondary analysis: lane in a FileStream, reference
+  // on disk, alignment as a FROM-clause TVF.
+  const std::string fastq = "/tmp/htg_ext_alignreads.fastq";
+  ASSERT_TRUE(genomics::WriteFastqFile(fastq, reads_).ok());
+  const std::string ref_fasta = "/tmp/htg_ext_reference.fa";
+  ASSERT_TRUE(reference_.SaveFasta(ref_fasta).ok());
+
+  Exec("CREATE TABLE ShortReadFiles ("
+       "guid UNIQUEIDENTIFIER ROWGUIDCOL PRIMARY KEY,"
+       "sample INT, lane INT, reads VARBINARY(MAX) FILESTREAM)");
+  Exec("INSERT INTO ShortReadFiles SELECT NEWID(), 855, 1, * "
+       "FROM OPENROWSET(BULK '" + fastq + "', SINGLE_BLOB)");
+
+  sql::QueryResult aligned = Exec(
+      "SELECT COUNT(*) FROM AlignReads(855, 1, '" + ref_fasta + "', 2)");
+  // The simulator's default error profile keeps most reads alignable.
+  EXPECT_GT(aligned.rows[0][0].AsInt64(),
+            static_cast<int64_t>(reads_.size() * 6 / 10));
+
+  // Compose with relational logic: per-chromosome hit counts.
+  sql::QueryResult per_chromosome = Exec(
+      "SELECT chromosome, COUNT(*) AS hits "
+      "FROM AlignReads(855, 1, '" + ref_fasta + "', 2) "
+      "GROUP BY chromosome ORDER BY chromosome");
+  EXPECT_EQ(per_chromosome.rows.size(), 2u);
+
+  // INSERT ... SELECT from the aligner (the paper's phase-2-in-SQL).
+  Exec("CREATE TABLE Hits (name VARCHAR(100), chrom VARCHAR(50), "
+       "pos BIGINT, mapq INT)");
+  Exec("INSERT INTO Hits SELECT read_name, chromosome, position, mapq "
+       "FROM AlignReads(855, 1, '" + ref_fasta + "', 2)");
+  sql::QueryResult stored = Exec("SELECT COUNT(*) FROM Hits");
+  EXPECT_EQ(stored.rows[0][0].AsInt64(), aligned.rows[0][0].AsInt64());
+}
+
+TEST_F(ExtensionsTest, ProvenanceLineageChain) {
+  Result<workflow::ProvenanceRecorder> recorder =
+      workflow::ProvenanceRecorder::Open(engine_.get());
+  ASSERT_TRUE(recorder.ok());
+  // A typical pipeline: sequencer → fastq → alignments → consensus.
+  ASSERT_TRUE(recorder
+                  ->Record("illumina-ga", "run=855 lane=1", "flowcell:855/1",
+                           "fastq:lane1")
+                  .ok());
+  ASSERT_TRUE(recorder
+                  ->Record("htgdb-align", "ref=hg18 mm=2", "fastq:lane1",
+                           "alignments:lane1")
+                  .ok());
+  ASSERT_TRUE(recorder
+                  ->Record("AssembleConsensus", "window", "alignments:lane1",
+                           "consensus:lane1")
+                  .ok());
+  // An unrelated event must not show up in the lineage.
+  ASSERT_TRUE(
+      recorder->Record("htgdb-align", "ref=hg18", "fastq:lane2",
+                       "alignments:lane2")
+          .ok());
+
+  Result<std::vector<workflow::ProvenanceRecorder::Event>> lineage =
+      recorder->LineageOf("consensus:lane1");
+  ASSERT_TRUE(lineage.ok());
+  ASSERT_EQ(lineage->size(), 3u);
+  EXPECT_EQ((*lineage)[0].tool, "illumina-ga");
+  EXPECT_EQ((*lineage)[1].tool, "htgdb-align");
+  EXPECT_EQ((*lineage)[1].parameters, "ref=hg18 mm=2");
+  EXPECT_EQ((*lineage)[2].output_artifact, "consensus:lane1");
+
+  // The provenance table is also just a table: plain SQL sees it.
+  sql::QueryResult by_tool = Exec(
+      "SELECT tool, COUNT(*) FROM DataProvenance GROUP BY tool "
+      "ORDER BY tool");
+  ASSERT_EQ(by_tool.rows.size(), 3u);
+}
+
+TEST_F(ExtensionsTest, ProvenanceSurvivesReopen) {
+  {
+    Result<workflow::ProvenanceRecorder> recorder =
+        workflow::ProvenanceRecorder::Open(engine_.get());
+    ASSERT_TRUE(recorder.ok());
+    ASSERT_TRUE(recorder->Record("t1", "", "", "a").ok());
+  }
+  Result<workflow::ProvenanceRecorder> reopened =
+      workflow::ProvenanceRecorder::Open(engine_.get());
+  ASSERT_TRUE(reopened.ok());
+  Result<int64_t> id = reopened->Record("t2", "", "a", "b");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);  // numbering resumed after the existing event
+}
+
+}  // namespace
+}  // namespace htg

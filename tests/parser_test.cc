@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace htg::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a.b, 'it''s', 42, 3.5e2 FROM [Read];");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_EQ((*tokens)[1].text, "a");
+  EXPECT_TRUE((*tokens)[2].IsOp("."));
+  EXPECT_EQ((*tokens)[5].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[5].text, "it's");
+  EXPECT_EQ((*tokens)[7].int_value, 42);
+  EXPECT_EQ((*tokens)[9].float_value, 350.0);
+}
+
+TEST(LexerTest, BracketedIdentifiersStripBrackets) {
+  auto tokens = Tokenize("[Read]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Read");
+}
+
+TEST(LexerTest, NStringPrefixDropped) {
+  auto tokens = Tokenize("N'unicode'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "unicode");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("1 -- comment\n /* block\ncomment */ 2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // 1, 2, END
+  EXPECT_EQ((*tokens)[0].int_value, 1);
+  EXPECT_EQ((*tokens)[1].int_value, 2);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("[unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT ?").ok());
+}
+
+TEST(ParserTest, SelectClausesRoundTrip) {
+  Result<Statement> stmt = ParseStatement(
+      "SELECT TOP 5 a, b AS bee, COUNT(*) FROM t JOIN u ON t.x = u.y "
+      "WHERE a > 1 AND b LIKE 'AC%' GROUP BY a HAVING COUNT(*) > 2 "
+      "ORDER BY 1 DESC, bee");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = *stmt->select;
+  EXPECT_EQ(s.top, 5);
+  ASSERT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[1].alias, "bee");
+  EXPECT_EQ(s.from.name, "t");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].ref.name, "u");
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_EQ(s.group_by.size(), 1u);
+  ASSERT_NE(s.having, nullptr);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_FALSE(s.order_by[1].descending);
+}
+
+TEST(ParserTest, ImplicitAndExplicitAliases) {
+  Result<Statement> stmt =
+      ParseStatement("SELECT x FROM Reads r JOIN Tags AS t ON r.a = t.b");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->from.alias, "r");
+  EXPECT_EQ(stmt->select->joins[0].ref.alias, "t");
+}
+
+TEST(ParserTest, CreateTableFull) {
+  Result<Statement> stmt = ParseStatement(
+      "CREATE TABLE ShortReadFiles ("
+      " guid UNIQUEIDENTIFIER ROWGUIDCOL PRIMARY KEY,"
+      " sample INT NOT NULL,"
+      " name NVARCHAR(50),"
+      " reads VARBINARY(MAX) FILESTREAM"
+      ") WITH (DATA_COMPRESSION = PAGE) FILESTREAM_ON grp "
+      "CLUSTER BY (sample, guid)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const CreateTableStmt& ct = *stmt->create_table;
+  EXPECT_EQ(ct.name, "ShortReadFiles");
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_TRUE(ct.columns[0].rowguid);
+  EXPECT_TRUE(ct.columns[0].primary_key);
+  EXPECT_TRUE(ct.columns[1].not_null);
+  EXPECT_EQ(ct.columns[2].length, 50);
+  EXPECT_TRUE(ct.columns[3].filestream);
+  EXPECT_EQ(ct.columns[3].length, ColumnDefAst::kMaxLength);
+  EXPECT_EQ(ct.compression, "PAGE");
+  EXPECT_EQ(ct.filestream_group, "grp");
+  ASSERT_EQ(ct.cluster_by.size(), 2u);
+}
+
+TEST(ParserTest, TableLevelPrimaryKey) {
+  Result<Statement> stmt = ParseStatement(
+      "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->create_table->primary_key.size(), 2u);
+  EXPECT_EQ(stmt->create_table->primary_key[0], "a");
+}
+
+TEST(ParserTest, InsertVariants) {
+  Result<Statement> values = ParseStatement(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->insert->columns.size(), 2u);
+  EXPECT_EQ(values->insert->values_rows.size(), 2u);
+
+  Result<Statement> select = ParseStatement(
+      "INSERT INTO t SELECT * FROM OPENROWSET(BULK '/tmp/x', SINGLE_BLOB)");
+  ASSERT_TRUE(select.ok());
+  ASSERT_NE(select->insert->select, nullptr);
+  EXPECT_EQ(select->insert->select->from.kind, TableRef::Kind::kOpenRowset);
+  EXPECT_EQ(select->insert->select->from.bulk_path, "/tmp/x");
+}
+
+TEST(ParserTest, CrossApplyAndTvf) {
+  Result<Statement> stmt = ParseStatement(
+      "SELECT * FROM ListShortReads(855, 1, 'FastQ') r "
+      "CROSS APPLY PivotAlignment(r.pos, r.seq, r.quals) pa");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->from.kind, TableRef::Kind::kTvf);
+  EXPECT_EQ(stmt->select->from.args.size(), 3u);
+  ASSERT_EQ(stmt->select->joins.size(), 1u);
+  EXPECT_TRUE(stmt->select->joins[0].cross_apply);
+}
+
+TEST(ParserTest, WindowFunction) {
+  Result<Statement> stmt = ParseStatement(
+      "SELECT ROW_NUMBER() OVER (ORDER BY COUNT(*) DESC, x ASC) FROM t "
+      "GROUP BY x");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& call = *stmt->select->items[0].expr;
+  EXPECT_EQ(call.kind, AstExpr::Kind::kCall);
+  EXPECT_TRUE(call.has_over);
+  ASSERT_EQ(call.over_order.size(), 2u);
+  EXPECT_TRUE(call.over_desc[0]);
+  EXPECT_FALSE(call.over_desc[1]);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  Result<Statement> stmt =
+      ParseStatement("SELECT 1 + 2 * 3 = 7 AND NOT 1 > 2");
+  ASSERT_TRUE(stmt.ok());
+  // Text form encodes the tree: ((1 + (2 * 3)) = 7) AND NOT (1 > 2).
+  EXPECT_EQ(stmt->select->items[0].expr->ToText(),
+            "(((1 + (2 * 3)) = 7) AND NOT (1 > 2))");
+}
+
+TEST(ParserTest, BetweenAndInAndLike) {
+  Result<Statement> stmt = ParseStatement(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b NOT IN (1, 2) "
+      "AND c NOT LIKE '%N%'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const std::string text = stmt->select->where->ToText();
+  EXPECT_NE(text.find("BETWEEN 1 AND 10"), std::string::npos);
+  EXPECT_NE(text.find("NOT IN (1, 2)"), std::string::npos);
+  EXPECT_NE(text.find("NOT LIKE '%N%'"), std::string::npos);
+}
+
+TEST(ParserTest, DistinctForms) {
+  Result<Statement> stmt =
+      ParseStatement("SELECT DISTINCT a, COUNT(DISTINCT b) FROM t GROUP BY a");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select->distinct);
+  EXPECT_TRUE(stmt->select->items[1].expr->distinct_arg);
+}
+
+TEST(ParserTest, CaseExpression) {
+  Result<Statement> stmt = ParseStatement(
+      "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' "
+      "ELSE 'many' END FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& e = *stmt->select->items[0].expr;
+  EXPECT_EQ(e.kind, AstExpr::Kind::kCase);
+  EXPECT_EQ(e.case_branches.size(), 2u);
+  ASSERT_NE(e.case_else, nullptr);
+}
+
+TEST(ParserTest, MultipleStatements) {
+  Result<std::vector<Statement>> stmts = ParseSql(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;");
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts->size(), 3u);
+  EXPECT_EQ((*stmts)[0].kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ((*stmts)[1].kind, Statement::Kind::kInsert);
+  EXPECT_EQ((*stmts)[2].kind, Statement::Kind::kSelect);
+}
+
+TEST(ParserTest, SyntaxErrorsReportContext) {
+  Result<Statement> stmt = ParseStatement("SELECT a FROM WHERE");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsParseError());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE (a INT)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT t SET a = 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT (1 + ").ok());
+}
+
+TEST(ParserTest, ExplainStatement) {
+  Result<Statement> stmt = ParseStatement("EXPLAIN SELECT 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kExplain);
+}
+
+}  // namespace
+}  // namespace htg::sql

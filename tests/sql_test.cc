@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include "genomics/register.h"
+#include "sql/engine.h"
+#include "sql/parser.h"
+
+namespace htg::sql {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    DatabaseOptions options;
+    options.filestream_root =
+        "/tmp/htg_sql_test_" + std::to_string(counter++);
+    auto db = Database::Open("sqltest", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->filestream()->Clear().ok());
+    ASSERT_TRUE(genomics::RegisterGenomicsExtensions(db_.get()).ok());
+    engine_ = std::make_unique<SqlEngine>(db_.get());
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    Result<QueryResult> result = engine_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n--> " << result.status().ToString();
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  Status ExecError(const std::string& sql) {
+    Result<QueryResult> result = engine_->Execute(sql);
+    EXPECT_FALSE(result.ok()) << sql;
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlEngine> engine_;
+};
+
+TEST_F(SqlTest, SelectWithoutFrom) {
+  QueryResult r = Exec("SELECT 1 + 2 AS three, 'ab' + 'cd' AS cat");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 3);
+  EXPECT_EQ(r.rows[0][1].AsString(), "abcd");
+  EXPECT_EQ(r.schema.column(0).name, "three");
+}
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  Exec("CREATE TABLE t (a INT, b VARCHAR(20), c FLOAT)");
+  Exec("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5), (3, NULL, NULL)");
+  QueryResult r = Exec("SELECT a, b, c FROM t WHERE a >= 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+  EXPECT_TRUE(r.rows[1][1].is_null());
+}
+
+TEST_F(SqlTest, InsertColumnListReordersAndDefaultsNull) {
+  Exec("CREATE TABLE t (a INT, b VARCHAR(20), c FLOAT)");
+  Exec("INSERT INTO t (c, a) VALUES (9.5, 4)");
+  QueryResult r = Exec("SELECT a, b, c FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 4);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_EQ(r.rows[0][2].AsDouble(), 9.5);
+}
+
+TEST_F(SqlTest, GroupByWithHaving) {
+  Exec("CREATE TABLE sales (region VARCHAR(10), amount INT)");
+  Exec("INSERT INTO sales VALUES ('n', 10), ('n', 20), ('s', 5), ('s', 1), "
+       "('w', 100)");
+  QueryResult r = Exec(
+      "SELECT region, SUM(amount), COUNT(*) FROM sales "
+      "GROUP BY region HAVING SUM(amount) > 6 ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "n");
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 30);
+  EXPECT_EQ(r.rows[1][0].AsString(), "w");
+}
+
+TEST_F(SqlTest, PaperQuery1BinningShape) {
+  // The paper's Query 1: ROW_NUMBER over COUNT(*) DESC, N-filter, GROUP BY.
+  Exec("CREATE TABLE ReadT (r_e_id INT, r_sg_id INT, r_s_id INT, "
+       "short_read_seq VARCHAR(40))");
+  Exec("INSERT INTO ReadT VALUES "
+       "(1,2,1,'AAAA'), (1,2,1,'AAAA'), (1,2,1,'AAAA'), "
+       "(1,2,1,'CCCC'), (1,2,1,'CCCC'), (1,2,1,'GGNG'), (9,9,9,'TTTT')");
+  QueryResult r = Exec(
+      "SELECT ROW_NUMBER() OVER (ORDER BY COUNT(*) DESC) AS rank, "
+      "COUNT(*) AS freq, short_read_seq "
+      "FROM ReadT "
+      "WHERE r_e_id=1 AND r_sg_id=2 AND r_s_id=1 "
+      "  AND CHARINDEX('N', short_read_seq) = 0 "
+      "GROUP BY short_read_seq "
+      "ORDER BY rank");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 3);
+  EXPECT_EQ(r.rows[0][2].AsString(), "AAAA");
+  EXPECT_EQ(r.rows[1][1].AsInt64(), 2);
+  EXPECT_EQ(r.rows[1][2].AsString(), "CCCC");
+}
+
+TEST_F(SqlTest, PaperQuery2GeneExpressionShape) {
+  Exec("CREATE TABLE AlignmentT (a_g_id INT, a_e_id INT, a_sg_id INT, "
+       "a_s_id INT, a_t_id BIGINT)");
+  Exec("CREATE TABLE TagT (t_id BIGINT, t_frequency BIGINT)");
+  Exec("CREATE TABLE GeneExpressionT (g INT, e INT, sg INT, s INT, "
+       "total_freq BIGINT, tags BIGINT)");
+  Exec("INSERT INTO TagT VALUES (1, 100), (2, 50), (3, 10)");
+  Exec("INSERT INTO AlignmentT VALUES (7,1,1,1,1), (7,1,1,1,2), (8,1,1,1,3), "
+       "(9,2,1,1,1)");
+  Exec("INSERT INTO GeneExpressionT "
+       "SELECT a_g_id, a_e_id, a_sg_id, a_s_id, SUM(t_frequency), "
+       "COUNT(a_t_id) "
+       "FROM AlignmentT JOIN TagT ON (a_t_id = t_id) "
+       "WHERE a_e_id=1 AND a_sg_id=1 AND a_s_id=1 "
+       "GROUP BY a_g_id, a_e_id, a_sg_id, a_s_id");
+  QueryResult r = Exec(
+      "SELECT g, total_freq, tags FROM GeneExpressionT ORDER BY g");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 7);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 150);
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt64(), 8);
+  EXPECT_EQ(r.rows[1][1].AsInt64(), 10);
+}
+
+TEST_F(SqlTest, JoinPicksMergeForClusteredKeys) {
+  Exec("CREATE TABLE L (id BIGINT PRIMARY KEY, lv VARCHAR(10))");
+  Exec("CREATE TABLE R (id BIGINT PRIMARY KEY, rv VARCHAR(10))");
+  Result<std::string> plan =
+      engine_->Explain("SELECT lv, rv FROM L JOIN R ON L.id = R.id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("Merge Join"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Clustered Index Scan"), std::string::npos) << *plan;
+}
+
+TEST_F(SqlTest, JoinFallsBackToHashForHeaps) {
+  Exec("CREATE TABLE LH (id BIGINT, lv VARCHAR(10))");
+  Exec("CREATE TABLE RH (id BIGINT, rv VARCHAR(10))");
+  Result<std::string> plan =
+      engine_->Explain("SELECT lv, rv FROM LH JOIN RH ON LH.id = RH.id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("Hash Match (Inner Join)"), std::string::npos) << *plan;
+}
+
+TEST_F(SqlTest, LeftOuterJoin) {
+  // The canonical genomics use: reads that did NOT align.
+  Exec("CREATE TABLE Reads (r_id BIGINT, seq VARCHAR(20))");
+  Exec("CREATE TABLE Aligns (a_r_id BIGINT, pos BIGINT)");
+  Exec("INSERT INTO Reads VALUES (1,'AAAA'), (2,'CCCC'), (3,'GGGG')");
+  Exec("INSERT INTO Aligns VALUES (1, 100), (1, 200), (3, 50)");
+  QueryResult all = Exec(
+      "SELECT r_id, pos FROM Reads LEFT JOIN Aligns ON r_id = a_r_id "
+      "ORDER BY r_id, pos");
+  ASSERT_EQ(all.rows.size(), 4u);  // read 2 survives with NULL pos
+  EXPECT_TRUE(all.rows[2][1].is_null());
+  EXPECT_EQ(all.rows[2][0].AsInt64(), 2);
+
+  QueryResult unaligned = Exec(
+      "SELECT seq FROM Reads LEFT OUTER JOIN Aligns ON r_id = a_r_id "
+      "WHERE a_r_id IS NULL");
+  ASSERT_EQ(unaligned.rows.size(), 1u);
+  EXPECT_EQ(unaligned.rows[0][0].AsString(), "CCCC");
+
+  // Plan names the outer join.
+  Result<std::string> plan = engine_->Explain(
+      "SELECT r_id FROM Reads LEFT JOIN Aligns ON r_id = a_r_id");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("Left Outer Join"), std::string::npos) << *plan;
+
+  // Non-equi LEFT JOIN is rejected, not silently mis-planned.
+  ExecError("SELECT r_id FROM Reads LEFT JOIN Aligns ON r_id < a_r_id");
+}
+
+TEST_F(SqlTest, JoinResultsCorrect) {
+  Exec("CREATE TABLE L (id BIGINT PRIMARY KEY, lv VARCHAR(10))");
+  Exec("CREATE TABLE R (id BIGINT PRIMARY KEY, rv VARCHAR(10))");
+  Exec("INSERT INTO L VALUES (1,'a'), (2,'b'), (3,'c')");
+  Exec("INSERT INTO R VALUES (2,'x'), (3,'y'), (4,'z')");
+  QueryResult r =
+      Exec("SELECT L.id, lv, rv FROM L JOIN R ON L.id = R.id ORDER BY 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "b");
+  EXPECT_EQ(r.rows[0][2].AsString(), "x");
+  EXPECT_EQ(r.rows[1][2].AsString(), "y");
+}
+
+TEST_F(SqlTest, ParallelPlanForLargeHeapAggregate) {
+  Exec("CREATE TABLE big (k INT, v BIGINT)");
+  // Below threshold: serial plan.
+  Result<std::string> serial =
+      engine_->Explain("SELECT k, COUNT(*) FROM big GROUP BY k");
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->find("Gather Streams"), std::string::npos);
+  // Fill past the parallel threshold.
+  auto* table = *db_->GetTable("big");
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(db_->InsertRow(table,
+                               Row{Value::Int32(i % 5), Value::Int64(i)})
+                    .ok());
+  }
+  Result<std::string> parallel =
+      engine_->Explain("SELECT k, COUNT(*) FROM big GROUP BY k");
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_NE(parallel->find("Gather Streams"), std::string::npos) << *parallel;
+  // And it returns correct results.
+  QueryResult r = Exec("SELECT k, COUNT(*) AS c FROM big GROUP BY k ORDER BY k");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 4000);
+}
+
+TEST_F(SqlTest, SubqueryInFrom) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  QueryResult r = Exec(
+      "SELECT total FROM (SELECT SUM(b) AS total FROM t) sub");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 60);
+}
+
+TEST_F(SqlTest, TopAndOrderBy) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (5), (3), (9), (1), (7)");
+  QueryResult r = Exec("SELECT TOP 2 a FROM t ORDER BY a DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 9);
+  EXPECT_EQ(r.rows[1][0].AsInt64(), 7);
+}
+
+TEST_F(SqlTest, OrderByHiddenExpression) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)");
+  QueryResult r = Exec("SELECT a FROM t ORDER BY b");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.schema.num_columns(), 1);  // hidden sort column dropped
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+  EXPECT_EQ(r.rows[2][0].AsInt64(), 1);
+}
+
+TEST_F(SqlTest, ScalarFunctions) {
+  QueryResult r = Exec(
+      "SELECT CHARINDEX('N', 'ACGNT'), LEN('ACGT  '), SUBSTRING('GATTACA', "
+      "2, 3), UPPER('acgt'), REVERSE('ACGT')");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 4);
+  EXPECT_EQ(r.rows[0][2].AsString(), "ATT");
+  EXPECT_EQ(r.rows[0][3].AsString(), "ACGT");
+  EXPECT_EQ(r.rows[0][4].AsString(), "TGCA");
+}
+
+TEST_F(SqlTest, GenomicsScalars) {
+  QueryResult r = Exec(
+      "SELECT REVCOMP('ACGT'), UNPACK_DNA(PACK_DNA('ACGTN')), "
+      "DNA_LENGTH(PACK_DNA('ACGTACGT'))");
+  EXPECT_EQ(r.rows[0][0].AsString(), "ACGT");
+  EXPECT_EQ(r.rows[0][1].AsString(), "ACGTN");
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 8);
+}
+
+TEST_F(SqlTest, CaseAndCastAndIn) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1), (2), (3), (4)");
+  QueryResult r = Exec(
+      "SELECT a, CASE WHEN a % 2 = 0 THEN 'even' ELSE 'odd' END, "
+      "CAST(a AS VARCHAR) FROM t WHERE a IN (2, 3) ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "even");
+  EXPECT_EQ(r.rows[0][2].AsString(), "2");
+  EXPECT_EQ(r.rows[1][1].AsString(), "odd");
+}
+
+TEST_F(SqlTest, LikePredicate) {
+  Exec("CREATE TABLE seqs (s VARCHAR(20))");
+  Exec("INSERT INTO seqs VALUES ('ACGT'), ('AANN'), ('TTTT'), (NULL)");
+  QueryResult r =
+      Exec("SELECT s FROM seqs WHERE s LIKE 'A%' ORDER BY s");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "AANN");
+  r = Exec("SELECT s FROM seqs WHERE s NOT LIKE '%N%' ORDER BY s");
+  ASSERT_EQ(r.rows.size(), 2u);  // NULL excluded by three-valued logic
+  EXPECT_EQ(r.rows[0][0].AsString(), "ACGT");
+  r = Exec("SELECT s FROM seqs WHERE s LIKE '_C__'");
+  ASSERT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(SqlTest, BetweenPredicate) {
+  Exec("CREATE TABLE nums (a INT)");
+  Exec("INSERT INTO nums VALUES (1), (5), (10), (15)");
+  QueryResult r = Exec("SELECT a FROM nums WHERE a BETWEEN 5 AND 10 ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 5);
+  EXPECT_EQ(r.rows[1][0].AsInt64(), 10);
+  r = Exec("SELECT a FROM nums WHERE a NOT BETWEEN 5 AND 10 ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1][0].AsInt64(), 15);
+}
+
+TEST_F(SqlTest, SelectDistinct) {
+  Exec("CREATE TABLE dup (a INT, b VARCHAR(5))");
+  Exec("INSERT INTO dup VALUES (1,'x'), (1,'x'), (2,'y'), (1,'z')");
+  QueryResult r = Exec("SELECT DISTINCT a, b FROM dup ORDER BY a, b");
+  ASSERT_EQ(r.rows.size(), 3u);
+  r = Exec("SELECT DISTINCT a FROM dup ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlTest, CountDistinct) {
+  Exec("CREATE TABLE obs (g INT, v INT)");
+  Exec("INSERT INTO obs VALUES (1,10), (1,10), (1,20), (2,10), (2,10)");
+  QueryResult r = Exec(
+      "SELECT g, COUNT(*) AS n, COUNT(DISTINCT v) AS d FROM obs "
+      "GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt64(), 3);
+  EXPECT_EQ(r.rows[0][2].AsInt64(), 2);
+  EXPECT_EQ(r.rows[1][1].AsInt64(), 2);
+  EXPECT_EQ(r.rows[1][2].AsInt64(), 1);
+}
+
+TEST_F(SqlTest, CountDistinctParallelPlanCorrect) {
+  // DISTINCT aggregates must stay correct through partial/final merge.
+  Exec("CREATE TABLE big2 (k INT, v INT)");
+  auto* table = *db_->GetTable("big2");
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(db_->InsertRow(table, Row{Value::Int32(i % 3),
+                                          Value::Int32(i % 17)})
+                    .ok());
+  }
+  QueryResult r = Exec(
+      "SELECT k, COUNT(DISTINCT v) FROM big2 GROUP BY k ORDER BY k");
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const Row& row : r.rows) {
+    EXPECT_EQ(row[1].AsInt64(), 17);
+  }
+}
+
+TEST_F(SqlTest, IsNullPredicate) {
+  Exec("CREATE TABLE t (a INT, b VARCHAR(5))");
+  Exec("INSERT INTO t VALUES (1, 'x'), (2, NULL)");
+  QueryResult r = Exec("SELECT a FROM t WHERE b IS NULL");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+  r = Exec("SELECT a FROM t WHERE b IS NOT NULL");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 1);
+}
+
+TEST_F(SqlTest, FileStreamImportAndWrapperTvf) {
+  // The paper's §3.3 flow end to end: CREATE TABLE with FILESTREAM,
+  // OPENROWSET bulk import, metadata query, then the wrapper TVF.
+  const std::string fastq = "/tmp/htg_sql_855_s_1.fastq";
+  FILE* f = fopen(fastq.c_str(), "wb");
+  fputs(
+      "@IL4_855:1:1:954:659\n"
+      "GTTTTTATGGTTTTAGATCTTAAGTCTTTAATCCAA\n"
+      "+\n"
+      ">>>>>>>>>>>>>>>6>>>>>>>;>>>>>>;>>;>;\n"
+      "@IL4_855:1:1:497:759\n"
+      "ACGTACGTACGTACGTACGTACGTACGTACGTACGT\n"
+      "+\n"
+      "IIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+      f);
+  fclose(f);
+
+  Exec("CREATE TABLE ShortReadFiles ("
+       " guid UNIQUEIDENTIFIER ROWGUIDCOL PRIMARY KEY,"
+       " sample INT, lane INT,"
+       " reads VARBINARY(MAX) FILESTREAM"
+       ") FILESTREAM_ON FileStreamGroup");
+  Exec("INSERT INTO ShortReadFiles (guid, sample, lane, reads) "
+       "SELECT NEWID(), 855, 1, * "
+       "FROM OPENROWSET(BULK '" + fastq + "', SINGLE_BLOB)");
+
+  // Metadata: DATALENGTH resolves the external file size; PATHNAME points
+  // into the FileStream store.
+  QueryResult meta = Exec(
+      "SELECT guid, sample, lane, PATHNAME(reads), DATALENGTH(reads) "
+      "FROM ShortReadFiles");
+  ASSERT_EQ(meta.rows.size(), 1u);
+  EXPECT_EQ(meta.rows[0][1].AsInt64(), 855);
+  EXPECT_GT(meta.rows[0][4].AsInt64(), 100);
+  EXPECT_NE(meta.rows[0][3].AsString().find(db_->filestream()->root()),
+            std::string::npos);
+
+  // The wrapper TVF streams the records back out of the BLOB.
+  QueryResult rows = Exec("SELECT * FROM ListShortReads(855, 1, 'FastQ')");
+  ASSERT_EQ(rows.rows.size(), 2u);
+  EXPECT_EQ(rows.rows[0][0].AsString(), "IL4_855:1:1:954:659");
+  EXPECT_EQ(rows.rows[0][1].AsString(),
+            "GTTTTTATGGTTTTAGATCTTAAGTCTTTAATCCAA");
+
+  // And composes with relational operators.
+  QueryResult counted = Exec(
+      "SELECT COUNT(*) FROM ListShortReads(855, 1, 'FastQ') "
+      "WHERE CHARINDEX('N', short_read_seq) = 0");
+  EXPECT_EQ(counted.rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(SqlTest, CrossApplyPivotAlignment) {
+  Exec("CREATE TABLE aligned (pos BIGINT, seq VARCHAR(10), quals "
+       "VARCHAR(10))");
+  Exec("INSERT INTO aligned VALUES (100, 'ACG', 'III'), (101, 'CGT', 'III')");
+  QueryResult r = Exec(
+      "SELECT pa.pos AS ref_pos, base, qual FROM aligned "
+      "CROSS APPLY PivotAlignment(aligned.pos, seq, quals) AS pa "
+      "ORDER BY ref_pos, base");
+  // 3 bases per read at overlapping reference positions 100..103.
+  ASSERT_EQ(r.rows.size(), 6u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 100);
+  EXPECT_EQ(r.rows[0][1].AsString(), "A");
+  EXPECT_EQ(r.rows[5][0].AsInt64(), 103);
+  EXPECT_EQ(r.rows[5][1].AsString(), "T");
+  // Unqualified `pos` is ambiguous between the table and the TVF output.
+  ExecError(
+      "SELECT pos FROM aligned "
+      "CROSS APPLY PivotAlignment(aligned.pos, seq, quals) AS pa");
+}
+
+TEST_F(SqlTest, ConsensusViaSqlAggregates) {
+  // Query 3's inner shape over a toy alignment set.
+  Exec("CREATE TABLE aligned (chromosome INT, pos BIGINT, seq VARCHAR(10), "
+       "quals VARCHAR(10))");
+  // Two overlapping reads on chromosome 1: consensus ACGT A.
+  Exec("INSERT INTO aligned VALUES (1, 0, 'ACGT', 'IIII'), "
+       "(1, 2, 'GTA', 'III')");
+  QueryResult r = Exec(
+      "SELECT chromosome, AssembleConsensus(pos, seq, quals) AS consensus "
+      "FROM aligned GROUP BY chromosome");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "ACGTA");
+}
+
+TEST_F(SqlTest, ExplainShowsParallelBinningPlan) {
+  Exec("CREATE TABLE ReadT (r_e_id INT, short_read_seq VARCHAR(40))");
+  auto* table = *db_->GetTable("ReadT");
+  for (int i = 0; i < 15000; ++i) {
+    ASSERT_TRUE(
+        db_->InsertRow(table, Row{Value::Int32(1),
+                                  Value::String("ACGT" +
+                                                std::to_string(i % 100))})
+            .ok());
+  }
+  Result<std::string> plan = engine_->Explain(
+      "SELECT ROW_NUMBER() OVER (ORDER BY COUNT(*) DESC), COUNT(*), "
+      "short_read_seq FROM ReadT WHERE CHARINDEX('N', short_read_seq) = 0 "
+      "GROUP BY short_read_seq");
+  ASSERT_TRUE(plan.ok());
+  // The Fig. 9 shape: sequence project over sort over gather over
+  // partitioned partial aggregation with per-partition filters.
+  EXPECT_NE(plan->find("Sequence Project"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Gather Streams"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Filter"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Table Scan [ReadT] pages"), std::string::npos)
+      << *plan;
+}
+
+TEST_F(SqlTest, ErrorsAreReported) {
+  ExecError("SELECT FROM");
+  ExecError("SELECT unknown_col FROM nowhere");
+  Exec("CREATE TABLE t (a INT)");
+  ExecError("SELECT b FROM t");
+  ExecError("INSERT INTO t VALUES (1, 2)");  // too many values
+  ExecError("SELECT a, COUNT(*) FROM t");    // a not grouped
+  ExecError("CREATE TABLE t (a INT)");       // duplicate
+}
+
+TEST_F(SqlTest, TruncateAndDrop) {
+  Exec("CREATE TABLE t (a INT)");
+  Exec("INSERT INTO t VALUES (1), (2)");
+  Exec("TRUNCATE TABLE t");
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt64(), 0);
+  Exec("DROP TABLE t");
+  ExecError("SELECT * FROM t");
+}
+
+TEST_F(SqlTest, CompressionSyntaxAccepted) {
+  Exec("CREATE TABLE T1 (c1 INT, c2 NVARCHAR(50)) "
+       "WITH (DATA_COMPRESSION = ROW)");
+  Exec("CREATE TABLE T2 (c1 INT, c2 NVARCHAR(50)) "
+       "WITH (DATA_COMPRESSION = PAGE)");
+  auto* t1 = *db_->GetTable("T1");
+  auto* t2 = *db_->GetTable("T2");
+  EXPECT_EQ(t1->compression, storage::Compression::kRow);
+  EXPECT_EQ(t2->compression, storage::Compression::kPage);
+}
+
+TEST_F(SqlTest, ParserHandlesComments) {
+  QueryResult r = Exec("SELECT 1 -- trailing comment\n + 1 /* inline */");
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 2);
+}
+
+TEST_F(SqlTest, MultiStatementScript) {
+  QueryResult r = Exec(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (5); SELECT a FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt64(), 5);
+}
+
+}  // namespace
+}  // namespace htg::sql
