@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aligner.dir/bench_ablation_aligner.cc.o"
+  "CMakeFiles/bench_ablation_aligner.dir/bench_ablation_aligner.cc.o.d"
+  "bench_ablation_aligner"
+  "bench_ablation_aligner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

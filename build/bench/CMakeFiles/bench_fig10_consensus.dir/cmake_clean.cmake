@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_consensus.dir/bench_fig10_consensus.cc.o"
+  "CMakeFiles/bench_fig10_consensus.dir/bench_fig10_consensus.cc.o.d"
+  "bench_fig10_consensus"
+  "bench_fig10_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

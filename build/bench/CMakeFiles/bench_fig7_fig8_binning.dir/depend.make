@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_fig8_binning.
+# This may be replaced when dependencies are built.

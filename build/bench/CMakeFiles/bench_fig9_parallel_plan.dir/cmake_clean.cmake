@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_parallel_plan.dir/bench_fig9_parallel_plan.cc.o"
+  "CMakeFiles/bench_fig9_parallel_plan.dir/bench_fig9_parallel_plan.cc.o.d"
+  "bench_fig9_parallel_plan"
+  "bench_fig9_parallel_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_parallel_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_file_wrapping.dir/bench_sec52_file_wrapping.cc.o"
+  "CMakeFiles/bench_sec52_file_wrapping.dir/bench_sec52_file_wrapping.cc.o.d"
+  "bench_sec52_file_wrapping"
+  "bench_sec52_file_wrapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_file_wrapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_storage_dge.dir/bench_table1_storage_dge.cc.o"
+  "CMakeFiles/bench_table1_storage_dge.dir/bench_table1_storage_dge.cc.o.d"
+  "bench_table1_storage_dge"
+  "bench_table1_storage_dge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_storage_dge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

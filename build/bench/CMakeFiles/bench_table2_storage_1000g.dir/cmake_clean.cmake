@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_storage_1000g.dir/bench_table2_storage_1000g.cc.o"
+  "CMakeFiles/bench_table2_storage_1000g.dir/bench_table2_storage_1000g.cc.o.d"
+  "bench_table2_storage_1000g"
+  "bench_table2_storage_1000g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_storage_1000g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_storage_1000g.
+# This may be replaced when dependencies are built.

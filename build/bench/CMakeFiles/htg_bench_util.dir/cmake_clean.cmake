@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libhtg_bench_util.a"
+  "../lib/libhtg_bench_util.pdb"
+  "CMakeFiles/htg_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/htg_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

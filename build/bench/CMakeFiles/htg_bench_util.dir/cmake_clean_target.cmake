@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libhtg_bench_util.a"
+)

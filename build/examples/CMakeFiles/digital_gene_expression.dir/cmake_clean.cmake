@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_gene_expression.dir/digital_gene_expression.cpp.o"
+  "CMakeFiles/digital_gene_expression.dir/digital_gene_expression.cpp.o.d"
+  "digital_gene_expression"
+  "digital_gene_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_gene_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htgdb_cli.dir/htgdb_cli.cpp.o"
+  "CMakeFiles/htgdb_cli.dir/htgdb_cli.cpp.o.d"
+  "htgdb_cli"
+  "htgdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htgdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thousand_genomes.dir/thousand_genomes.cpp.o"
+  "CMakeFiles/thousand_genomes.dir/thousand_genomes.cpp.o.d"
+  "thousand_genomes"
+  "thousand_genomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thousand_genomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_baseline.dir/file_pipeline.cc.o"
+  "CMakeFiles/htg_baseline.dir/file_pipeline.cc.o.d"
+  "CMakeFiles/htg_baseline.dir/script_binning.cc.o"
+  "CMakeFiles/htg_baseline.dir/script_binning.cc.o.d"
+  "libhtg_baseline.a"
+  "libhtg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_catalog.dir/database.cc.o"
+  "CMakeFiles/htg_catalog.dir/database.cc.o.d"
+  "libhtg_catalog.a"
+  "libhtg_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

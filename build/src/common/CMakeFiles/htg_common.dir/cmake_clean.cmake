@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_common.dir/guid.cc.o"
+  "CMakeFiles/htg_common.dir/guid.cc.o.d"
+  "CMakeFiles/htg_common.dir/random.cc.o"
+  "CMakeFiles/htg_common.dir/random.cc.o.d"
+  "CMakeFiles/htg_common.dir/status.cc.o"
+  "CMakeFiles/htg_common.dir/status.cc.o.d"
+  "CMakeFiles/htg_common.dir/string_util.cc.o"
+  "CMakeFiles/htg_common.dir/string_util.cc.o.d"
+  "CMakeFiles/htg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/htg_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/htg_common.dir/varint.cc.o"
+  "CMakeFiles/htg_common.dir/varint.cc.o.d"
+  "libhtg_common.a"
+  "libhtg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

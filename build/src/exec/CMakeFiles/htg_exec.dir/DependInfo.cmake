@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/aggregate_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/aggregate_ops.cc.o.d"
+  "/root/repo/src/exec/apply_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/apply_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/apply_ops.cc.o.d"
+  "/root/repo/src/exec/basic_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/basic_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/basic_ops.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/exec/CMakeFiles/htg_exec.dir/expression.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/expression.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/join_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/join_ops.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/htg_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/sort_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/sort_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/sort_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/htg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/htg_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/htg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/htg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/htg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_exec.dir/aggregate_ops.cc.o"
+  "CMakeFiles/htg_exec.dir/aggregate_ops.cc.o.d"
+  "CMakeFiles/htg_exec.dir/apply_ops.cc.o"
+  "CMakeFiles/htg_exec.dir/apply_ops.cc.o.d"
+  "CMakeFiles/htg_exec.dir/basic_ops.cc.o"
+  "CMakeFiles/htg_exec.dir/basic_ops.cc.o.d"
+  "CMakeFiles/htg_exec.dir/expression.cc.o"
+  "CMakeFiles/htg_exec.dir/expression.cc.o.d"
+  "CMakeFiles/htg_exec.dir/join_ops.cc.o"
+  "CMakeFiles/htg_exec.dir/join_ops.cc.o.d"
+  "CMakeFiles/htg_exec.dir/operator.cc.o"
+  "CMakeFiles/htg_exec.dir/operator.cc.o.d"
+  "CMakeFiles/htg_exec.dir/sort_ops.cc.o"
+  "CMakeFiles/htg_exec.dir/sort_ops.cc.o.d"
+  "libhtg_exec.a"
+  "libhtg_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

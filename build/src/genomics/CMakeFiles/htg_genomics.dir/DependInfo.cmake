@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/align_tvf.cc" "src/genomics/CMakeFiles/htg_genomics.dir/align_tvf.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/align_tvf.cc.o.d"
+  "/root/repo/src/genomics/aligner.cc" "src/genomics/CMakeFiles/htg_genomics.dir/aligner.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/aligner.cc.o.d"
+  "/root/repo/src/genomics/consensus.cc" "src/genomics/CMakeFiles/htg_genomics.dir/consensus.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/consensus.cc.o.d"
+  "/root/repo/src/genomics/dna_sequence.cc" "src/genomics/CMakeFiles/htg_genomics.dir/dna_sequence.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/dna_sequence.cc.o.d"
+  "/root/repo/src/genomics/file_wrapper.cc" "src/genomics/CMakeFiles/htg_genomics.dir/file_wrapper.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/file_wrapper.cc.o.d"
+  "/root/repo/src/genomics/formats.cc" "src/genomics/CMakeFiles/htg_genomics.dir/formats.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/formats.cc.o.d"
+  "/root/repo/src/genomics/gene_expression.cc" "src/genomics/CMakeFiles/htg_genomics.dir/gene_expression.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/gene_expression.cc.o.d"
+  "/root/repo/src/genomics/nucleotide.cc" "src/genomics/CMakeFiles/htg_genomics.dir/nucleotide.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/nucleotide.cc.o.d"
+  "/root/repo/src/genomics/reference.cc" "src/genomics/CMakeFiles/htg_genomics.dir/reference.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/reference.cc.o.d"
+  "/root/repo/src/genomics/register.cc" "src/genomics/CMakeFiles/htg_genomics.dir/register.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/register.cc.o.d"
+  "/root/repo/src/genomics/simulator.cc" "src/genomics/CMakeFiles/htg_genomics.dir/simulator.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/simulator.cc.o.d"
+  "/root/repo/src/genomics/srf.cc" "src/genomics/CMakeFiles/htg_genomics.dir/srf.cc.o" "gcc" "src/genomics/CMakeFiles/htg_genomics.dir/srf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/htg_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/htg_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/htg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/htg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/htg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

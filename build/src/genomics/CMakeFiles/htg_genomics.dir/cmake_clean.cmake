@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_genomics.dir/align_tvf.cc.o"
+  "CMakeFiles/htg_genomics.dir/align_tvf.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/aligner.cc.o"
+  "CMakeFiles/htg_genomics.dir/aligner.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/consensus.cc.o"
+  "CMakeFiles/htg_genomics.dir/consensus.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/dna_sequence.cc.o"
+  "CMakeFiles/htg_genomics.dir/dna_sequence.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/file_wrapper.cc.o"
+  "CMakeFiles/htg_genomics.dir/file_wrapper.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/formats.cc.o"
+  "CMakeFiles/htg_genomics.dir/formats.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/gene_expression.cc.o"
+  "CMakeFiles/htg_genomics.dir/gene_expression.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/nucleotide.cc.o"
+  "CMakeFiles/htg_genomics.dir/nucleotide.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/reference.cc.o"
+  "CMakeFiles/htg_genomics.dir/reference.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/register.cc.o"
+  "CMakeFiles/htg_genomics.dir/register.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/simulator.cc.o"
+  "CMakeFiles/htg_genomics.dir/simulator.cc.o.d"
+  "CMakeFiles/htg_genomics.dir/srf.cc.o"
+  "CMakeFiles/htg_genomics.dir/srf.cc.o.d"
+  "libhtg_genomics.a"
+  "libhtg_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_sql.dir/ast.cc.o"
+  "CMakeFiles/htg_sql.dir/ast.cc.o.d"
+  "CMakeFiles/htg_sql.dir/binder.cc.o"
+  "CMakeFiles/htg_sql.dir/binder.cc.o.d"
+  "CMakeFiles/htg_sql.dir/engine.cc.o"
+  "CMakeFiles/htg_sql.dir/engine.cc.o.d"
+  "CMakeFiles/htg_sql.dir/lexer.cc.o"
+  "CMakeFiles/htg_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/htg_sql.dir/parser.cc.o"
+  "CMakeFiles/htg_sql.dir/parser.cc.o.d"
+  "libhtg_sql.a"
+  "libhtg_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/htg_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/htg_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/clustered_table.cc" "src/storage/CMakeFiles/htg_storage.dir/clustered_table.cc.o" "gcc" "src/storage/CMakeFiles/htg_storage.dir/clustered_table.cc.o.d"
+  "/root/repo/src/storage/filestream.cc" "src/storage/CMakeFiles/htg_storage.dir/filestream.cc.o" "gcc" "src/storage/CMakeFiles/htg_storage.dir/filestream.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/storage/CMakeFiles/htg_storage.dir/heap_table.cc.o" "gcc" "src/storage/CMakeFiles/htg_storage.dir/heap_table.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/htg_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/htg_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/row_codec.cc" "src/storage/CMakeFiles/htg_storage.dir/row_codec.cc.o" "gcc" "src/storage/CMakeFiles/htg_storage.dir/row_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/htg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/htg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/htg_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/htg_storage.dir/clustered_table.cc.o"
+  "CMakeFiles/htg_storage.dir/clustered_table.cc.o.d"
+  "CMakeFiles/htg_storage.dir/filestream.cc.o"
+  "CMakeFiles/htg_storage.dir/filestream.cc.o.d"
+  "CMakeFiles/htg_storage.dir/heap_table.cc.o"
+  "CMakeFiles/htg_storage.dir/heap_table.cc.o.d"
+  "CMakeFiles/htg_storage.dir/page.cc.o"
+  "CMakeFiles/htg_storage.dir/page.cc.o.d"
+  "CMakeFiles/htg_storage.dir/row_codec.cc.o"
+  "CMakeFiles/htg_storage.dir/row_codec.cc.o.d"
+  "libhtg_storage.a"
+  "libhtg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

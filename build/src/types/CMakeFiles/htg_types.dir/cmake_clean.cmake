@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_types.dir/data_type.cc.o"
+  "CMakeFiles/htg_types.dir/data_type.cc.o.d"
+  "CMakeFiles/htg_types.dir/schema.cc.o"
+  "CMakeFiles/htg_types.dir/schema.cc.o.d"
+  "CMakeFiles/htg_types.dir/value.cc.o"
+  "CMakeFiles/htg_types.dir/value.cc.o.d"
+  "libhtg_types.a"
+  "libhtg_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

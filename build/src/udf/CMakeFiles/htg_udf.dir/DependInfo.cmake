@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udf/builtin_aggregates.cc" "src/udf/CMakeFiles/htg_udf.dir/builtin_aggregates.cc.o" "gcc" "src/udf/CMakeFiles/htg_udf.dir/builtin_aggregates.cc.o.d"
+  "/root/repo/src/udf/builtins.cc" "src/udf/CMakeFiles/htg_udf.dir/builtins.cc.o" "gcc" "src/udf/CMakeFiles/htg_udf.dir/builtins.cc.o.d"
+  "/root/repo/src/udf/registry.cc" "src/udf/CMakeFiles/htg_udf.dir/registry.cc.o" "gcc" "src/udf/CMakeFiles/htg_udf.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/htg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/htg_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/htg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_udf.dir/builtin_aggregates.cc.o"
+  "CMakeFiles/htg_udf.dir/builtin_aggregates.cc.o.d"
+  "CMakeFiles/htg_udf.dir/builtins.cc.o"
+  "CMakeFiles/htg_udf.dir/builtins.cc.o.d"
+  "CMakeFiles/htg_udf.dir/registry.cc.o"
+  "CMakeFiles/htg_udf.dir/registry.cc.o.d"
+  "libhtg_udf.a"
+  "libhtg_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtg_udf.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htg_workflow.dir/loaders.cc.o"
+  "CMakeFiles/htg_workflow.dir/loaders.cc.o.d"
+  "CMakeFiles/htg_workflow.dir/provenance.cc.o"
+  "CMakeFiles/htg_workflow.dir/provenance.cc.o.d"
+  "CMakeFiles/htg_workflow.dir/schema.cc.o"
+  "CMakeFiles/htg_workflow.dir/schema.cc.o.d"
+  "libhtg_workflow.a"
+  "libhtg_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htg_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_wrapper_test.dir/file_wrapper_test.cc.o"
+  "CMakeFiles/file_wrapper_test.dir/file_wrapper_test.cc.o.d"
+  "file_wrapper_test"
+  "file_wrapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
