@@ -4,9 +4,10 @@
 //
 // The paper's plan: parallel table scan → repartition streams → hash match
 // (partial/final aggregate) → gather streams → sort → sequence project
-// (ROW_NUMBER). Our planner produces the same architecture: partitioned
-// heap scans with per-partition filters feeding partial hash aggregates
-// that merge in a gather step, then sort + sequence project on top.
+// (ROW_NUMBER). Our planner produces the same architecture: a morsel-driven
+// scan (workers steal page-range morsels from a shared counter) with
+// per-morsel filters feeding partial hash aggregates that merge in a
+// hash-partitioned parallel gather, then sort + sequence project on top.
 
 #include <thread>
 
@@ -57,9 +58,7 @@ void Run() {
   for (int dop : {1, 2, 4, std::max(8, hw)}) {
     bench.db->set_max_dop(dop);
     // Warm once, then time the best of 3 runs.
-    CheckOk(bench.engine->Execute(kQuery1).ok() ? Status::OK()
-                                                : Status::Internal("q1"),
-            "warmup");
+    CheckOk(bench.engine->Execute(kQuery1).status(), "warmup");
     double best = 1e30;
     for (int run = 0; run < 3; ++run) {
       Stopwatch timer;

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/exec/expression.cc" "src/exec/CMakeFiles/htg_exec.dir/expression.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/expression.cc.o.d"
   "/root/repo/src/exec/join_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/join_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/join_ops.cc.o.d"
   "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/htg_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/parallel.cc" "src/exec/CMakeFiles/htg_exec.dir/parallel.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/parallel.cc.o.d"
   "/root/repo/src/exec/sort_ops.cc" "src/exec/CMakeFiles/htg_exec.dir/sort_ops.cc.o" "gcc" "src/exec/CMakeFiles/htg_exec.dir/sort_ops.cc.o.d"
   )
 

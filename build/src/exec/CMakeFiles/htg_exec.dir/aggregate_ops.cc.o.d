@@ -238,4 +238,6 @@ src/exec/CMakeFiles/htg_exec.dir/aggregate_ops.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/exec/expression.h /root/repo/src/common/string_util.h
+ /root/repo/src/exec/expression.h /root/repo/src/exec/parallel.h \
+ /root/repo/src/common/string_util.h /root/repo/src/storage/heap_table.h \
+ /root/repo/src/storage/page.h

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/htg_exec.dir/join_ops.cc.o.d"
   "CMakeFiles/htg_exec.dir/operator.cc.o"
   "CMakeFiles/htg_exec.dir/operator.cc.o.d"
+  "CMakeFiles/htg_exec.dir/parallel.cc.o"
+  "CMakeFiles/htg_exec.dir/parallel.cc.o.d"
   "CMakeFiles/htg_exec.dir/sort_ops.cc.o"
   "CMakeFiles/htg_exec.dir/sort_ops.cc.o.d"
   "libhtg_exec.a"

@@ -242,4 +242,4 @@ src/exec/CMakeFiles/htg_exec.dir/sort_ops.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/string_util.h
+ /root/repo/src/common/string_util.h /root/repo/src/exec/parallel.h

@@ -237,9 +237,13 @@ src/sql/CMakeFiles/htg_sql.dir/binder.cc.o: /root/repo/src/sql/binder.cc \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/common/string_util.h /root/repo/src/exec/aggregate_ops.h \
- /root/repo/src/exec/apply_ops.h /root/repo/src/exec/basic_ops.h \
- /root/repo/src/exec/join_ops.h /root/repo/src/exec/sort_ops.h \
- /root/repo/src/storage/heap_table.h /root/repo/src/storage/page.h
+ /root/repo/src/exec/parallel.h /root/repo/src/exec/apply_ops.h \
+ /root/repo/src/exec/basic_ops.h /root/repo/src/exec/join_ops.h \
+ /root/repo/src/exec/sort_ops.h /root/repo/src/storage/heap_table.h \
+ /root/repo/src/storage/page.h

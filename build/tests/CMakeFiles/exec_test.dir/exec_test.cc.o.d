@@ -312,6 +312,7 @@ tests/CMakeFiles/exec_test.dir/exec_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/exec/expression.h /root/repo/src/exec/basic_ops.h \
- /root/repo/src/exec/join_ops.h /root/repo/src/exec/sort_ops.h \
- /root/repo/src/storage/heap_table.h /root/repo/src/storage/page.h
+ /root/repo/src/exec/expression.h /root/repo/src/exec/parallel.h \
+ /root/repo/src/exec/basic_ops.h /root/repo/src/exec/join_ops.h \
+ /root/repo/src/exec/sort_ops.h /root/repo/src/storage/heap_table.h \
+ /root/repo/src/storage/page.h

@@ -293,6 +293,14 @@ tests/CMakeFiles/sql_test.dir/sql_test.cc.o: /root/repo/tests/sql_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/genomics/register.h /root/repo/src/catalog/database.h \
  /root/repo/src/catalog/table_def.h /root/repo/src/storage/table.h \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
@@ -303,15 +311,9 @@ tests/CMakeFiles/sql_test.dir/sql_test.cc.o: /root/repo/tests/sql_test.cc \
  /root/repo/src/udf/registry.h /root/repo/src/udf/function.h \
  /root/repo/src/sql/engine.h /root/repo/src/exec/operator.h \
  /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/parser.h /root/repo/src/sql/lexer.h
+ /usr/include/c++/12/mutex /root/repo/src/exec/expression.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/parser.h \
+ /root/repo/src/sql/lexer.h

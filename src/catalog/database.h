@@ -22,6 +22,10 @@ struct DatabaseOptions {
   int max_dop = 4;
   // Row-count threshold below which the planner stays serial.
   uint64_t parallel_threshold = 10000;
+  // Upper bound on morsel size (heap pages per stolen work unit) for
+  // parallel plans; the planner shrinks morsels on small tables so every
+  // worker gets several.
+  size_t morsel_pages = 32;
 };
 
 // The top-level engine object: catalog of tables, the function registry

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <memory>
 
 namespace htg {
 
@@ -40,25 +41,42 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
-  std::atomic<int> next{0};
-  std::atomic<int> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  const int workers = std::min<int>(n, num_threads());
-  for (int w = 0; w < workers; ++w) {
-    Submit([&, n] {
-      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
+  // The caller drains the shared index counter alongside the pool workers,
+  // so completion never depends on a helper task being scheduled. This is
+  // what makes nested invocation safe: a ParallelFor issued from inside a
+  // pool task finishes even when every worker is busy (the helpers it
+  // submitted just find the counter exhausted whenever they eventually
+  // run). The state block is shared-owned because those late helpers can
+  // outlive this call.
+  struct State {
+    std::atomic<int> next{0};
+    int n = 0;
+    std::function<void(int)> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+    int completed = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = fn;
+  auto drain = [](const std::shared_ptr<State>& s) {
+    for (int i = s->next.fetch_add(1); i < s->n; i = s->next.fetch_add(1)) {
+      s->fn(i);
+      bool all_done = false;
       {
-        std::lock_guard<std::mutex> lock(done_mu);
-        ++done;
+        std::lock_guard<std::mutex> lock(s->mu);
+        all_done = ++s->completed == s->n;
       }
-      done_cv.notify_one();
-    });
+      if (all_done) s->cv.notify_all();
+    }
+  };
+  const int helpers = std::min<int>(n, num_threads() + 1) - 1;
+  for (int w = 0; w < helpers; ++w) {
+    Submit([state, drain] { drain(state); });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == workers; });
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->completed == state->n; });
 }
 
 void ThreadPool::WorkerLoop() {

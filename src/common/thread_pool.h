@@ -28,7 +28,10 @@ class ThreadPool {
   void Wait();
 
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  // fn must be safe to call concurrently for distinct i.
+  // fn must be safe to call concurrently for distinct i. The calling
+  // thread participates in draining the indexes, so this is safe to call
+  // from inside a pool task (nested data parallelism cannot deadlock even
+  // with every worker busy).
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }

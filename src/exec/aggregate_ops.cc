@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "storage/heap_table.h"
 
 namespace htg::exec {
 
@@ -376,68 +377,105 @@ std::string StreamAggregateOp::Describe() const {
   return "Stream Aggregate " + DescribeAggs(group_exprs_, aggs_);
 }
 
-ParallelAggregateOp::ParallelAggregateOp(std::vector<OperatorPtr> partitions,
+ParallelAggregateOp::ParallelAggregateOp(catalog::TableDef* table,
+                                         std::vector<ParallelStage> stages,
                                          std::vector<ExprPtr> group_exprs,
                                          std::vector<std::string> group_names,
-                                         std::vector<AggSpec> aggs)
-    : partitions_(std::move(partitions)),
+                                         std::vector<AggSpec> aggs, int dop,
+                                         size_t morsel_pages)
+    : table_(table),
+      stages_(std::move(stages)),
       group_exprs_(std::move(group_exprs)),
       aggs_(std::move(aggs)),
-      schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)) {}
+      dop_(dop < 1 ? 1 : dop),
+      morsel_pages_(morsel_pages == 0 ? kDefaultMorselPages : morsel_pages),
+      schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)),
+      repr_(BuildExplainPipeline(table_, stages_, morsel_pages_)) {}
 
 Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::Open(
     ExecContext* ctx) {
-  const int n = static_cast<int>(partitions_.size());
-  std::vector<GroupMap> partials(n);
-  std::vector<Status> statuses(n, Status::OK());
-  // Clone expression trees per worker is unnecessary (they are immutable
-  // and thread-safe); each worker gets its own EvalContext copy.
-  ctx->pool->ParallelFor(n, [&](int i) {
-    udf::EvalContext eval = ctx->eval;
-    Result<std::unique_ptr<storage::RowIterator>> iter =
-        partitions_[i]->Open(ctx);
-    if (!iter.ok()) {
-      statuses[i] = iter.status();
-      return;
-    }
-    statuses[i] =
-        BuildGroups(iter->get(), group_exprs_, aggs_, &eval, &partials[i]);
-  });
-  for (const Status& s : statuses) {
-    HTG_RETURN_IF_ERROR(s);
+  auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
+  if (heap == nullptr) {
+    return Status::Internal("parallel aggregate over non-heap table " +
+                            table_->name);
   }
-  // Gather: fold every partial map into the first.
-  GroupMap& final_map = partials[0];
-  for (int i = 1; i < n; ++i) {
-    for (auto& [key, instances] : partials[i]) {
-      auto it = final_map.find(key);
-      if (it == final_map.end()) {
-        final_map.emplace(std::move(key), std::move(instances));
-        continue;
-      }
-      for (size_t a = 0; a < instances.size(); ++a) {
-        HTG_RETURN_IF_ERROR(it->second[a]->Merge(*instances[a]));
-      }
-    }
+  heap->SealCurrentPage();
+  const std::vector<Morsel> morsels =
+      MakeMorsels(heap->num_pages_sealed(), morsel_pages_);
+  const int dop =
+      std::min(static_cast<size_t>(dop_), std::max<size_t>(1, morsels.size()));
+
+  // Partial phase: workers steal morsels off the shared counter, replay
+  // the stage pipeline over each page range, and accumulate into
+  // thread-local partial maps. Expression trees are immutable and shared;
+  // each worker evaluates through its own EvalContext copy.
+  std::vector<GroupMap> partials(dop);
+  std::vector<ExecContext> worker_ctx(dop, *ctx);
+  HTG_RETURN_IF_ERROR(ParallelDrainMorsels(
+      ctx->pool, dop, morsels.size(), [&](int worker, size_t m) -> Status {
+        OperatorPtr pipeline =
+            BuildMorselPipeline(table_, morsels[m], stages_);
+        HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
+                             pipeline->Open(&worker_ctx[worker]));
+        return BuildGroups(iter.get(), group_exprs_, aggs_,
+                           &worker_ctx[worker].eval, &partials[worker]);
+      }));
+
+  size_t total_groups = 0;
+  for (const GroupMap& p : partials) total_groups += p.size();
+  if (total_groups == 0) {
+    // SELECT COUNT(*) over an empty input still yields one row.
+    HTG_ASSIGN_OR_RETURN(
+        std::vector<Row> rows,
+        FinalizeGroups(&partials[0], aggs_.size(), group_exprs_.empty(),
+                       aggs_));
+    return {std::make_unique<RowsIterator>(std::move(rows))};
   }
-  HTG_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      FinalizeGroups(&final_map, aggs_.size(), group_exprs_.empty(), aggs_));
+
+  // Final phase: a parallel partitioned merge instead of a serial fold.
+  // Groups are owned by hash partition; each partition worker walks every
+  // partial map, merges the entries it owns, and finalizes them. Entries
+  // are only read (key hash) or moved by their owning partition, so the
+  // partial maps need no locking.
+  const size_t nparts = static_cast<size_t>(dop);
+  std::vector<std::vector<Row>> out_parts(nparts);
+  HTG_RETURN_IF_ERROR(ParallelDrainMorsels(
+      ctx->pool, dop, nparts, [&](int, size_t part) -> Status {
+        GroupMap merged;
+        for (GroupMap& partial : partials) {
+          for (auto& [key, instances] : partial) {
+            if (RowHash()(key) % nparts != part) continue;
+            auto it = merged.find(key);
+            if (it == merged.end()) {
+              merged.emplace(key, std::move(instances));
+              continue;
+            }
+            for (size_t a = 0; a < instances.size(); ++a) {
+              HTG_RETURN_IF_ERROR(it->second[a]->Merge(*instances[a]));
+            }
+          }
+        }
+        HTG_ASSIGN_OR_RETURN(
+            out_parts[part],
+            FinalizeGroups(&merged, aggs_.size(), false, aggs_));
+        return Status::OK();
+      }));
+
+  std::vector<Row> rows;
+  rows.reserve(total_groups);
+  for (std::vector<Row>& part : out_parts) {
+    for (Row& r : part) rows.push_back(std::move(r));
+    part.clear();
+  }
   return {std::make_unique<RowsIterator>(std::move(rows))};
 }
 
 std::string ParallelAggregateOp::Describe() const {
   return StringPrintf(
              "Parallelism (Gather Streams) + Hash Match "
-             "(Partial/Final Aggregate), DOP=%zu ",
-             partitions_.size()) +
+             "(Partial/Final Aggregate), DOP=%d ",
+             dop_) +
          DescribeAggs(group_exprs_, aggs_);
-}
-
-std::vector<const Operator*> ParallelAggregateOp::children() const {
-  // EXPLAIN shows one representative partition subtree.
-  if (partitions_.empty()) return {};
-  return {partitions_[0].get()};
 }
 
 }  // namespace htg::exec

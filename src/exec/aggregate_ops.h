@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "udf/function.h"
 
 namespace htg::exec {
@@ -76,28 +77,38 @@ class StreamAggregateOp : public Operator {
   Schema schema_;
 };
 
-// Parallel partial→final aggregation over partitioned inputs, the shape of
-// the paper's Fig. 9 plan: each partition is drained by a worker thread
-// into a partial hash table (partitioned scan + per-partition filter), the
-// partials merge via AggregateInstance::Merge, and results stream out of
-// the gather. Requires every aggregate to SupportsMerge().
+// Parallel partial→final aggregation, the shape of the paper's Fig. 9
+// plan, scheduled at morsel granularity: workers steal page-range morsels
+// of the heap scan from a shared counter, replay the stage pipeline
+// (filter / CROSS APPLY) per morsel, and accumulate into thread-local
+// partial GroupMaps. The final merge is itself parallel — groups are
+// partitioned by hash and each partition merges/finalizes on its own
+// worker — and results stream out of the gather. Requires every aggregate
+// to SupportsMerge().
 class ParallelAggregateOp : public Operator {
  public:
-  ParallelAggregateOp(std::vector<OperatorPtr> partitions,
+  ParallelAggregateOp(catalog::TableDef* table,
+                      std::vector<ParallelStage> stages,
                       std::vector<ExprPtr> group_exprs,
                       std::vector<std::string> group_names,
-                      std::vector<AggSpec> aggs);
+                      std::vector<AggSpec> aggs, int dop, size_t morsel_pages);
 
   const Schema& output_schema() const override { return schema_; }
   Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
   std::string Describe() const override;
-  std::vector<const Operator*> children() const override;
+  std::vector<const Operator*> children() const override {
+    return {repr_.get()};
+  }
 
  private:
-  std::vector<OperatorPtr> partitions_;
+  catalog::TableDef* table_;
+  std::vector<ParallelStage> stages_;
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggSpec> aggs_;
+  int dop_;
+  size_t morsel_pages_;
   Schema schema_;
+  OperatorPtr repr_;  // representative subtree for EXPLAIN
 };
 
 }  // namespace htg::exec

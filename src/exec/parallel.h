@@ -1,0 +1,151 @@
+#ifndef HTG_EXEC_PARALLEL_H_
+#define HTG_EXEC_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table_def.h"
+#include "exec/operator.h"
+#include "udf/function.h"
+
+namespace htg::exec {
+
+// ---------------------------------------------------------------------------
+// Morsel-driven scheduling (the paper's intra-query parallelism, Fig. 9,
+// generalized). A morsel is a contiguous page range of a heap scan — small
+// enough (~tens of pages) that workers draining a shared counter balance
+// load even under skewed predicates, where the old static page-range
+// partitioning stalled on the unlucky partition.
+// ---------------------------------------------------------------------------
+
+// One unit of parallel work: pages [first_page, end_page) of a heap table.
+struct Morsel {
+  size_t first_page = 0;
+  size_t end_page = 0;
+};
+
+// Default morsel size. Chosen so a morsel is a few hundred KB of pages:
+// big enough to amortize per-morsel pipeline setup, small enough that
+// DOP workers stay busy until the very end of the scan.
+inline constexpr size_t kDefaultMorselPages = 32;
+
+// Splits [0, num_pages) into morsels of `morsel_pages` pages (last one
+// may be short). Empty input yields no morsels.
+std::vector<Morsel> MakeMorsels(size_t num_pages, size_t morsel_pages);
+
+// Picks a morsel size for a table of `num_pages` pages: the configured
+// `max_pages` cap, shrunk so that `dop` workers see several morsels each
+// (work stealing needs slack to balance).
+size_t ChooseMorselPages(size_t num_pages, int dop, size_t max_pages);
+
+// Runs fn(worker, morsel) for every morsel index in [0, num_morsels),
+// drained from a shared counter by `dop` workers. Worker ids are dense in
+// [0, dop) so callers can keep per-worker state (partial aggregates, eval
+// contexts). The calling thread participates as one of the workers, which
+// makes nested use from inside a pool task deadlock-free. After the first
+// error, remaining morsels are claimed but skipped; the first error (by
+// worker index) is returned.
+Status ParallelDrainMorsels(ThreadPool* pool, int dop, size_t num_morsels,
+                            const std::function<Status(int, size_t)>& fn);
+
+// ---------------------------------------------------------------------------
+// Morsel pipelines: a restricted, cloneable description of the
+// scan→filter→project→CROSS APPLY operator chains that exchange operators
+// replay once per morsel.
+// ---------------------------------------------------------------------------
+
+struct ParallelStage {
+  enum class Kind { kFilter, kProject, kApply };
+
+  Kind kind = Kind::kFilter;
+  // kFilter.
+  ExprPtr predicate;
+  // kProject.
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  // kApply.
+  const udf::TableFunction* fn = nullptr;
+  std::vector<ExprPtr> args;
+  Schema fn_schema;
+
+  ParallelStage Clone() const;
+
+  static ParallelStage Filter(ExprPtr predicate);
+  static ParallelStage Project(std::vector<ExprPtr> exprs,
+                               std::vector<std::string> names);
+  static ParallelStage Apply(const udf::TableFunction* fn,
+                             std::vector<ExprPtr> args, Schema fn_schema);
+};
+
+std::vector<ParallelStage> CloneStages(const std::vector<ParallelStage>& s);
+
+// Builds the per-morsel operator chain: a page-range scan of `table`
+// wrapped by each stage in order.
+OperatorPtr BuildMorselPipeline(catalog::TableDef* table, const Morsel& morsel,
+                                const std::vector<ParallelStage>& stages);
+
+// Output schema of a pipeline over `table` (after every stage).
+Schema PipelineSchema(catalog::TableDef* table,
+                      const std::vector<ParallelStage>& stages);
+
+// EXPLAIN-only marker for the worker side of an exchange: prints
+// "Parallelism (Distribute Streams)" above the scan it wraps, mirroring
+// the SQL Server showplan the paper reproduces. Never opened at runtime.
+class DistributeStreamsOp : public Operator {
+ public:
+  DistributeStreamsOp(OperatorPtr child, size_t morsel_pages);
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  size_t morsel_pages_;
+};
+
+// ---------------------------------------------------------------------------
+// ParallelMapOp ("Parallelism (Gather Streams)" over a stateless pipeline):
+// runs the stage pipeline per-morsel on DOP workers and gathers the result
+// rows — in morsel (i.e. heap) order when `preserve_order` is set, in
+// completion order otherwise. This is what parallelizes the CROSS APPLY
+// read-alignment pipelines end to end.
+// ---------------------------------------------------------------------------
+class ParallelMapOp : public Operator {
+ public:
+  ParallelMapOp(catalog::TableDef* table, std::vector<ParallelStage> stages,
+                int dop, size_t morsel_pages, bool preserve_order);
+
+  const Schema& output_schema() const override { return schema_; }
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  std::string Describe() const override;
+  std::vector<const Operator*> children() const override {
+    return {repr_.get()};
+  }
+
+ private:
+  catalog::TableDef* table_;
+  std::vector<ParallelStage> stages_;
+  int dop_;
+  size_t morsel_pages_;
+  bool preserve_order_;
+  Schema schema_;
+  OperatorPtr repr_;  // representative subtree for EXPLAIN
+};
+
+// Builds the EXPLAIN subtree shared by the exchange operators: the stage
+// chain over a Distribute Streams marker over a full-range scan.
+OperatorPtr BuildExplainPipeline(catalog::TableDef* table,
+                                 const std::vector<ParallelStage>& stages,
+                                 size_t morsel_pages);
+
+}  // namespace htg::exec
+
+#endif  // HTG_EXEC_PARALLEL_H_

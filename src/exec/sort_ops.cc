@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 
 namespace htg::exec {
 
@@ -36,6 +37,14 @@ std::string DescribeKeys(const std::vector<SortKey>& keys) {
 
 }  // namespace
 
+namespace {
+
+// Rows below this count sort serially: chunked sorting + k-way merge has
+// fixed overhead that only pays off on sizable inputs.
+constexpr size_t kParallelSortMinRows = 4096;
+
+}  // namespace
+
 Result<std::vector<Row>> DrainAndSort(Operator* child,
                                       const std::vector<SortKey>& keys,
                                       ExecContext* ctx) {
@@ -44,27 +53,77 @@ Result<std::vector<Row>> DrainAndSort(Operator* child,
   std::vector<Row> rows;
   HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &rows));
 
-  // Precompute sort keys once per row (exprs may be arbitrarily costly).
-  std::vector<Row> sort_keys;
-  sort_keys.reserve(rows.size());
-  for (const Row& row : rows) {
-    Row key;
-    key.reserve(keys.size());
-    for (const SortKey& k : keys) {
-      HTG_ASSIGN_OR_RETURN(Value v, k.expr->Eval(&ctx->eval, row));
-      key.push_back(std::move(v));
+  const int dop =
+      ctx->pool != nullptr && ctx->dop > 1 && rows.size() >= kParallelSortMinRows
+          ? std::min<int>(ctx->dop, static_cast<int>(rows.size() / 1024))
+          : 1;
+
+  // Precompute sort keys once per row (exprs may be arbitrarily costly);
+  // with DOP > 1 the evaluation is chunked across workers, each with its
+  // own EvalContext copy.
+  std::vector<Row> sort_keys(rows.size());
+  const auto eval_chunk = [&](udf::EvalContext* eval, size_t lo,
+                              size_t hi) -> Status {
+    for (size_t r = lo; r < hi; ++r) {
+      Row key;
+      key.reserve(keys.size());
+      for (const SortKey& k : keys) {
+        HTG_ASSIGN_OR_RETURN(Value v, k.expr->Eval(eval, rows[r]));
+        key.push_back(std::move(v));
+      }
+      sort_keys[r] = std::move(key);
     }
-    sort_keys.push_back(std::move(key));
-  }
-  std::vector<size_t> order(rows.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return Status::OK();
+  };
+  // Comparator ordering by (key values, original index): ties resolve to
+  // input order, so the result is identical to a serial stable sort no
+  // matter how the rows are chunked.
+  const auto less = [&](size_t a, size_t b) {
     for (size_t k = 0; k < keys.size(); ++k) {
       const int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
       if (cmp != 0) return keys[k].descending ? cmp > 0 : cmp < 0;
     }
-    return false;
-  });
+    return a < b;
+  };
+
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  if (dop <= 1) {
+    HTG_RETURN_IF_ERROR(eval_chunk(&ctx->eval, 0, rows.size()));
+    std::sort(order.begin(), order.end(), less);
+  } else {
+    // Parallel sort: per-worker chunk sort, then a k-way merge.
+    const size_t nchunks = static_cast<size_t>(dop);
+    const size_t chunk = (rows.size() + nchunks - 1) / nchunks;
+    std::vector<udf::EvalContext> evals(nchunks, ctx->eval);
+    HTG_RETURN_IF_ERROR(ParallelDrainMorsels(
+        ctx->pool, dop, nchunks, [&](int, size_t c) -> Status {
+          const size_t lo = c * chunk;
+          const size_t hi = std::min(lo + chunk, rows.size());
+          if (lo >= hi) return Status::OK();
+          HTG_RETURN_IF_ERROR(eval_chunk(&evals[c], lo, hi));
+          std::sort(order.begin() + lo, order.begin() + hi, less);
+          return Status::OK();
+        }));
+    std::vector<size_t> merged;
+    merged.reserve(order.size());
+    std::vector<size_t> head(nchunks);
+    for (size_t c = 0; c < nchunks; ++c) head[c] = c * chunk;
+    for (size_t produced = 0; produced < order.size(); ++produced) {
+      size_t best = nchunks;
+      for (size_t c = 0; c < nchunks; ++c) {
+        const size_t end = std::min((c + 1) * chunk, order.size());
+        if (head[c] >= end) continue;
+        if (best == nchunks || less(order[head[c]], order[head[best]])) {
+          best = c;
+        }
+      }
+      merged.push_back(order[head[best]++]);
+    }
+    order = std::move(merged);
+  }
+
   std::vector<Row> sorted;
   sorted.reserve(rows.size());
   for (size_t i : order) sorted.push_back(std::move(rows[i]));

@@ -20,6 +20,13 @@ struct CachedReference {
 // Process-wide reference/index cache keyed by (path, max_mismatches).
 // Function-local static reference: never destroyed (per style rules on
 // static storage duration).
+//
+// Thread-safety (parallel executor opens this TVF from many workers):
+// CacheMutex() serializes every map lookup/insert; entries are never
+// erased, so the `const CachedReference*` handed out stays valid and is
+// immutable after GetOrBuild returns. Concurrent iterators then share one
+// Aligner through that pointer, which is safe because AlignRead() is
+// const over an index built once in the constructor.
 std::map<std::pair<std::string, int>, CachedReference>& Cache() {
   static std::map<std::pair<std::string, int>, CachedReference>& cache =
       *new std::map<std::pair<std::string, int>, CachedReference>();

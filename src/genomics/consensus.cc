@@ -148,6 +148,8 @@ Result<Schema> PivotAlignmentTvf::BindSchema(const std::vector<Value>&) const {
   return schema;
 }
 
+// Thread-safe for concurrent Open() (parallel CROSS APPLY): no shared
+// mutable state — each iterator owns copies of its arguments.
 Result<std::unique_ptr<storage::RowIterator>> PivotAlignmentTvf::Open(
     const std::vector<Value>& args, Database*) const {
   if (args.size() != 3) {

@@ -1,5 +1,6 @@
 #include "sql/binder.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -8,6 +9,7 @@
 #include "exec/apply_ops.h"
 #include "exec/basic_ops.h"
 #include "exec/join_ops.h"
+#include "exec/parallel.h"
 #include "exec/sort_ops.h"
 #include "storage/heap_table.h"
 
@@ -74,9 +76,11 @@ struct Binder::BindContext {
 struct Binder::FromResult {
   OperatorPtr op;
   Scope scope;
-  // Set when the whole FROM clause is one heap base table (the parallel
-  // aggregation candidate).
-  catalog::TableDef* lone_heap = nullptr;
+  // Set when the FROM clause is one heap base table, optionally extended
+  // by CROSS APPLY table functions (recorded in `apply_stages`): the
+  // morsel-parallel plan candidates. A regular join clears it.
+  catalog::TableDef* pipeline_heap = nullptr;
+  std::vector<exec::ParallelStage> apply_stages;
 };
 
 namespace {
@@ -338,7 +342,7 @@ Result<Binder::FromResult> Binder::BindTableRef(const TableRef& ref) {
       out.op = std::make_unique<exec::TableScanOp>(table);
       const std::string alias = ref.alias.empty() ? ref.name : ref.alias;
       out.scope.Append(alias, table->schema);
-      if (table->clustered_key.empty()) out.lone_heap = table;
+      if (table->clustered_key.empty()) out.pipeline_heap = table;
       return out;
     }
     case TableRef::Kind::kTvf: {
@@ -392,7 +396,6 @@ Result<Binder::FromResult> Binder::BindFrom(const SelectStmt& stmt) {
     return out;
   }
   HTG_ASSIGN_OR_RETURN(FromResult left, BindTableRef(stmt.from));
-  if (!stmt.joins.empty()) left.lone_heap = nullptr;
 
   for (const JoinClause& jc : stmt.joins) {
     if (jc.cross_apply) {
@@ -414,12 +417,24 @@ Result<Binder::FromResult> Binder::BindFrom(const SelectStmt& stmt) {
       const std::string alias =
           jc.ref.alias.empty() ? jc.ref.name : jc.ref.alias;
       left.scope.Append(alias, fn_schema);
+      if (left.pipeline_heap != nullptr) {
+        // The pipeline stays morsel-parallelizable: record the apply as a
+        // replayable stage alongside the serial plan.
+        std::vector<ExprPtr> arg_clones;
+        arg_clones.reserve(args.size());
+        for (const ExprPtr& a : args) arg_clones.push_back(a->Clone());
+        left.apply_stages.push_back(exec::ParallelStage::Apply(
+            fn, std::move(arg_clones), fn_schema));
+      }
       left.op = std::make_unique<exec::CrossApplyOp>(
           std::move(left.op), fn, std::move(args), std::move(fn_schema));
       continue;
     }
 
-    // Regular inner join.
+    // Regular inner join: the two-sided input is no longer a single
+    // heap-rooted pipeline.
+    left.pipeline_heap = nullptr;
+    left.apply_stages.clear();
     HTG_ASSIGN_OR_RETURN(FromResult right, BindTableRef(jc.ref));
     const int left_width = static_cast<int>(left.scope.cols.size());
 
@@ -533,6 +548,30 @@ Result<Binder::FromResult> Binder::BindFrom(const SelectStmt& stmt) {
   return left;
 }
 
+namespace {
+
+// DOP and morsel size for a morsel-parallel plan over `heap`. The heap's
+// current page must already be sealed.
+struct MorselPlan {
+  int dop = 1;
+  size_t morsel_pages = 1;
+};
+
+MorselPlan PlanMorsels(const storage::HeapTable* heap,
+                       const DatabaseOptions& options) {
+  const size_t npages = heap->num_pages_sealed();
+  MorselPlan plan;
+  plan.morsel_pages =
+      exec::ChooseMorselPages(npages, options.max_dop, options.morsel_pages);
+  const size_t nmorsels =
+      (npages + plan.morsel_pages - 1) / plan.morsel_pages;
+  plan.dop = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(options.max_dop), std::max<size_t>(1, nmorsels)));
+  return plan;
+}
+
+}  // namespace
+
 Result<OperatorPtr> Binder::BindSelect(const SelectStmt& stmt) {
   HTG_ASSIGN_OR_RETURN(FromResult from, BindFrom(stmt));
   Scope scope = std::move(from.scope);
@@ -598,42 +637,36 @@ Result<OperatorPtr> Binder::BindSelect(const SelectStmt& stmt) {
     agg_scope.schema =
         exec::MakeAggregateSchema(group_exprs, group_names, specs);
 
-    // Parallel plan: lone heap base table, big enough, mergeable aggs.
-    bool parallel = from.lone_heap != nullptr && db_->options().max_dop > 1 &&
-                    from.lone_heap->table->num_rows() >=
+    // Parallel plan: heap-rooted scan/filter/apply pipeline, big enough,
+    // mergeable aggs.
+    bool parallel = from.pipeline_heap != nullptr &&
+                    db_->options().max_dop > 1 &&
+                    from.pipeline_heap->table->num_rows() >=
                         db_->options().parallel_threshold;
     for (const exec::AggSpec& s : specs) {
       parallel = parallel && s.fn->SupportsMerge();
     }
-    auto* heap =
-        from.lone_heap == nullptr
-            ? nullptr
-            : dynamic_cast<storage::HeapTable*>(from.lone_heap->table.get());
+    auto* heap = from.pipeline_heap == nullptr
+                     ? nullptr
+                     : dynamic_cast<storage::HeapTable*>(
+                           from.pipeline_heap->table.get());
     parallel = parallel && heap != nullptr;
 
     if (parallel) {
       heap->SealCurrentPage();
-      const size_t npages = heap->num_pages_sealed();
-      const int dop =
-          std::min<int>(db_->options().max_dop,
-                        std::max<size_t>(1, npages));
-      std::vector<OperatorPtr> partitions;
-      for (int i = 0; i < dop; ++i) {
-        const size_t lo = npages * i / dop;
-        const size_t hi = npages * (i + 1) / dop;
-        OperatorPtr part =
-            std::make_unique<exec::TableScanOp>(from.lone_heap, lo, hi);
-        if (where != nullptr) {
-          part = std::make_unique<exec::FilterOp>(std::move(part),
-                                                  where->Clone());
-        }
-        partitions.push_back(std::move(part));
+      const MorselPlan mp = PlanMorsels(heap, db_->options());
+      // Stage order matches the serial plan: CROSS APPLY stages from the
+      // FROM clause, then the WHERE filter over the widened rows.
+      std::vector<exec::ParallelStage> stages =
+          exec::CloneStages(from.apply_stages);
+      if (where != nullptr) {
+        stages.push_back(exec::ParallelStage::Filter(where->Clone()));
       }
       std::vector<exec::AggSpec> spec_copies;
       for (const exec::AggSpec& s : specs) spec_copies.push_back(s.Clone());
       plan = std::make_unique<exec::ParallelAggregateOp>(
-          std::move(partitions), std::move(group_exprs), group_names,
-          std::move(spec_copies));
+          from.pipeline_heap, std::move(stages), std::move(group_exprs),
+          group_names, std::move(spec_copies), mp.dop, mp.morsel_pages);
     } else {
       if (where != nullptr) {
         plan = std::make_unique<exec::FilterOp>(std::move(plan),
@@ -644,8 +677,33 @@ Result<OperatorPtr> Binder::BindSelect(const SelectStmt& stmt) {
           std::move(specs));
     }
     where = nullptr;
-  } else if (where != nullptr) {
-    plan = std::make_unique<exec::FilterOp>(std::move(plan), std::move(where));
+  } else {
+    // Non-aggregate pipelines parallelize when a CROSS APPLY stage makes
+    // the per-row work heavy enough to be worth the exchange; the gather
+    // preserves heap order so the result matches the serial plan exactly.
+    auto* heap = from.pipeline_heap == nullptr
+                     ? nullptr
+                     : dynamic_cast<storage::HeapTable*>(
+                           from.pipeline_heap->table.get());
+    const bool parallel = heap != nullptr && !from.apply_stages.empty() &&
+                          db_->options().max_dop > 1 &&
+                          from.pipeline_heap->table->num_rows() >=
+                              db_->options().parallel_threshold;
+    if (parallel) {
+      heap->SealCurrentPage();
+      const MorselPlan mp = PlanMorsels(heap, db_->options());
+      std::vector<exec::ParallelStage> stages =
+          exec::CloneStages(from.apply_stages);
+      if (where != nullptr) {
+        stages.push_back(exec::ParallelStage::Filter(std::move(where)));
+      }
+      plan = std::make_unique<exec::ParallelMapOp>(
+          from.pipeline_heap, std::move(stages), mp.dop, mp.morsel_pages,
+          /*preserve_order=*/true);
+    } else if (where != nullptr) {
+      plan =
+          std::make_unique<exec::FilterOp>(std::move(plan), std::move(where));
+    }
     where = nullptr;
   }
 

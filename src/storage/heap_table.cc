@@ -82,13 +82,14 @@ void HeapTable::Truncate() {
   num_rows_ = 0;
 }
 
-void HeapTable::TruncateToRows(uint64_t target_rows) {
+Status HeapTable::TruncateToRows(uint64_t target_rows) {
   SealCurrentPage();
-  if (target_rows >= num_rows_) return;
+  if (target_rows >= num_rows_) return Status::OK();
   // Drop whole tail pages; if the boundary falls inside a page, re-insert
   // the surviving prefix of that page.
   uint64_t rows = num_rows_;
   std::vector<Row> survivors;
+  Status status;
   while (!pages_.empty() && rows > target_rows) {
     const uint64_t page_rows = page_rows_.back();
     if (rows - page_rows >= target_rows) {
@@ -100,9 +101,17 @@ void HeapTable::TruncateToRows(uint64_t target_rows) {
     // Partial page: keep the first (target_rows - (rows - page_rows)) rows.
     const uint64_t keep = target_rows - (rows - page_rows);
     PageReader reader(&schema_, Slice(pages_.back()));
-    if (reader.Init().ok()) {
+    status = reader.Init();
+    if (status.ok()) {
       Row row;
-      for (uint64_t i = 0; i < keep && reader.Next(&row); ++i) {
+      for (uint64_t i = 0; i < keep; ++i) {
+        if (!reader.Next(&row)) {
+          status = reader.status().ok()
+                       ? Status::Internal("heap page ended before surviving "
+                                          "rows were recovered")
+                       : reader.status();
+          break;
+        }
         survivors.push_back(row);
       }
     }
@@ -112,9 +121,13 @@ void HeapTable::TruncateToRows(uint64_t target_rows) {
   }
   num_rows_ = rows;
   for (const Row& r : survivors) {
-    Insert(r).ok();  // re-encoding previously-valid rows cannot fail
+    // Re-encoding rows that were valid on the dropped page; a failure here
+    // means the undo lost rows and must not be silently swallowed.
+    Status insert = Insert(r);
+    if (!insert.ok() && status.ok()) status = insert;
   }
   SealCurrentPage();
+  return status;
 }
 
 }  // namespace htg::storage

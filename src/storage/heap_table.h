@@ -37,8 +37,10 @@ class HeapTable : public TableStorage {
   void SealCurrentPage();
 
   // Drops rows from the tail until `target_rows` remain (transaction undo;
-  // only supports undoing appends).
-  void TruncateToRows(uint64_t target_rows);
+  // only supports undoing appends). Fails only if a surviving row from a
+  // partially-dropped page cannot be re-read or re-encoded — the table is
+  // left truncated to the rows that did survive.
+  Status TruncateToRows(uint64_t target_rows);
 
   const std::vector<std::string>& pages() const { return pages_; }
 

@@ -47,6 +47,13 @@ struct ScalarFunction {
 // from constant arguments, then opens a pull-based row iterator. The
 // iterator owns all file access and parsing; the engine pulls one row at a
 // time, so results stream instead of materializing.
+//
+// Concurrency contract: the parallel executor calls Open() from multiple
+// worker threads at once (one CROSS APPLY invocation per input row per
+// morsel), so Open() and BindSchema() must be thread-safe — any shared
+// mutable state behind them (caches, pools) needs its own lock. Each
+// *returned iterator* is only ever pulled by the worker that opened it,
+// so iterator state needs no synchronization.
 class TableFunction {
  public:
   virtual ~TableFunction() = default;
@@ -64,6 +71,12 @@ class TableFunction {
 
 // Running state of one aggregate group (paper §2.3.4). Implementations
 // accumulate input rows and produce the final value at Terminate().
+//
+// Concurrency contract: an instance is owned by exactly one worker during
+// the parallel partial phase; Merge() runs in the final phase where the
+// merging worker exclusively owns both `this` and `other`. Instances
+// therefore never need internal locking, but must not share mutable
+// state across instances without it.
 class AggregateInstance {
  public:
   virtual ~AggregateInstance() = default;

@@ -195,6 +195,38 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndexes) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromPoolTaskDoesNotDeadlock) {
+  // Regression: every pool thread blocks inside an outer ParallelFor while
+  // each outer iteration issues an inner ParallelFor. With completion
+  // waiting on helper *tasks* (which can never be scheduled — all workers
+  // are blocked callers) this deadlocked; caller participation makes the
+  // nested loops drain on the calling threads themselves.
+  ThreadPool pool(2);
+  constexpr int kOuter = 8;
+  constexpr int kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](int outer) {
+    pool.ParallelFor(kInner, [&](int inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (int i = 0; i < kOuter * kInner; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTasksDoesNotDeadlock) {
+  // Saturate the pool with tasks that each run a ParallelFor: nested use
+  // from inside pool tasks must complete even with zero free workers.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&] { pool.ParallelFor(32, [&](int) { total.fetch_add(1); }); });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
 TEST(ThreadPoolTest, WaitDrainsQueue) {
   ThreadPool pool(2);
   std::atomic<int> done{0};

@@ -201,13 +201,6 @@ TEST(OperatorTest, ParallelAggregateMatchesSerial) {
   auto* heap = dynamic_cast<storage::HeapTable*>(table->table.get());
   ASSERT_NE(heap, nullptr);
   heap->SealCurrentPage();
-  const size_t pages = heap->num_pages_sealed();
-  const int dop = 4;
-  std::vector<OperatorPtr> partitions;
-  for (int i = 0; i < dop; ++i) {
-    partitions.push_back(std::make_unique<TableScanOp>(
-        table, pages * i / dop, pages * (i + 1) / dop));
-  }
   auto make_aggs = [&] {
     std::vector<AggSpec> aggs;
     AggSpec count;
@@ -223,9 +216,11 @@ TEST(OperatorTest, ParallelAggregateMatchesSerial) {
   };
   std::vector<ExprPtr> groups;
   groups.push_back(Col(0, DataType::kInt32));
+  // Morsels of 2 pages over a ~14-page heap exercise real work stealing.
   OperatorPtr parallel = std::make_unique<ParallelAggregateOp>(
-      std::move(partitions), std::move(groups), std::vector<std::string>{"k"},
-      make_aggs());
+      table, std::vector<ParallelStage>{}, std::move(groups),
+      std::vector<std::string>{"k"}, make_aggs(), /*dop=*/4,
+      /*morsel_pages=*/2);
   ExecContext ctx = ExecContext::For(db.get());
   auto iter = parallel->Open(&ctx);
   ASSERT_TRUE(iter.ok());
@@ -235,6 +230,134 @@ TEST(OperatorTest, ParallelAggregateMatchesSerial) {
   int64_t count_total = 0;
   for (const Row& r : rows) count_total += r[1].AsInt64();
   EXPECT_EQ(count_total, 5000);
+}
+
+TEST(OperatorTest, ParallelAggregateWithFilterStage) {
+  auto db = OpenTestDb("paraggfilter");
+  catalog::TableDef* table = MakeNumbersTable(db.get(), "t", 5000, 13);
+  auto* heap = dynamic_cast<storage::HeapTable*>(table->table.get());
+  ASSERT_NE(heap, nullptr);
+  heap->SealCurrentPage();
+  // WHERE v >= 2500 as a per-morsel filter stage.
+  auto make_pred = [&]() -> ExprPtr {
+    return std::make_unique<BinaryExpr>(BinaryOp::kGe, Col(1), Lit(int64_t{2500}));
+  };
+  std::vector<ParallelStage> stages;
+  stages.push_back(ParallelStage::Filter(make_pred()));
+  std::vector<AggSpec> aggs;
+  AggSpec count;
+  count.fn = db->functions()->FindAggregate("COUNT");
+  count.display = "COUNT(*)";
+  aggs.push_back(std::move(count));
+  OperatorPtr parallel = std::make_unique<ParallelAggregateOp>(
+      table, std::move(stages), std::vector<ExprPtr>{},
+      std::vector<std::string>{}, std::move(aggs), /*dop=*/4,
+      /*morsel_pages=*/2);
+  ExecContext ctx = ExecContext::For(db.get());
+  auto iter = parallel->Open(&ctx);
+  ASSERT_TRUE(iter.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE(DrainIterator(iter->get(), &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 2500);
+}
+
+TEST(ParallelTest, MakeMorselsCoversAllPages) {
+  auto morsels = MakeMorsels(/*num_pages=*/10, /*morsel_pages=*/3);
+  ASSERT_EQ(morsels.size(), 4u);
+  size_t expected_first = 0;
+  for (const Morsel& m : morsels) {
+    EXPECT_EQ(m.first_page, expected_first);
+    EXPECT_GT(m.end_page, m.first_page);
+    expected_first = m.end_page;
+  }
+  EXPECT_EQ(morsels.back().end_page, 10u);
+  EXPECT_TRUE(MakeMorsels(0, 3).empty());
+  EXPECT_EQ(MakeMorsels(3, 8).size(), 1u);
+}
+
+TEST(ParallelTest, ChooseMorselPagesShrinksForSlack) {
+  // Big table: capped at the configured maximum.
+  EXPECT_EQ(ChooseMorselPages(/*num_pages=*/10000, /*dop=*/4,
+                              /*max_pages=*/32),
+            32u);
+  // Small table: shrunk so each worker sees several morsels.
+  EXPECT_LT(ChooseMorselPages(/*num_pages=*/16, /*dop=*/4, /*max_pages=*/32),
+            16u);
+  EXPECT_GE(ChooseMorselPages(/*num_pages=*/16, /*dop=*/4, /*max_pages=*/32),
+            1u);
+  // Never zero, even on empty input.
+  EXPECT_GE(ChooseMorselPages(0, 4, 32), 1u);
+}
+
+TEST(ParallelTest, ParallelMapOpMatchesSerialOrder) {
+  auto db = OpenTestDb("parmap");
+  catalog::TableDef* table = MakeNumbersTable(db.get(), "t", 5000, 7);
+  auto* heap = dynamic_cast<storage::HeapTable*>(table->table.get());
+  ASSERT_NE(heap, nullptr);
+  heap->SealCurrentPage();
+  auto make_pred = [&]() -> ExprPtr {
+    return std::make_unique<BinaryExpr>(BinaryOp::kLt, Col(1), Lit(int64_t{100}));
+  };
+
+  // Serial reference: scan + filter in heap order.
+  std::vector<Row> serial;
+  {
+    OperatorPtr plan = std::make_unique<FilterOp>(
+        std::make_unique<TableScanOp>(table), make_pred());
+    ExecContext ctx = ExecContext::For(db.get());
+    auto iter = plan->Open(&ctx);
+    ASSERT_TRUE(iter.ok());
+    ASSERT_TRUE(DrainIterator(iter->get(), &serial).ok());
+  }
+
+  std::vector<ParallelStage> stages;
+  stages.push_back(ParallelStage::Filter(make_pred()));
+  OperatorPtr parallel = std::make_unique<ParallelMapOp>(
+      table, std::move(stages), /*dop=*/4, /*morsel_pages=*/2,
+      /*preserve_order=*/true);
+  ExecContext ctx = ExecContext::For(db.get());
+  auto iter = parallel->Open(&ctx);
+  ASSERT_TRUE(iter.ok());
+  std::vector<Row> rows;
+  ASSERT_TRUE(DrainIterator(iter->get(), &rows).ok());
+
+  ASSERT_EQ(rows.size(), serial.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].size(), serial[i].size());
+    for (size_t c = 0; c < rows[i].size(); ++c) {
+      EXPECT_EQ(rows[i][c].Compare(serial[i][c]), 0) << "row " << i;
+    }
+  }
+  EXPECT_NE(parallel->Describe().find("Gather Streams"), std::string::npos);
+}
+
+TEST(ParallelTest, ParallelSortMatchesSerial) {
+  auto db = OpenTestDb("parsort");
+  // Enough rows to cross the parallel-sort threshold.
+  catalog::TableDef* table = MakeNumbersTable(db.get(), "t", 6000, 17);
+  auto run_sort = [&](int dop) {
+    OperatorPtr plan = std::make_unique<TableScanOp>(table);
+    std::vector<SortKey> keys;
+    keys.push_back({Col(0, DataType::kInt32), false});  // group key: many ties
+    plan = std::make_unique<SortOp>(std::move(plan), std::move(keys));
+    ExecContext ctx = ExecContext::For(db.get());
+    ctx.dop = dop;
+    auto iter = plan->Open(&ctx);
+    EXPECT_TRUE(iter.ok());
+    std::vector<Row> rows;
+    EXPECT_TRUE(DrainIterator(iter->get(), &rows).ok());
+    return rows;
+  };
+  const std::vector<Row> serial = run_sort(1);
+  const std::vector<Row> parallel = run_sort(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  // Ties broken by input order in both paths: byte-identical output.
+  for (size_t i = 0; i < serial.size(); ++i) {
+    for (size_t c = 0; c < serial[i].size(); ++c) {
+      ASSERT_EQ(serial[i][c].Compare(parallel[i][c]), 0) << "row " << i;
+    }
+  }
 }
 
 TEST(OperatorTest, SortAndTop) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "genomics/register.h"
 #include "sql/engine.h"
 #include "sql/parser.h"
@@ -455,6 +458,88 @@ TEST_F(SqlTest, ExplainShowsParallelBinningPlan) {
   EXPECT_NE(plan->find("Filter"), std::string::npos) << *plan;
   EXPECT_NE(plan->find("Table Scan [ReadT] pages"), std::string::npos)
       << *plan;
+}
+
+TEST_F(SqlTest, ParallelCrossApplyPipelineMatchesSerial) {
+  // A non-aggregate CROSS APPLY pipeline over a big heap parallelizes as
+  // an exchange; the order-preserving gather keeps output byte-identical
+  // to the serial plan.
+  Exec("CREATE TABLE aligned (pos BIGINT, seq VARCHAR(10), quals "
+       "VARCHAR(10))");
+  auto* table = *db_->GetTable("aligned");
+  for (int i = 0; i < 12000; ++i) {
+    ASSERT_TRUE(db_->InsertRow(table, Row{Value::Int64(i * 2),
+                                          Value::String("ACG"),
+                                          Value::String("III")})
+                    .ok());
+  }
+  const std::string query =
+      "SELECT pa.pos AS ref_pos, base, qual FROM aligned "
+      "CROSS APPLY PivotAlignment(aligned.pos, seq, quals) AS pa";
+
+  db_->set_max_dop(1);
+  Result<std::string> serial_plan = engine_->Explain(query);
+  ASSERT_TRUE(serial_plan.ok());
+  EXPECT_EQ(serial_plan->find("Gather Streams"), std::string::npos)
+      << *serial_plan;
+  QueryResult serial = Exec(query);
+
+  db_->set_max_dop(4);
+  Result<std::string> plan = engine_->Explain(query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("Gather Streams"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Distribute Streams"), std::string::npos) << *plan;
+  QueryResult parallel = Exec(query);
+
+  ASSERT_EQ(serial.rows.size(), 12000u * 3);
+  ASSERT_EQ(parallel.rows.size(), serial.rows.size());
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    for (size_t c = 0; c < serial.rows[i].size(); ++c) {
+      ASSERT_EQ(serial.rows[i][c].Compare(parallel.rows[i][c]), 0)
+          << "row " << i;
+    }
+  }
+}
+
+TEST_F(SqlTest, ConcurrentParallelQueriesShareDefaultPool) {
+  // Two threads running the parallel-aggregate Query 1 shape concurrently
+  // share ThreadPool::Default(); both must complete with correct results.
+  Exec("CREATE TABLE ReadT (r_e_id INT, short_read_seq VARCHAR(40))");
+  auto* table = *db_->GetTable("ReadT");
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(db_->InsertRow(
+                    table, Row{Value::Int32(1),
+                               Value::String("ACGT" + std::to_string(i % 5))})
+                    .ok());
+  }
+  const std::string query =
+      "SELECT COUNT(*) AS freq, short_read_seq FROM ReadT "
+      "WHERE CHARINDEX('N', short_read_seq) = 0 "
+      "GROUP BY short_read_seq ORDER BY short_read_seq";
+  // The plan must actually be parallel for this to exercise contention.
+  Result<std::string> plan = engine_->Explain(query);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_NE(plan->find("Gather Streams"), std::string::npos) << *plan;
+
+  constexpr int kRunsPerThread = 4;
+  std::atomic<int> failures{0};
+  auto run = [&] {
+    for (int r = 0; r < kRunsPerThread; ++r) {
+      Result<QueryResult> result = engine_->Execute(query);
+      if (!result.ok() || result->rows.size() != 5) {
+        failures.fetch_add(1);
+        continue;
+      }
+      for (const Row& row : result->rows) {
+        if (row[0].AsInt64() != 4000) failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(run);
+  std::thread b(run);
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST_F(SqlTest, ErrorsAreReported) {

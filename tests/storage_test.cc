@@ -250,7 +250,7 @@ TEST(HeapTableTest, TruncateToRowsUndoesAppends) {
   HeapTable table(TestSchema(), Compression::kRow, 512);
   for (int i = 0; i < 100; ++i) ASSERT_TRUE(table.Insert(TestRow(i)).ok());
   for (int i = 100; i < 177; ++i) ASSERT_TRUE(table.Insert(TestRow(i)).ok());
-  table.TruncateToRows(100);
+  ASSERT_TRUE(table.TruncateToRows(100).ok());
   EXPECT_EQ(table.num_rows(), 100u);
   auto iter = table.NewScan();
   Row row;
