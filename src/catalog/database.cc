@@ -19,7 +19,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& name,
   std::unique_ptr<Database> db(new Database(name, std::move(options)));
   HTG_ASSIGN_OR_RETURN(
       db->filestream_,
-      storage::FileStreamStore::Open(db->options_.filestream_root));
+      storage::FileStreamStore::Open(db->options_.filestream_root,
+                                     db->options_.filestream_options));
   udf::RegisterBuiltins(&db->functions_);
   return db;
 }

@@ -18,6 +18,9 @@ namespace htg {
 struct DatabaseOptions {
   // Directory for FILESTREAM BLOBs. Empty = "<name>_fs" under /tmp.
   std::string filestream_root;
+  // Durability knobs for the BLOB store (Vfs seam, retry policy, read
+  // verification). Tests inject a FaultInjectingVfs here.
+  storage::FileStreamOptions filestream_options;
   // Degree of parallelism for eligible query plans (SQL Server's MAXDOP).
   int max_dop = 4;
   // Row-count threshold below which the planner stays serial.

@@ -1,0 +1,62 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace htg {
+
+namespace {
+
+// Four 256-entry tables for slice-by-4, generated at first use.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Crc32cTables& tab = Tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 3) != 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xff];
+    --n;
+  }
+  while (n >= 4) {
+    const uint32_t w = crc ^ (static_cast<uint32_t>(p[0]) |
+                              (static_cast<uint32_t>(p[1]) << 8) |
+                              (static_cast<uint32_t>(p[2]) << 16) |
+                              (static_cast<uint32_t>(p[3]) << 24));
+    crc = tab.t[3][w & 0xff] ^ tab.t[2][(w >> 8) & 0xff] ^
+          tab.t[1][(w >> 16) & 0xff] ^ tab.t[0][(w >> 24) & 0xff];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xff];
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace htg

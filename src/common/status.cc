@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kTransient:
+      return "Transient";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

@@ -17,6 +17,9 @@ enum class StatusCode {
   kOutOfRange,
   kCorruption,
   kIOError,
+  // A fault that may clear on retry (injected EIO, interrupted syscall);
+  // storage::RunWithRetries retries only this code.
+  kTransient,
   kNotImplemented,
   kInternal,
   kAborted,
@@ -51,6 +54,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Transient(std::string msg) {
+    return Status(StatusCode::kTransient, std::move(msg));
+  }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
@@ -79,6 +85,8 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsTransient() const { return code_ == StatusCode::kTransient; }
 
   // Human-readable "CODE: message" form for logs and test failures.
   std::string ToString() const;

@@ -65,7 +65,17 @@ Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
   }
   QueryResult last;
   for (const Statement& stmt : statements) {
-    HTG_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+    // Statement-level degradation: a failed statement has already rolled
+    // back its partial writes (see ExecuteInsert), so a transient I/O fault
+    // can be retried whole-statement, and a hard failure aborts the batch
+    // while leaving the session fully usable.
+    Result<QueryResult> r = ExecuteStatement(stmt);
+    for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
+                          attempt < kStatementRetries;
+         ++attempt) {
+      r = ExecuteStatement(stmt);
+    }
+    HTG_ASSIGN_OR_RETURN(last, std::move(r));
   }
   return last;
 }

@@ -30,6 +30,11 @@ struct QueryResult {
 //   auto result = engine.Execute("SELECT COUNT(*) FROM Read");
 class SqlEngine {
  public:
+  // Whole-statement retry budget for transient I/O faults that survive the
+  // storage layer's own RunWithRetries backoff. Rollback makes a failed
+  // statement side-effect-free, so re-running it is safe.
+  static constexpr int kStatementRetries = 3;
+
   explicit SqlEngine(Database* db) : db_(db) {}
 
   // Executes one or more ';'-separated statements; returns the last

@@ -1,5 +1,8 @@
 #include "storage/clustered_table.h"
 
+#include "common/crc32c.h"
+#include "common/string_util.h"
+
 namespace htg::storage {
 
 class ClusteredTable::ScanIterator : public RowIterator {
@@ -9,8 +12,29 @@ class ClusteredTable::ScanIterator : public RowIterator {
 
   bool Next(Row* row) override {
     if (!cursor_.Valid()) return false;
+    // Verify and strip the per-payload CRC32C trailer appended by Insert.
+    const std::string& payload = cursor_.payload();
+    if (payload.size() < 4) {
+      status_ = Status::Corruption("clustered leaf payload too small");
+      return false;
+    }
+    const size_t body = payload.size() - 4;
+    uint32_t expected = 0;
+    for (int i = 0; i < 4; ++i) {
+      expected |= static_cast<uint32_t>(
+                      static_cast<unsigned char>(payload[body + i]))
+                  << (8 * i);
+    }
+    const uint32_t actual = Crc32c(payload.data(), body);
+    if (expected != actual) {
+      status_ = Status::Corruption(
+          StringPrintf("clustered leaf checksum mismatch "
+                       "(stored %08x, computed %08x)",
+                       expected, actual));
+      return false;
+    }
     status_ = DecodeRow(table_->schema_, table_->row_mode_,
-                        Slice(cursor_.payload()), row);
+                        Slice(payload.data(), body), row);
     if (!status_.ok()) return false;
     cursor_.Advance();
     return true;
@@ -43,6 +67,13 @@ Status ClusteredTable::Insert(const Row& row) {
   }
   std::string payload;
   HTG_RETURN_IF_ERROR(EncodeRow(schema_, row, row_mode_, &payload));
+  // Per-payload CRC32C trailer: leaf payloads are the clustered table's
+  // durable row images, so scans detect in-memory or spilled corruption the
+  // same way page decodes do.
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
   tree_.Insert(std::move(key), std::move(payload));
   return Status::OK();
 }

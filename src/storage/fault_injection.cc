@@ -1,0 +1,182 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace htg::storage {
+
+uint64_t FaultPlan::SeedFromEnv() {
+  const char* env = std::getenv("HTG_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+int64_t FaultInjectingVfs::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjectingVfs::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+void FaultInjectingVfs::Reset(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  ops_ = 0;
+  transient_left_ = -1;
+  crashed_ = false;
+  fired_ = false;
+}
+
+Status FaultInjectingVfs::NextOp(const std::string& what,
+                                 int64_t* torn_prefix) {
+  if (torn_prefix != nullptr) *torn_prefix = -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::IOError("simulated crash: I/O after fault point (" + what +
+                           ")");
+  }
+  // A pending transient fault keeps failing the retried op until it clears.
+  if (transient_left_ > 0) {
+    --transient_left_;
+    return Status::Transient("injected transient EIO (" + what + ")");
+  }
+  const int64_t index = ops_++;
+  if (plan_.kind == FaultPlan::Kind::kNone || index != plan_.fail_at_op) {
+    return Status::OK();
+  }
+  fired_ = true;
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kNone:
+      return Status::OK();
+    case FaultPlan::Kind::kTransientEio:
+      transient_left_ = plan_.transient_failures - 1;
+      return Status::Transient("injected transient EIO (" + what + ")");
+    case FaultPlan::Kind::kTornWrite:
+      if (plan_.crash_after_fault) crashed_ = true;
+      if (torn_prefix != nullptr) {
+        // Seed-dependent torn point; the actual length is clamped to the
+        // append size at the write site.
+        *torn_prefix = static_cast<int64_t>(plan_.seed % 4093 + 1);
+      }
+      return Status::IOError("injected torn write (" + what + ")");
+    case FaultPlan::Kind::kNoSpace:
+      if (plan_.crash_after_fault) crashed_ = true;
+      return Status::IOError("injected ENOSPC (" + what + ")");
+    case FaultPlan::Kind::kSyncFail:
+    case FaultPlan::Kind::kFail:
+      if (plan_.crash_after_fault) crashed_ = true;
+      return Status::IOError("injected I/O fault (" + what + ")");
+  }
+  return Status::OK();
+}
+
+// Wraps a base WritableFile so Append/Sync/Close consult the shared plan.
+class FaultInjectingVfs::FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultInjectingVfs* vfs,
+                     std::unique_ptr<WritableFile> base, std::string path)
+      : vfs_(vfs), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    int64_t torn_prefix = -1;
+    const Status fault = vfs_->NextOp("append " + path_, &torn_prefix);
+    if (fault.ok()) return base_->Append(data);
+    if (torn_prefix >= 0) {
+      // Torn write: persist a strict prefix, then report the failure.
+      const size_t n =
+          std::min(data.size() - (data.empty() ? 0 : 1),
+                   static_cast<size_t>(torn_prefix));
+      base_->Append(data.substr(0, n)).ok();
+      base_->Sync().ok();  // the torn prefix really reaches the platter
+    }
+    return fault;
+  }
+
+  Status Sync() override {
+    const Status fault = vfs_->NextOp("fsync " + path_, nullptr);
+    if (!fault.ok()) return fault;
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    const Status fault = vfs_->NextOp("close " + path_, nullptr);
+    if (!fault.ok()) {
+      base_->Close().ok();
+      return fault;
+    }
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectingVfs* vfs_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingVfs::NewWritableFile(
+    const std::string& path) {
+  HTG_RETURN_IF_ERROR(NextOp("create " + path, nullptr));
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       base_->NewWritableFile(path));
+  return {std::make_unique<FaultyWritableFile>(this, std::move(file), path)};
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingVfs::NewAppendableFile(
+    const std::string& path) {
+  HTG_RETURN_IF_ERROR(NextOp("open-append " + path, nullptr));
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       base_->NewAppendableFile(path));
+  return {std::make_unique<FaultyWritableFile>(this, std::move(file), path)};
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectingVfs::NewRandomAccessFile(const std::string& path) {
+  return base_->NewRandomAccessFile(path);
+}
+
+Result<std::string> FaultInjectingVfs::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectingVfs::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  HTG_RETURN_IF_ERROR(NextOp("rename " + from, nullptr));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingVfs::DeleteFile(const std::string& path) {
+  HTG_RETURN_IF_ERROR(NextOp("unlink " + path, nullptr));
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectingVfs::CreateDirs(const std::string& path) {
+  // Not counted: directory creation happens once per store, before any
+  // interesting durability point.
+  return base_->CreateDirs(path);
+}
+
+bool FaultInjectingVfs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingVfs::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingVfs::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Status FaultInjectingVfs::SyncDir(const std::string& path) {
+  HTG_RETURN_IF_ERROR(NextOp("fsync dir " + path, nullptr));
+  return base_->SyncDir(path);
+}
+
+}  // namespace htg::storage

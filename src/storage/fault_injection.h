@@ -1,0 +1,104 @@
+#ifndef HTG_STORAGE_FAULT_INJECTION_H_
+#define HTG_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/vfs.h"
+
+namespace htg::storage {
+
+// Deterministic fault plan: which mutating operation fails, and how.
+// Mutating operations (file creation, append, sync, close, rename, delete,
+// directory sync) are numbered 0, 1, 2, ... in call order; the op whose
+// index equals `fail_at_op` is hit. Read operations are never counted, so
+// an op index identifies the same durability point regardless of how often
+// the caller re-reads state.
+struct FaultPlan {
+  enum class Kind {
+    kNone,
+    // The op fails with nothing persisted (classic EIO on the syscall).
+    kFail,
+    // Append persists a prefix of the data (seed-chosen length), then
+    // fails — the torn page / short write of a power cut mid-write.
+    kTornWrite,
+    // Append persists nothing and reports ENOSPC.
+    kNoSpace,
+    // Sync reports failure; written data stays in the OS cache (and, in
+    // this simulation, in the file) but durability was never promised.
+    kSyncFail,
+    // The op fails with Status::Transient `transient_failures` times in a
+    // row, then the device "recovers" and everything succeeds.
+    kTransientEio,
+  };
+
+  Kind kind = Kind::kNone;
+  // Index of the mutating op to hit; -1 disables injection.
+  int64_t fail_at_op = -1;
+  // kTransientEio: consecutive failures before the fault clears.
+  int transient_failures = 2;
+  // Varies the torn-write prefix length; defaults from HTG_FAULT_SEED.
+  uint64_t seed = 0;
+  // After the fault fires, every later mutating op fails too — the process
+  // is "dead" until the store is reopened (the crash-recovery sweep).
+  // kTransientEio ignores this (a transient fault is by definition one the
+  // process survives).
+  bool crash_after_fault = true;
+
+  // Reads HTG_FAULT_SEED from the environment (0 if unset).
+  static uint64_t SeedFromEnv();
+};
+
+// A Vfs wrapper that injects the planned fault, for the crash-recovery
+// sweep ("inject fault at op k, reopen, verify invariants" for k = 0..N)
+// and the graceful-degradation tests. Thread-safe; one shared op counter.
+class FaultInjectingVfs : public Vfs {
+ public:
+  FaultInjectingVfs(Vfs* base, FaultPlan plan)
+      : base_(base), plan_(plan) {}
+
+  // Total mutating ops seen so far — run once fault-free to learn N, then
+  // sweep fail_at_op over [0, N).
+  int64_t ops_seen() const;
+  bool fault_fired() const;
+  // Re-arms with a new plan and resets the op counter and crash state.
+  void Reset(FaultPlan plan);
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  class FaultyWritableFile;
+
+  // Decides the fate of the next mutating op. Returns OK to pass it
+  // through; a non-OK status to fail it. `torn_prefix` (may be null) is set
+  // to the number of bytes an Append should persist before failing, or -1
+  // to persist nothing.
+  Status NextOp(const std::string& what, int64_t* torn_prefix);
+
+  Vfs* base_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  int64_t ops_ = 0;
+  int transient_left_ = -1;  // -1 = fault not yet armed
+  bool crashed_ = false;
+  bool fired_ = false;
+};
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_FAULT_INJECTION_H_

@@ -1,45 +1,177 @@
 #include "storage/filestream.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <system_error>
 
+#include "common/crc32c.h"
 #include "common/string_util.h"
 
 namespace htg::storage {
 
-namespace fs = std::filesystem;
+namespace {
 
-FileStreamReader::~FileStreamReader() {
-  if (file_ != nullptr) fclose(file_);
-}
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kWalName[] = "wal.log";
+constexpr char kManifestHeader[] = "HTGFS-MANIFEST v1";
+
+}  // namespace
 
 Result<size_t> FileStreamReader::GetBytes(uint64_t offset, char* buf,
                                           size_t len) {
-  if (offset >= size_) return size_t{0};
-  if (offset != pos_) {
-    if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
-      return Status::IOError("seek failed in filestream blob");
-    }
-    pos_ = offset;
-  }
-  const size_t n = fread(buf, 1, len, file_);
-  if (n == 0 && ferror(file_)) {
-    return Status::IOError("read failed in filestream blob");
-  }
-  pos_ += n;
-  return n;
+  if (offset >= file_->size()) return size_t{0};
+  return file_->ReadAt(offset, buf, len);
 }
 
 Result<std::unique_ptr<FileStreamStore>> FileStreamStore::Open(
-    std::string root) {
-  std::error_code ec;
-  fs::create_directories(root, ec);
-  if (ec) {
-    return Status::IOError("cannot create filestream root " + root + ": " +
-                           ec.message());
+    std::string root, FileStreamOptions options) {
+  Vfs* vfs = options.vfs != nullptr ? options.vfs : Vfs::Default();
+  HTG_RETURN_IF_ERROR(vfs->CreateDirs(root));
+  std::unique_ptr<FileStreamStore> store(
+      new FileStreamStore(std::move(root), options, vfs));
+  HTG_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+Status FileStreamStore::LoadManifest() {
+  const std::string path = root_ + "/" + kManifestName;
+  if (!vfs_->FileExists(path)) return Status::OK();
+  HTG_ASSIGN_OR_RETURN(std::string data, vfs_->ReadFileToString(path));
+  size_t pos = 0;
+  bool first = true;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string::npos) eol = data.size();
+    const std::string_view line(data.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line != kManifestHeader) {
+        return Status::Corruption("filestream manifest header mismatch");
+      }
+      continue;
+    }
+    const std::vector<std::string_view> fields = Split(line, ' ');
+    if (fields.size() != 3) {
+      return Status::Corruption("filestream manifest line malformed");
+    }
+    HTG_ASSIGN_OR_RETURN(int64_t size, ParseInt64(fields[1]));
+    HTG_ASSIGN_OR_RETURN(int64_t crc, ParseInt64(fields[2]));
+    manifest_[std::string(fields[0])] = {static_cast<uint64_t>(size),
+                                         static_cast<uint32_t>(crc)};
   }
-  return std::unique_ptr<FileStreamStore>(new FileStreamStore(std::move(root)));
+  return Status::OK();
+}
+
+Status FileStreamStore::WriteManifestLocked() {
+  std::string data(kManifestHeader);
+  data.push_back('\n');
+  for (const auto& [name, meta] : manifest_) {
+    data += StringPrintf("%s %llu %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(meta.size),
+                         static_cast<unsigned long long>(meta.crc));
+  }
+  return WriteFileAtomic(vfs_, root_ + "/" + kManifestName, data);
+}
+
+Status FileStreamStore::Recover() {
+  HTG_RETURN_IF_ERROR(LoadManifest());
+
+  std::vector<WalRecord> log;
+  HTG_ASSIGN_OR_RETURN(wal_,
+                       WriteAheadLog::Open(vfs_, root_ + "/" + kWalName, &log));
+
+  // Replay: fold commits into the manifest, collect unresolved intents.
+  std::map<std::string, BlobMeta> pending_creates;
+  std::map<std::string, bool> pending_deletes;
+  for (const WalRecord& record : log) {
+    switch (record.type) {
+      case WalRecordType::kIntentCreate:
+        pending_creates[record.name] = {record.size, record.content_crc};
+        break;
+      case WalRecordType::kCommitCreate: {
+        auto it = pending_creates.find(record.name);
+        if (it != pending_creates.end()) {
+          manifest_[record.name] = it->second;
+          pending_creates.erase(it);
+        }
+        break;
+      }
+      case WalRecordType::kIntentDelete:
+        pending_deletes[record.name] = true;
+        break;
+      case WalRecordType::kCommitDelete:
+        manifest_.erase(record.name);
+        pending_deletes.erase(record.name);
+        break;
+    }
+  }
+
+  // Unresolved creates: roll forward iff the blob reached the platter
+  // complete (size and CRC32C match the intent); otherwise roll back.
+  for (const auto& [name, meta] : pending_creates) {
+    const std::string path = root_ + "/" + name;
+    bool complete = false;
+    if (vfs_->FileExists(path)) {
+      Result<std::string> content = vfs_->ReadFileToString(path);
+      complete = content.ok() && content->size() == meta.size &&
+                 Crc32c(*content) == meta.crc;
+    }
+    if (complete) {
+      manifest_[name] = meta;
+      ++recovery_stats_.creates_rolled_forward;
+    } else {
+      if (vfs_->FileExists(path)) vfs_->DeleteFile(path).ok();
+      ++recovery_stats_.creates_rolled_back;
+    }
+  }
+
+  // Unresolved deletes always roll forward — unlink is idempotent.
+  for (const auto& [name, unused] : pending_deletes) {
+    (void)unused;
+    const std::string path = root_ + "/" + name;
+    if (vfs_->FileExists(path)) vfs_->DeleteFile(path).ok();
+    manifest_.erase(name);
+    ++recovery_stats_.deletes_completed;
+  }
+
+  // The catalog must not claim blobs the filesystem does not hold (a crash
+  // between Clear()'s manifest rewrite and its unlink sweep, or external
+  // tampering with the store directory).
+  for (auto it = manifest_.begin(); it != manifest_.end();) {
+    if (!vfs_->FileExists(root_ + "/" + it->first)) {
+      it = manifest_.erase(it);
+      ++recovery_stats_.missing_blobs_dropped;
+    } else {
+      ++it;
+    }
+  }
+
+  // Sweep orphans: temp files from torn writes and files reachable from
+  // neither manifest nor log (the store owns its root).
+  HTG_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                       vfs_->ListDir(root_));
+  for (const std::string& name : entries) {
+    if (name == kManifestName || name == kWalName) continue;
+    if (manifest_.count(name) > 0) continue;
+    vfs_->DeleteFile(root_ + "/" + name).ok();
+    ++recovery_stats_.orphans_removed;
+  }
+
+  // Checkpoint: the manifest now holds the recovered truth; start a fresh
+  // log so old intents are not replayed twice.
+  std::lock_guard<std::mutex> lock(mu_);
+  HTG_RETURN_IF_ERROR(WriteManifestLocked());
+  HTG_RETURN_IF_ERROR(wal_->Reset());
+
+  // Continue blob numbering after the largest recovered id.
+  for (const auto& [name, meta] : manifest_) {
+    (void)meta;
+    const uint64_t id = std::strtoull(name.c_str(), nullptr, 10);
+    if (id + 1 > next_id_) next_id_ = id + 1;
+  }
+  return Status::OK();
 }
 
 Result<std::string> FileStreamStore::CreateBlob(const std::string& name_hint,
@@ -51,90 +183,169 @@ Result<std::string> FileStreamStore::CreateBlob(const std::string& name_hint,
             ? c
             : '_');
   }
-  const std::string path =
-      root_ + "/" + StringPrintf("%06llu_",
-                                 static_cast<unsigned long long>(next_id_++)) +
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name =
+      StringPrintf("%06llu_", static_cast<unsigned long long>(next_id_++)) +
       safe_hint;
-  FILE* f = fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot create filestream blob " + path);
-  }
-  if (!bytes.empty() && fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-    fclose(f);
-    return Status::IOError("short write to filestream blob " + path);
-  }
-  fclose(f);
+  const std::string path = root_ + "/" + name;
+  const BlobMeta meta{bytes.size(), Crc32c(bytes)};
+
+  // Intent -> fsync -> temp write -> fsync -> rename -> commit. Transient
+  // device faults retry the whole sequence (duplicate intents are resolved
+  // by replay: the last one wins).
+  const Status status = RunWithRetries(options_.retry, [&]() -> Status {
+    WalRecord intent;
+    intent.type = WalRecordType::kIntentCreate;
+    intent.name = name;
+    intent.size = meta.size;
+    intent.content_crc = meta.crc;
+    HTG_RETURN_IF_ERROR(wal_->Append(intent, /*sync=*/true));
+    HTG_RETURN_IF_ERROR(WriteFileAtomic(vfs_, path, bytes));
+    WalRecord commit;
+    commit.type = WalRecordType::kCommitCreate;
+    commit.name = name;
+    return wal_->Append(commit, /*sync=*/false);
+  });
+  if (!status.ok()) return status;
+  manifest_[name] = meta;
   return path;
 }
 
 Result<std::string> FileStreamStore::ImportFile(const std::string& source_path,
                                                 const std::string& name_hint) {
-  std::error_code ec;
-  if (!fs::exists(source_path, ec)) {
+  if (!vfs_->FileExists(source_path)) {
     return Status::NotFound("bulk import source missing: " + source_path);
   }
-  HTG_ASSIGN_OR_RETURN(std::string path, CreateBlob(name_hint, ""));
-  fs::copy_file(source_path, path, fs::copy_options::overwrite_existing, ec);
-  if (ec) {
-    return Status::IOError("bulk import failed: " + ec.message());
+  HTG_ASSIGN_OR_RETURN(std::string content,
+                       vfs_->ReadFileToString(source_path));
+  return CreateBlob(name_hint, content);
+}
+
+Result<std::string> FileStreamStore::NameForPath(
+    const std::string& path) const {
+  const std::string prefix = root_ + "/";
+  if (path.rfind(prefix, 0) != 0 ||
+      path.find('/', prefix.size()) != std::string::npos) {
+    return Status::NotFound("not a filestream blob path: " + path);
   }
-  return path;
+  return path.substr(prefix.size());
 }
 
 Result<std::unique_ptr<FileStreamReader>> FileStreamStore::OpenStream(
     const std::string& path) const {
-  FILE* f = fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+  Result<std::unique_ptr<RandomAccessFile>> file =
+      vfs_->NewRandomAccessFile(path);
+  if (!file.ok()) {
     return Status::NotFound("filestream blob missing: " + path);
   }
-  std::error_code ec;
-  const uint64_t size = fs::file_size(path, ec);
-  if (ec) {
-    fclose(f);
-    return Status::IOError("cannot stat filestream blob: " + path);
-  }
-  return std::unique_ptr<FileStreamReader>(new FileStreamReader(f, size));
+  return std::unique_ptr<FileStreamReader>(
+      new FileStreamReader(std::move(*file)));
 }
 
 Result<std::string> FileStreamStore::ReadAll(const std::string& path) const {
-  HTG_ASSIGN_OR_RETURN(std::unique_ptr<FileStreamReader> reader,
-                       OpenStream(path));
-  std::string out;
-  out.resize(reader->size());
-  HTG_ASSIGN_OR_RETURN(size_t n,
-                       reader->GetBytes(0, out.data(), out.size()));
-  out.resize(n);
-  return out;
+  HTG_ASSIGN_OR_RETURN(std::string content, vfs_->ReadFileToString(path));
+  if (options_.verify_on_read) {
+    Result<std::string> name = NameForPath(path);
+    if (name.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = manifest_.find(*name);
+      if (it != manifest_.end() && (content.size() != it->second.size ||
+                                    Crc32c(content) != it->second.crc)) {
+        return Status::Corruption("filestream blob checksum mismatch: " +
+                                  path);
+      }
+    }
+  }
+  return content;
 }
 
 Result<uint64_t> FileStreamStore::BlobSize(const std::string& path) const {
-  std::error_code ec;
-  const uint64_t size = fs::file_size(path, ec);
-  if (ec) return Status::NotFound("filestream blob missing: " + path);
-  return size;
+  HTG_ASSIGN_OR_RETURN(std::string name, NameForPath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = manifest_.find(name);
+  if (it == manifest_.end()) {
+    return Status::NotFound("filestream blob missing: " + path);
+  }
+  return it->second.size;
 }
 
-Status FileStreamStore::Delete(const std::string& path) {
-  std::error_code ec;
-  if (!fs::remove(path, ec) || ec) {
-    return Status::IOError("cannot delete filestream blob: " + path);
+Status FileStreamStore::VerifyBlob(const std::string& path) const {
+  HTG_ASSIGN_OR_RETURN(std::string name, NameForPath(path));
+  BlobMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = manifest_.find(name);
+    if (it == manifest_.end()) {
+      return Status::NotFound("filestream blob missing: " + path);
+    }
+    meta = it->second;
+  }
+  HTG_ASSIGN_OR_RETURN(std::string content, vfs_->ReadFileToString(path));
+  if (content.size() != meta.size || Crc32c(content) != meta.crc) {
+    return Status::Corruption("filestream blob checksum mismatch: " + path);
   }
   return Status::OK();
 }
 
+std::vector<std::string> FileStreamStore::ListBlobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(manifest_.size());
+  for (const auto& [name, meta] : manifest_) {
+    (void)meta;
+    paths.push_back(root_ + "/" + name);
+  }
+  return paths;
+}
+
+Status FileStreamStore::Delete(const std::string& path) {
+  HTG_ASSIGN_OR_RETURN(std::string name, NameForPath(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (manifest_.count(name) == 0) {
+    return Status::IOError("cannot delete filestream blob: " + path);
+  }
+  const Status status = RunWithRetries(options_.retry, [&]() -> Status {
+    WalRecord intent;
+    intent.type = WalRecordType::kIntentDelete;
+    intent.name = name;
+    HTG_RETURN_IF_ERROR(wal_->Append(intent, /*sync=*/true));
+    const Status unlinked = vfs_->DeleteFile(path);
+    if (!unlinked.ok() && !unlinked.IsNotFound()) return unlinked;
+    WalRecord commit;
+    commit.type = WalRecordType::kCommitDelete;
+    commit.name = name;
+    return wal_->Append(commit, /*sync=*/false);
+  });
+  if (!status.ok()) return status;
+  manifest_.erase(name);
+  return Status::OK();
+}
+
 uint64_t FileStreamStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(root_, ec)) {
-    if (entry.is_regular_file()) total += entry.file_size();
+  for (const auto& [name, meta] : manifest_) {
+    (void)name;
+    total += meta.size;
   }
   return total;
 }
 
 Status FileStreamStore::Clear() {
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(root_, ec)) {
-    fs::remove_all(entry.path(), ec);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Catalog first, files second: once the empty manifest is durable, a
+  // crash mid-sweep leaves only orphans, which the next Open removes. The
+  // reverse order would leave the catalog claiming vanished blobs.
+  manifest_.clear();
+  HTG_RETURN_IF_ERROR(WriteManifestLocked());
+  HTG_RETURN_IF_ERROR(wal_->Reset());
+  Result<std::vector<std::string>> entries = vfs_->ListDir(root_);
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      if (name == kManifestName || name == kWalName) continue;
+      vfs_->DeleteFile(root_ + "/" + name).ok();
+    }
   }
   return Status::OK();
 }

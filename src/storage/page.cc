@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/crc32c.h"
 #include "common/string_util.h"
 #include "common/varint.h"
 
@@ -18,6 +19,20 @@ void PutU16(std::string* dst, uint16_t v) {
 uint16_t GetU16(const char* p) {
   return static_cast<uint16_t>(static_cast<unsigned char>(p[0]) |
                                (static_cast<unsigned char>(p[1]) << 8));
+}
+
+void PutU32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
 }
 
 // Longest common prefix of a set of strings.
@@ -73,6 +88,10 @@ Status PageBuilder::Add(const Row& row) {
 std::string PageBuilder::Finish() {
   std::string page = mode_ == Compression::kPage ? FinishPageCompressed()
                                                  : FinishRowStream();
+  // PAGE_VERIFY CHECKSUM: a CRC32C trailer over the whole page, so a torn
+  // or bit-flipped page is a typed Status::Corruption at decode time, not
+  // undefined behaviour.
+  PutU32(&page, Crc32c(page));
   encoded_rows_.clear();
   bitmaps_.clear();
   fields_.clear();
@@ -167,14 +186,31 @@ PageReader::PageReader(const Schema* schema, Slice page)
     : schema_(schema), page_(page) {}
 
 Status PageReader::Init() {
-  if (page_.size() < 3) return Status::Corruption("page too small");
+  // Verify the CRC32C trailer before trusting a single header byte: any
+  // flipped bit anywhere in the page (including in the trailer itself)
+  // surfaces here as Status::Corruption.
+  if (page_.size() < 3 + kPageChecksumBytes) {
+    return Status::Corruption("page too small");
+  }
+  const size_t body = page_.size() - kPageChecksumBytes;
+  const uint32_t expected = GetU32(page_.data() + body);
+  const uint32_t actual = Crc32c(page_.data(), body);
+  if (expected != actual) {
+    return Status::Corruption(StringPrintf(
+        "page checksum mismatch (stored %08x, computed %08x)", expected,
+        actual));
+  }
   mode_ = static_cast<Compression>(page_[0]);
+  if (mode_ != Compression::kNone && mode_ != Compression::kRow &&
+      mode_ != Compression::kPage) {
+    return Status::Corruption("page compression byte invalid");
+  }
   row_count_ = GetU16(page_.data() + 1);
   if (mode_ == Compression::kPage) {
-    return InitPageCompressed(page_.data() + 3, page_.data() + page_.size());
+    return InitPageCompressed(page_.data() + 3, page_.data() + body);
   }
   cursor_ = page_.data() + 3;
-  limit_ = page_.data() + page_.size();
+  limit_ = page_.data() + body;
   return Status::OK();
 }
 

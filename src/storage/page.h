@@ -16,6 +16,12 @@ namespace htg::storage {
 // Storage-engine page size (matches SQL Server's 8 KiB pages).
 inline constexpr size_t kDefaultPageSize = 8192;
 
+// Every serialized page carries a CRC32C trailer (PAGE_VERIFY CHECKSUM):
+// PageBuilder::Finish appends it, PageReader::Init verifies it and returns
+// Status::Corruption on any mismatch — torn pages and bit flips are typed
+// errors, never undefined behaviour at decode time.
+inline constexpr size_t kPageChecksumBytes = 4;
+
 // Accumulates rows for one page and serializes it.
 //
 // For NONE and ROW compression the page is a simple row stream. For PAGE

@@ -1,0 +1,243 @@
+#include "storage/vfs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+namespace htg::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, char* buf,
+                        size_t len) const override {
+    size_t done = 0;
+    while (done < len) {
+      const ssize_t n = ::pread(fd_, buf + done, len - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread", errno);
+      }
+      if (n == 0) break;  // EOF
+      done += static_cast<size_t>(n);
+    }
+    return done;
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    return OpenWritable(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    return OpenWritable(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("open " + path, errno);
+    }
+    const off_t end = ::lseek(fd, 0, SEEK_END);
+    if (end < 0) {
+      ::close(fd);
+      return ErrnoStatus("lseek " + path, errno);
+    }
+    return {std::make_unique<PosixRandomAccessFile>(
+        fd, static_cast<uint64_t>(end))};
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    HTG_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                         NewRandomAccessFile(path));
+    std::string out;
+    out.resize(file->size());
+    HTG_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, out.data(), out.size()));
+    out.resize(n);
+    return out;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) {
+      return Status::IOError("mkdir " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    const uint64_t size = fs::file_size(path, ec);
+    if (ec) return Status::NotFound("cannot stat " + path);
+    return size;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    if (ec) return Status::IOError("list " + path + ": " + ec.message());
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open dir " + path, errno);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync dir " + path, errno);
+    return Status::OK();
+  }
+
+ private:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                     int flags) {
+    const int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path, errno);
+    return {std::make_unique<PosixWritableFile>(fd, path)};
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Default() {
+  static PosixVfs vfs;
+  return &vfs;
+}
+
+Status WriteFileAtomic(Vfs* vfs, const std::string& path,
+                       std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       vfs->NewWritableFile(tmp));
+  Status status = file->Append(data);
+  if (status.ok()) status = file->Sync();
+  const Status close_status = file->Close();
+  if (status.ok()) status = close_status;
+  if (status.ok()) status = vfs->RenameFile(tmp, path);
+  if (!status.ok()) {
+    vfs->DeleteFile(tmp).ok();  // best-effort cleanup of the partial temp
+    return status;
+  }
+  const size_t slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    HTG_RETURN_IF_ERROR(vfs->SyncDir(path.substr(0, slash)));
+  }
+  return Status::OK();
+}
+
+Status RunWithRetries(const RetryPolicy& policy,
+                      const std::function<Status()>& op) {
+  int backoff_us = policy.initial_backoff_us;
+  Status status;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    status = op();
+    if (!status.IsTransient()) return status;
+    if (attempt + 1 < policy.max_attempts) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= policy.backoff_multiplier;
+    }
+  }
+  // Exhausted: surface as a hard I/O error so callers abort the statement.
+  return Status::IOError("transient I/O fault persisted after retries: " +
+                         status.message());
+}
+
+}  // namespace htg::storage

@@ -1,0 +1,92 @@
+#ifndef HTG_STORAGE_VFS_H_
+#define HTG_STORAGE_VFS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace htg::storage {
+
+// The I/O abstraction every durable file access in the engine goes through
+// (FileStream blobs, the write-ahead log, the blob manifest). Having one
+// seam between the engine and the OS is what makes deterministic fault
+// injection possible: FaultInjectingVfs (fault_injection.h) wraps any Vfs
+// and fails the N-th operation with a short write, torn page, fsync error,
+// ENOSPC, or transient EIO — the crash-recovery sweep in
+// tests/faultinject_test.cc drives every one of those points.
+
+// Sequential writer with explicit durability points.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  // Flushes application + OS buffers to the device (fflush + fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+// Positioned reader (pread-style; safe for concurrent readers).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  // Reads up to `len` bytes at `offset`; returns bytes read (0 at EOF).
+  virtual Result<size_t> ReadAt(uint64_t offset, char* buf,
+                                size_t len) const = 0;
+  virtual uint64_t size() const = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // The process-wide POSIX-backed instance.
+  static Vfs* Default();
+
+  // Creates (truncating) a file for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  // Opens (creating if missing) a file for appending — the WAL's mode.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  // Atomic within a filesystem; the commit point of every blob write.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  // Regular-file names (not paths) in `path`, unordered.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  // Makes a preceding rename/create/delete in `path` durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+// Writes `data` to `path` crash-atomically: temp file in the same
+// directory, Sync, Close, rename into place, directory sync. After a crash
+// at any point, `path` either holds its previous content (or is absent) or
+// holds all of `data` — never a torn prefix under the final name.
+Status WriteFileAtomic(Vfs* vfs, const std::string& path,
+                       std::string_view data);
+
+// Retry-with-backoff for transient I/O faults (EINTR-ish conditions, the
+// injected kTransientEio). Only Status::Transient results are retried;
+// anything else returns immediately.
+struct RetryPolicy {
+  int max_attempts = 4;
+  int initial_backoff_us = 100;
+  int backoff_multiplier = 4;
+};
+
+Status RunWithRetries(const RetryPolicy& policy,
+                      const std::function<Status()>& op);
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_VFS_H_

@@ -1,0 +1,110 @@
+#include "storage/wal.h"
+
+#include "common/crc32c.h"
+#include "common/varint.h"
+
+namespace htg::storage {
+
+namespace {
+
+void PutU32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+// Decodes records from `data` into `out`, stopping at the first truncated
+// or CRC-failing record (the torn tail a crash leaves behind).
+void DecodeWalRecords(std::string_view data, std::vector<WalRecord>* out) {
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  while (p < limit) {
+    uint64_t payload_len = 0;
+    const char* q = GetVarint64(p, limit, &payload_len);
+    if (q == nullptr || static_cast<uint64_t>(limit - q) < payload_len + 4) {
+      return;  // truncated tail
+    }
+    const uint32_t stored_crc = GetU32(q);
+    const char* payload = q + 4;
+    if (Crc32c(payload, payload_len) != stored_crc) {
+      return;  // torn tail record
+    }
+    const char* end = payload + payload_len;
+    WalRecord record;
+    if (payload >= end) return;
+    record.type = static_cast<WalRecordType>(*payload++);
+    std::string_view name;
+    payload = GetLengthPrefixed(payload, end, &name);
+    if (payload == nullptr) return;
+    record.name = std::string(name);
+    uint64_t size = 0;
+    payload = GetVarint64(payload, end, &size);
+    if (payload == nullptr || end - payload < 4) return;
+    record.size = size;
+    record.content_crc = GetU32(payload);
+    out->push_back(std::move(record));
+    p = end;
+  }
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  PutLengthPrefixed(&payload, record.name);
+  PutVarint64(&payload, record.size);
+  PutU32(&payload, record.content_crc);
+
+  std::string framed;
+  PutVarint64(&framed, payload.size());
+  PutU32(&framed, Crc32c(payload));
+  framed.append(payload);
+  return framed;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    Vfs* vfs, std::string path, std::vector<WalRecord>* recovered) {
+  recovered->clear();
+  if (vfs->FileExists(path)) {
+    HTG_ASSIGN_OR_RETURN(std::string data, vfs->ReadFileToString(path));
+    DecodeWalRecords(data, recovered);
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(vfs, std::move(path)));
+}
+
+Status WriteAheadLog::EnsureOpen() {
+  if (file_ != nullptr) return Status::OK();
+  HTG_ASSIGN_OR_RETURN(file_, vfs_->NewAppendableFile(path_));
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(const WalRecord& record, bool sync) {
+  HTG_RETURN_IF_ERROR(EnsureOpen());
+  HTG_RETURN_IF_ERROR(file_->Append(EncodeWalRecord(record)));
+  if (sync) HTG_RETURN_IF_ERROR(file_->Sync());
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ != nullptr) {
+    HTG_RETURN_IF_ERROR(file_->Close());
+    file_ = nullptr;
+  }
+  // Truncate by recreating; the next Append reopens in append mode.
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       vfs_->NewWritableFile(path_));
+  HTG_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+}  // namespace htg::storage

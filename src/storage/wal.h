@@ -1,0 +1,77 @@
+#ifndef HTG_STORAGE_WAL_H_
+#define HTG_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/vfs.h"
+
+namespace htg::storage {
+
+// Record types of the FileStream store's intent log. Every durable catalog
+// mutation (a blob becoming visible or being removed) is logged as an
+// intent *before* the filesystem is touched and a commit *after* — the
+// write-ahead protocol of a transaction log, scoped to the store's
+// operations:
+//
+//   create:  IntentCreate(name, size, crc) -> fsync WAL -> write blob.tmp
+//            -> fsync -> rename -> CommitCreate(name)
+//   delete:  IntentDelete(name) -> fsync WAL -> unlink -> CommitDelete(name)
+//
+// Recovery (wal-replay in FileStreamStore::Open) resolves every intent
+// without a matching commit against filesystem reality: a create rolls
+// forward iff the blob exists complete with matching checksum, otherwise
+// rolls back (removing any partial file); a delete always rolls forward
+// (unlink is idempotent). A torn tail record — the expected artifact of a
+// crash mid-append — is detected by the per-record CRC and ignored.
+enum class WalRecordType : uint8_t {
+  kIntentCreate = 1,
+  kCommitCreate = 2,
+  kIntentDelete = 3,
+  kCommitDelete = 4,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kIntentCreate;
+  std::string name;          // blob file name, relative to the store root
+  uint64_t size = 0;         // kIntentCreate: expected blob size
+  uint32_t content_crc = 0;  // kIntentCreate: CRC32C of the blob content
+};
+
+// Append-only log with CRC-framed records.
+class WriteAheadLog {
+ public:
+  // Opens (creating if missing) the log at `path` and replays existing
+  // records into `recovered`, stopping silently at a torn/corrupt tail.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      Vfs* vfs, std::string path, std::vector<WalRecord>* recovered);
+
+  // Appends one record; with `sync`, makes it durable before returning.
+  Status Append(const WalRecord& record, bool sync);
+
+  // Truncates the log to empty — called after recovery has folded the old
+  // log into the manifest checkpoint.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(Vfs* vfs, std::string path)
+      : vfs_(vfs), path_(std::move(path)) {}
+
+  Status EnsureOpen();
+
+  Vfs* vfs_;
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+};
+
+// Serializes one record (framing + CRC); exposed for tests.
+std::string EncodeWalRecord(const WalRecord& record);
+
+}  // namespace htg::storage
+
+#endif  // HTG_STORAGE_WAL_H_

@@ -9,11 +9,11 @@ using genomics::ReferenceGenome;
 using genomics::ShortRead;
 using genomics::TagCount;
 
-Result<uint64_t> LoadReads(Database* db, const std::string& table,
-                           const std::vector<ShortRead>& reads,
-                           const SampleKey& key, int64_t first_id) {
+Result<LoadResult> LoadReads(Database* db, const std::string& table,
+                             const std::vector<ShortRead>& reads,
+                             const SampleKey& key, int64_t first_id) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
-  uint64_t loaded = 0;
+  LoadResult result;
   for (size_t i = 0; i < reads.size(); ++i) {
     const ShortRead& r = reads[i];
     Result<genomics::ReadCoordinates> coords = genomics::ParseReadName(r.name);
@@ -27,6 +27,10 @@ Result<uint64_t> LoadReads(Database* db, const std::string& table,
       row.push_back(Value::Int32(coords->x));
       row.push_back(Value::Int32(coords->y));
     } else {
+      // The read still loads (sequence + quality are intact) but its name
+      // did not decompose; surface that in the rejected count instead of
+      // silently absorbing it.
+      ++result.rejected;
       row.push_back(Value::Null());
       row.push_back(Value::Null());
       row.push_back(Value::Null());
@@ -35,14 +39,15 @@ Result<uint64_t> LoadReads(Database* db, const std::string& table,
     row.push_back(r.quality.empty() ? Value::Null()
                                     : Value::String(r.quality));
     HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
-    ++loaded;
+    ++result.loaded;
   }
-  return loaded;
+  return result;
 }
 
-Result<uint64_t> LoadReadsOneToOne(Database* db, const std::string& table,
-                                   const std::vector<ShortRead>& reads) {
+Result<LoadResult> LoadReadsOneToOne(Database* db, const std::string& table,
+                                     const std::vector<ShortRead>& reads) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  LoadResult result;
   for (const ShortRead& r : reads) {
     Row row;
     row.push_back(Value::String(r.name));
@@ -50,14 +55,16 @@ Result<uint64_t> LoadReadsOneToOne(Database* db, const std::string& table,
     row.push_back(r.quality.empty() ? Value::Null()
                                     : Value::String(r.quality));
     HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+    ++result.loaded;
   }
-  return static_cast<uint64_t>(reads.size());
+  return result;
 }
 
-Result<uint64_t> LoadTags(Database* db, const std::string& table,
-                          const std::vector<TagCount>& tags,
-                          const SampleKey& key) {
+Result<LoadResult> LoadTags(Database* db, const std::string& table,
+                            const std::vector<TagCount>& tags,
+                            const SampleKey& key) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  LoadResult result;
   for (const TagCount& t : tags) {
     Row row;
     row.push_back(Value::Int64(t.rank));
@@ -67,13 +74,15 @@ Result<uint64_t> LoadTags(Database* db, const std::string& table,
     row.push_back(Value::String(t.sequence));
     row.push_back(Value::Int64(t.frequency));
     HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+    ++result.loaded;
   }
-  return static_cast<uint64_t>(tags.size());
+  return result;
 }
 
-Result<uint64_t> LoadReferenceCatalog(Database* db, const std::string& table,
-                                      const ReferenceGenome& ref) {
+Result<LoadResult> LoadReferenceCatalog(Database* db, const std::string& table,
+                                        const ReferenceGenome& ref) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  LoadResult result;
   for (int i = 0; i < ref.num_chromosomes(); ++i) {
     Row row;
     row.push_back(Value::Int32(i));
@@ -81,14 +90,16 @@ Result<uint64_t> LoadReferenceCatalog(Database* db, const std::string& table,
     row.push_back(
         Value::Int64(static_cast<int64_t>(ref.chromosome(i).sequence.size())));
     HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+    ++result.loaded;
   }
-  return static_cast<uint64_t>(ref.num_chromosomes());
+  return result;
 }
 
-Result<uint64_t> LoadAlignments(Database* db, const std::string& table,
-                                const std::vector<Alignment>& alignments,
-                                const SampleKey& key) {
+Result<LoadResult> LoadAlignments(Database* db, const std::string& table,
+                                  const std::vector<Alignment>& alignments,
+                                  const SampleKey& key) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  LoadResult result;
   for (const Alignment& a : alignments) {
     Row row;
     row.push_back(Value::Int32(key.e_id));
@@ -101,18 +112,24 @@ Result<uint64_t> LoadAlignments(Database* db, const std::string& table,
     row.push_back(Value::Int32(a.mismatches));
     row.push_back(Value::Int32(a.mapping_quality));
     HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+    ++result.loaded;
   }
-  return static_cast<uint64_t>(alignments.size());
+  return result;
 }
 
-Result<uint64_t> LoadAlignmentsOneToOne(
+Result<LoadResult> LoadAlignmentsOneToOne(
     Database* db, const std::string& table,
     const std::vector<Alignment>& alignments,
     const std::vector<ShortRead>& reads, const ReferenceGenome& ref) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * def, db->GetTable(table));
+  LoadResult result;
   for (const Alignment& a : alignments) {
-    if (a.read_id < 0 || a.read_id >= static_cast<int64_t>(reads.size())) {
-      return Status::InvalidArgument("alignment read_id out of range");
+    // Dangling foreign keys are data defects in the source, not engine
+    // failures: count and skip rather than aborting the whole load.
+    if (a.read_id < 0 || a.read_id >= static_cast<int64_t>(reads.size()) ||
+        a.chromosome < 0 || a.chromosome >= ref.num_chromosomes()) {
+      ++result.rejected;
+      continue;
     }
     Row row;
     row.push_back(Value::String(reads[a.read_id].name));
@@ -122,8 +139,9 @@ Result<uint64_t> LoadAlignmentsOneToOne(
     row.push_back(Value::Int32(a.mismatches));
     row.push_back(Value::Int32(a.mapping_quality));
     HTG_RETURN_IF_ERROR(db->InsertRow(def, std::move(row)));
+    ++result.loaded;
   }
-  return static_cast<uint64_t>(alignments.size());
+  return result;
 }
 
 Status ImportFastqAsFileStream(sql::SqlEngine* engine,

@@ -22,35 +22,47 @@ struct SampleKey {
   int s_id = 1;
 };
 
+// Outcome of one bulk load. Malformed source records (unparseable read
+// names, dangling foreign keys) are counted in `rejected` rather than
+// silently absorbed; engine failures (I/O faults, constraint violations)
+// still abort the load with a non-OK Status.
+struct LoadResult {
+  uint64_t loaded = 0;
+  uint64_t rejected = 0;
+};
+
 // Loads short reads into the normalized Read table, decomposing the
 // textual composite name into (tile, x, y) coordinates and assigning
-// numeric ids [first_id, ...). Returns the number of rows loaded.
-Result<uint64_t> LoadReads(Database* db, const std::string& table,
-                           const std::vector<genomics::ShortRead>& reads,
-                           const SampleKey& key, int64_t first_id = 0);
+// numeric ids [first_id, ...). Reads whose names do not parse are stored
+// with NULL coordinates and counted as rejected.
+Result<LoadResult> LoadReads(Database* db, const std::string& table,
+                             const std::vector<genomics::ShortRead>& reads,
+                             const SampleKey& key, int64_t first_id = 0);
 
 // Loads reads 1:1 as in the FASTQ file (textual name kept verbatim).
-Result<uint64_t> LoadReadsOneToOne(
+Result<LoadResult> LoadReadsOneToOne(
     Database* db, const std::string& table,
     const std::vector<genomics::ShortRead>& reads);
 
 // Loads unique-tag bins into the normalized Tag table.
-Result<uint64_t> LoadTags(Database* db, const std::string& table,
-                          const std::vector<genomics::TagCount>& tags,
-                          const SampleKey& key);
+Result<LoadResult> LoadTags(Database* db, const std::string& table,
+                            const std::vector<genomics::TagCount>& tags,
+                            const SampleKey& key);
 
 // Loads the 25-chromosome (or however many) reference catalog.
-Result<uint64_t> LoadReferenceCatalog(Database* db, const std::string& table,
-                                      const genomics::ReferenceGenome& ref);
+Result<LoadResult> LoadReferenceCatalog(Database* db, const std::string& table,
+                                        const genomics::ReferenceGenome& ref);
 
 // Loads alignments into the normalized Alignment table (numeric foreign
 // keys a_r_id → Read.r_id, a_g_id → ReferenceSequence.g_id).
-Result<uint64_t> LoadAlignments(
+Result<LoadResult> LoadAlignments(
     Database* db, const std::string& table,
     const std::vector<genomics::Alignment>& alignments, const SampleKey& key);
 
 // Loads alignments 1:1 (textual read name + chromosome name per row).
-Result<uint64_t> LoadAlignmentsOneToOne(
+// Alignments whose read or chromosome index resolves nowhere are counted
+// as rejected and skipped.
+Result<LoadResult> LoadAlignmentsOneToOne(
     Database* db, const std::string& table,
     const std::vector<genomics::Alignment>& alignments,
     const std::vector<genomics::ShortRead>& reads,

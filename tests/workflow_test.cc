@@ -76,9 +76,10 @@ TEST_F(WorkflowTest, SchemaVariantsCoexist) {
 
 TEST_F(WorkflowTest, LoadReadsDecomposesCoordinates) {
   ASSERT_TRUE(CreateGenomicsSchema(engine_.get()).ok());
-  Result<uint64_t> loaded = LoadReads(db_.get(), "Read", reads_, {1, 2, 3});
+  Result<LoadResult> loaded = LoadReads(db_.get(), "Read", reads_, {1, 2, 3});
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(*loaded, reads_.size());
+  EXPECT_EQ(loaded->loaded, reads_.size());
+  EXPECT_EQ(loaded->rejected, 0u);
   sql::QueryResult r = Exec(
       "SELECT COUNT(*), MIN(tile), MAX(tile) FROM Read WHERE r_e_id = 1");
   EXPECT_EQ(r.rows[0][0].AsInt64(), static_cast<int64_t>(reads_.size()));
