@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "storage/heap_table.h"
 #include "storage/page.h"
@@ -58,7 +59,8 @@ void BM_EncodeRow(benchmark::State& state) {
   size_t bytes = 0;
   for (auto _ : state) {
     std::string out;
-    EncodeRow(schema, rows[i % rows.size()], mode, &out).ok();
+    bench::CheckOk(EncodeRow(schema, rows[i % rows.size()], mode, &out),
+                   "EncodeRow");
     bytes += out.size();
     benchmark::DoNotOptimize(out);
     ++i;
@@ -75,13 +77,15 @@ void BM_DecodeRow(benchmark::State& state) {
   std::vector<std::string> encoded;
   for (const Row& r : rows) {
     std::string out;
-    EncodeRow(schema, r, mode, &out).ok();
+    bench::CheckOk(EncodeRow(schema, r, mode, &out), "EncodeRow");
     encoded.push_back(std::move(out));
   }
   size_t i = 0;
   for (auto _ : state) {
     Row row;
-    DecodeRow(schema, mode, Slice(encoded[i % encoded.size()]), &row).ok();
+    bench::CheckOk(
+        DecodeRow(schema, mode, Slice(encoded[i % encoded.size()]), &row),
+        "DecodeRow");
     benchmark::DoNotOptimize(row);
     ++i;
   }
@@ -101,13 +105,13 @@ void BM_PageCycle(benchmark::State& state) {
     PageBuilder builder(&schema, mode);
     size_t raw = 0;
     for (const Row& r : rows) {
-      builder.Add(r).ok();
+      bench::CheckOk(builder.Add(r), "PageBuilder::Add");
     }
     raw = builder.raw_bytes();
     const std::string page = builder.Finish();
     ratio = static_cast<double>(page.size()) / raw;
     PageReader reader(&schema, Slice(page));
-    reader.Init().ok();
+    bench::CheckOk(reader.Init(), "PageReader::Init");
     Row row;
     int count = 0;
     while (reader.Next(&row)) ++count;
@@ -131,7 +135,7 @@ void BM_HeapInsertScan(benchmark::State& state) {
   const std::vector<Row> rows = MakeRows(2000, true);
   for (auto _ : state) {
     HeapTable table(ReadSchema(), mode);
-    for (const Row& r : rows) table.Insert(r).ok();
+    for (const Row& r : rows) bench::CheckOk(table.Insert(r), "Insert");
     auto iter = table.NewScan();
     Row row;
     int count = 0;

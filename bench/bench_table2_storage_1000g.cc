@@ -148,6 +148,9 @@ void Run() {
   printf("\nPAGE vs ROW on unique reads: %.1f%% further reduction "
          "(paper: compression much less effective than DGE)\n",
          100.0 * (1.0 - static_cast<double>(read_page) / read_row));
+  printf("Normalized unique-read table (Read_n): %s vs %s uncompressed "
+         "(redundant sequences stored once)\n",
+         HumanBytes(read_n).c_str(), HumanBytes(read_row).c_str());
   printf("Normalized vs 1:1 alignments: %.1f%% smaller "
          "(paper: ~40%% savings)\n",
          100.0 * (1.0 - static_cast<double>(align_n) / align_1to1));

@@ -1,5 +1,4 @@
-#ifndef HTG_BENCH_BENCH_UTIL_H_
-#define HTG_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -93,4 +92,3 @@ T CheckOk(Result<T> result, const char* what) {
 
 }  // namespace htg::bench
 
-#endif  // HTG_BENCH_BENCH_UTIL_H_

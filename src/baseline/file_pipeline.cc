@@ -14,8 +14,11 @@ using genomics::ShortRead;
 
 namespace {
 
+// The baseline deliberately bypasses the Vfs seam: it models the flat-file
+// script pipeline the paper measures the engine against, including its lack
+// of durability discipline — hence the htg-raw-io suppressions below.
 Result<std::string> SlurpFile(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "rb");
+  FILE* f = fopen(path.c_str(), "rb");  // NOLINT(htg-raw-io)
   if (f == nullptr) return Status::NotFound("cannot open " + path);
   std::string data;
   char buf[1 << 16];
@@ -26,7 +29,7 @@ Result<std::string> SlurpFile(const std::string& path) {
 }
 
 Status DumpFile(const std::string& path, const std::string& data) {
-  FILE* f = fopen(path.c_str(), "wb");
+  FILE* f = fopen(path.c_str(), "wb");  // NOLINT(htg-raw-io)
   if (f == nullptr) return Status::IOError("cannot create " + path);
   if (!data.empty() && fwrite(data.data(), 1, data.size(), f) != data.size()) {
     fclose(f);
@@ -170,7 +173,7 @@ Result<std::vector<Alignment>> ReadMap(const std::string& map_path) {
 Status WriteAlignmentText(const std::string& path,
                           const std::vector<Alignment>& alignments,
                           const ReferenceGenome& reference) {
-  FILE* f = fopen(path.c_str(), "wb");
+  FILE* f = fopen(path.c_str(), "wb");  // NOLINT(htg-raw-io)
   if (f == nullptr) return Status::IOError("cannot create " + path);
   for (const Alignment& a : alignments) {
     fprintf(f, "%lld\t%s\t%lld\t%c\t%d\t%d\t%d\n",

@@ -1,5 +1,4 @@
-#ifndef HTG_BASELINE_FILE_PIPELINE_H_
-#define HTG_BASELINE_FILE_PIPELINE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -52,4 +51,3 @@ Status WriteAlignmentText(const std::string& path,
 
 }  // namespace htg::baseline
 
-#endif  // HTG_BASELINE_FILE_PIPELINE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_BASELINE_SCRIPT_BINNING_H_
-#define HTG_BASELINE_SCRIPT_BINNING_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -32,4 +31,3 @@ Result<ScriptBinningReport> RunScriptBinning(const std::string& fastq_path,
 
 }  // namespace htg::baseline
 
-#endif  // HTG_BASELINE_SCRIPT_BINNING_H_

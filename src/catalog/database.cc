@@ -21,7 +21,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& name,
       db->filestream_,
       storage::FileStreamStore::Open(db->options_.filestream_root,
                                      db->options_.filestream_options));
-  udf::RegisterBuiltins(&db->functions_);
+  HTG_RETURN_IF_ERROR(udf::RegisterBuiltins(&db->functions_));
   return db;
 }
 
@@ -102,7 +102,8 @@ Status Database::InsertRow(catalog::TableDef* table, Row row,
                                   row[i].AsString()));
       if (txn != nullptr) {
         storage::FileStreamStore* store = filestream_.get();
-        txn->OnRollback([store, path] { store->Delete(path).ok(); });
+        txn->OnRollback(
+            [store, path] { HTG_IGNORE_STATUS(store->Delete(path)); });
       }
       row[i] = Value::String(path);
       continue;

@@ -1,5 +1,4 @@
-#ifndef HTG_CATALOG_DATABASE_H_
-#define HTG_CATALOG_DATABASE_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -82,4 +81,3 @@ class Database {
 
 }  // namespace htg
 
-#endif  // HTG_CATALOG_DATABASE_H_

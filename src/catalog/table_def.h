@@ -1,5 +1,4 @@
-#ifndef HTG_CATALOG_TABLE_DEF_H_
-#define HTG_CATALOG_TABLE_DEF_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -29,4 +28,3 @@ struct TableDef {
 
 }  // namespace htg::catalog
 
-#endif  // HTG_CATALOG_TABLE_DEF_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_CRC32C_H_
-#define HTG_COMMON_CRC32C_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -25,4 +24,3 @@ inline uint32_t Crc32c(std::string_view data) {
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_CRC32C_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_GUID_H_
-#define HTG_COMMON_GUID_H_
+#pragma once
 
 #include <string>
 
@@ -15,4 +14,3 @@ bool IsGuid(const std::string& s);
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_GUID_H_

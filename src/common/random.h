@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_RANDOM_H_
-#define HTG_COMMON_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 
@@ -54,4 +53,3 @@ class Random {
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_RANDOM_H_

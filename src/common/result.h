@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_RESULT_H_
-#define HTG_COMMON_RESULT_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -14,7 +13,7 @@ namespace htg {
 //   Result<int> ParsePort(std::string_view s);
 //   HTG_ASSIGN_OR_RETURN(int port, ParsePort(arg));
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or from an error Status keeps call
   // sites terse (`return 42;` / `return Status::NotFound(...)`).
@@ -52,4 +51,3 @@ class Result {
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_RESULT_H_

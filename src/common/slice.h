@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_SLICE_H_
-#define HTG_COMMON_SLICE_H_
+#pragma once
 
 #include <cstddef>
 #include <cstring>
@@ -62,4 +61,3 @@ inline bool operator<(const Slice& a, const Slice& b) {
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_SLICE_H_

@@ -1,6 +1,18 @@
 #include "common/status.h"
 
+#include <cstdio>
+
 namespace htg {
+
+namespace internal {
+
+void LogIgnoredStatus(const Status& status, const char* file, int line) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "[htg] %s:%d: ignored status: %s\n", file, line,
+               status.ToString().c_str());
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {

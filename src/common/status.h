@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_STATUS_H_
-#define HTG_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -29,7 +28,10 @@ enum class StatusCode {
 };
 
 // A success-or-error value. Cheap to copy on the OK path (empty message).
-class Status {
+// [[nodiscard]]: dropping a returned Status on the floor is a compile
+// error under -Werror; intentional drops must go through
+// HTG_IGNORE_STATUS(expr) below, which logs in debug builds.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -99,7 +101,36 @@ class Status {
 // Returns the canonical name of a status code, e.g. "InvalidArgument".
 std::string_view StatusCodeName(StatusCode code);
 
+namespace internal {
+
+// Debug-build reporter behind HTG_IGNORE_STATUS; no-op for OK statuses.
+void LogIgnoredStatus(const Status& status, const char* file, int line);
+
+inline void LogIgnoredValue(const Status& status, const char* file, int line) {
+  LogIgnoredStatus(status, file, line);
+}
+
+// Overload for Result<T> (and anything else with a .status()) without
+// making status.h depend on result.h.
+template <typename R>
+inline void LogIgnoredValue(const R& result, const char* file, int line) {
+  LogIgnoredStatus(result.status(), file, line);
+}
+
+}  // namespace internal
 }  // namespace htg
+
+// Explicitly discards a Status / Result<T> where failure is acceptable
+// (best-effort cleanup, close-on-error paths). This is the only sanctioned
+// way to drop a [[nodiscard]] value: htg_lint forbids bare (void) casts of
+// Status expressions, and debug builds log every non-OK value dropped here
+// so "acceptable" failures stay visible during development.
+#ifndef NDEBUG
+#define HTG_IGNORE_STATUS(expr) \
+  ::htg::internal::LogIgnoredValue((expr), __FILE__, __LINE__)
+#else
+#define HTG_IGNORE_STATUS(expr) static_cast<void>(expr)
+#endif
 
 // Propagates a non-OK Status from the enclosing function.
 #define HTG_RETURN_IF_ERROR(expr)                \
@@ -121,4 +152,3 @@ std::string_view StatusCodeName(StatusCode code);
   HTG_ASSIGN_OR_RETURN_IMPL(             \
       HTG_ASSIGN_OR_RETURN_CONCAT(_htg_result_, __LINE__), lhs, rexpr)
 
-#endif  // HTG_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_STOPWATCH_H_
-#define HTG_COMMON_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 
@@ -25,4 +24,3 @@ class Stopwatch {
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_STOPWATCH_H_

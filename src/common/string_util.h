@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_STRING_UTIL_H_
-#define HTG_COMMON_STRING_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -40,4 +39,3 @@ std::string HumanBytes(uint64_t bytes);
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_STRING_UTIL_H_

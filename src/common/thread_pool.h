@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_THREAD_POOL_H_
-#define HTG_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <deque>
@@ -54,4 +53,3 @@ class ThreadPool {
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_THREAD_POOL_H_

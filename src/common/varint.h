@@ -1,5 +1,4 @@
-#ifndef HTG_COMMON_VARINT_H_
-#define HTG_COMMON_VARINT_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -35,4 +34,3 @@ const char* GetLengthPrefixed(const char* p, const char* limit,
 
 }  // namespace htg
 
-#endif  // HTG_COMMON_VARINT_H_

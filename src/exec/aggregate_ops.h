@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_AGGREGATE_OPS_H_
-#define HTG_EXEC_AGGREGATE_OPS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -113,4 +112,3 @@ class ParallelAggregateOp : public Operator {
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_AGGREGATE_OPS_H_

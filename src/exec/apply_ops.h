@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_APPLY_OPS_H_
-#define HTG_EXEC_APPLY_OPS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -53,4 +52,3 @@ class CrossApplyOp : public Operator {
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_APPLY_OPS_H_

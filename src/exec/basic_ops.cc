@@ -203,16 +203,14 @@ Result<std::unique_ptr<storage::RowIterator>> OpenRowsetOp::Open(
   if (ctx->db == nullptr) {
     return Status::ExecError("OPENROWSET requires a database");
   }
-  // Read the external file directly (it need not live in the store).
-  FILE* f = fopen(path_.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("OPENROWSET(BULK): cannot open " + path_);
+  // Read the external file directly (it need not live in the store);
+  // the Vfs seam keeps even ad-hoc imports fault-injectable.
+  Result<std::string> read = storage::Vfs::Default()->ReadFileToString(path_);
+  if (!read.ok()) {
+    return Status::NotFound("OPENROWSET(BULK): cannot open " + path_ + ": " +
+                            read.status().message());
   }
-  std::string bytes;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
-  fclose(f);
+  std::string bytes = std::move(*read);
   std::vector<Row> rows;
   rows.push_back(Row{Value::Blob(std::move(bytes))});
   return {std::make_unique<VectorIterator>(std::move(rows))};

@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_BASIC_OPS_H_
-#define HTG_EXEC_BASIC_OPS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -147,4 +146,3 @@ class TopOp : public Operator {
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_BASIC_OPS_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_EXPRESSION_H_
-#define HTG_EXEC_EXPRESSION_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -252,4 +251,3 @@ Result<bool> EvalPredicate(const Expr& expr, udf::EvalContext* ctx,
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_EXPRESSION_H_

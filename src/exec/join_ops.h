@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_JOIN_OPS_H_
-#define HTG_EXEC_JOIN_OPS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -83,4 +82,3 @@ Schema ConcatSchemas(const Schema& left, const Schema& right);
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_JOIN_OPS_H_

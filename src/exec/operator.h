@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_OPERATOR_H_
-#define HTG_EXEC_OPERATOR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -61,4 +60,3 @@ Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows);
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_OPERATOR_H_

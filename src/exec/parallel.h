@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_PARALLEL_H_
-#define HTG_EXEC_PARALLEL_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -148,4 +147,3 @@ OperatorPtr BuildExplainPipeline(catalog::TableDef* table,
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_PARALLEL_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_EXEC_SORT_OPS_H_
-#define HTG_EXEC_SORT_OPS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -61,4 +60,3 @@ Result<std::vector<Row>> DrainAndSort(Operator* child,
 
 }  // namespace htg::exec
 
-#endif  // HTG_EXEC_SORT_OPS_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_ALIGN_TVF_H_
-#define HTG_GENOMICS_ALIGN_TVF_H_
+#pragma once
 
 #include <memory>
 
@@ -33,4 +32,3 @@ class AlignReadsTvf : public udf::TableFunction {
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_ALIGN_TVF_H_

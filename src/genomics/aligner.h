@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_ALIGNER_H_
-#define HTG_GENOMICS_ALIGNER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -76,4 +75,3 @@ class Aligner {
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_ALIGNER_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_CONSENSUS_H_
-#define HTG_GENOMICS_CONSENSUS_H_
+#pragma once
 
 #include <deque>
 #include <memory>
@@ -106,4 +105,3 @@ std::vector<Snp> FindSnps(std::string_view reference,
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_CONSENSUS_H_

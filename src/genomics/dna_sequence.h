@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_DNA_SEQUENCE_H_
-#define HTG_GENOMICS_DNA_SEQUENCE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -50,4 +49,3 @@ class DnaSequence {
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_DNA_SEQUENCE_H_

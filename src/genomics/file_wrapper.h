@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_FILE_WRAPPER_H_
-#define HTG_GENOMICS_FILE_WRAPPER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -91,4 +90,3 @@ Result<std::string> FindShortReadBlob(Database* db, int64_t sample,
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_FILE_WRAPPER_H_

@@ -1,8 +1,7 @@
 #include "genomics/formats.h"
 
-#include <cstdio>
-
 #include "common/string_util.h"
+#include "storage/vfs.h"
 
 namespace htg::genomics {
 
@@ -149,13 +148,8 @@ bool FastaChunkParser::ParseRecord(const char* buffer, size_t size,
 }
 
 Result<std::vector<ShortRead>> ReadFastqFile(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::string data;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
-  fclose(f);
+  HTG_ASSIGN_OR_RETURN(std::string data,
+                       storage::Vfs::Default()->ReadFileToString(path));
   std::vector<ShortRead> reads;
   FastqChunkParser parser;
   size_t pos = 0;
@@ -169,41 +163,39 @@ Result<std::vector<ShortRead>> ReadFastqFile(const std::string& path) {
 
 Status WriteFastqFile(const std::string& path,
                       const std::vector<ShortRead>& reads) {
-  FILE* f = fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
+  std::string out;
   for (const ShortRead& r : reads) {
-    fprintf(f, "@%s\n%s\n+\n%s\n", r.name.c_str(), r.sequence.c_str(),
-            r.quality.c_str());
+    out += '@';
+    out += r.name;
+    out += '\n';
+    out += r.sequence;
+    out += "\n+\n";
+    out += r.quality;
+    out += '\n';
   }
-  fclose(f);
-  return Status::OK();
+  return storage::WriteFileAtomic(storage::Vfs::Default(), path, out);
 }
 
 Status WriteFastaFile(const std::string& path,
                       const std::vector<ShortRead>& records, int wrap) {
-  FILE* f = fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
+  std::string out;
   for (const ShortRead& r : records) {
-    fprintf(f, ">%s\n", r.name.c_str());
+    out += '>';
+    out += r.name;
+    out += '\n';
     const std::string& seq = r.sequence;
     for (size_t i = 0; i < seq.size(); i += wrap) {
       const size_t len = std::min<size_t>(wrap, seq.size() - i);
-      fwrite(seq.data() + i, 1, len, f);
-      fputc('\n', f);
+      out.append(seq, i, len);
+      out += '\n';
     }
   }
-  fclose(f);
-  return Status::OK();
+  return storage::WriteFileAtomic(storage::Vfs::Default(), path, out);
 }
 
 Result<std::vector<ShortRead>> ReadFastaFile(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::string data;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
-  fclose(f);
+  HTG_ASSIGN_OR_RETURN(std::string data,
+                       storage::Vfs::Default()->ReadFileToString(path));
   std::vector<ShortRead> records;
   FastaChunkParser parser;
   parser.set_at_eof(true);

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_FORMATS_H_
-#define HTG_GENOMICS_FORMATS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -82,4 +81,3 @@ Result<std::vector<ShortRead>> ReadFastaFile(const std::string& path);
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_FORMATS_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_GENE_EXPRESSION_H_
-#define HTG_GENOMICS_GENE_EXPRESSION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -57,4 +56,3 @@ std::vector<DifferentialExpression> CompareExpression(
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_GENE_EXPRESSION_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_NUCLEOTIDE_H_
-#define HTG_GENOMICS_NUCLEOTIDE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -45,4 +44,3 @@ int ErrorProbabilityToPhred(double p);
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_NUCLEOTIDE_H_

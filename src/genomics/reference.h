@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_REFERENCE_H_
-#define HTG_GENOMICS_REFERENCE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ class ReferenceGenome {
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_REFERENCE_H_

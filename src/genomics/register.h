@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_REGISTER_H_
-#define HTG_GENOMICS_REGISTER_H_
+#pragma once
 
 #include "catalog/database.h"
 
@@ -17,4 +16,3 @@ Status RegisterGenomicsExtensions(Database* db);
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_REGISTER_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_SIMULATOR_H_
-#define HTG_GENOMICS_SIMULATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -70,4 +69,3 @@ class ReadSimulator {
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_SIMULATOR_H_

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/varint.h"
 #include "genomics/nucleotide.h"
+#include "storage/vfs.h"
 
 namespace htg::genomics {
 
@@ -64,22 +65,12 @@ Status WriteSrfFile(const std::string& path,
   std::string out(kSrfMagic, sizeof(kSrfMagic));
   PutVarint64(&out, records.size());
   for (const SrfRecord& r : records) EncodeRecord(r, &out);
-  FILE* f = fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
-  const size_t written = fwrite(out.data(), 1, out.size(), f);
-  fclose(f);
-  if (written != out.size()) return Status::IOError("short write " + path);
-  return Status::OK();
+  return storage::WriteFileAtomic(storage::Vfs::Default(), path, out);
 }
 
 Result<std::vector<SrfRecord>> ReadSrfFile(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::string data;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
-  fclose(f);
+  HTG_ASSIGN_OR_RETURN(std::string data,
+                       storage::Vfs::Default()->ReadFileToString(path));
   if (data.size() < sizeof(kSrfMagic) ||
       memcmp(data.data(), kSrfMagic, sizeof(kSrfMagic)) != 0) {
     return Status::Corruption("not an SRF container: " + path);

@@ -1,5 +1,4 @@
-#ifndef HTG_GENOMICS_SRF_H_
-#define HTG_GENOMICS_SRF_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -52,4 +51,3 @@ class ReadSrfFileTvf : public udf::TableFunction {
 
 }  // namespace htg::genomics
 
-#endif  // HTG_GENOMICS_SRF_H_

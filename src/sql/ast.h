@@ -1,5 +1,4 @@
-#ifndef HTG_SQL_AST_H_
-#define HTG_SQL_AST_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -154,4 +153,3 @@ struct Statement {
 
 }  // namespace htg::sql
 
-#endif  // HTG_SQL_AST_H_

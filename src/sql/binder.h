@@ -1,5 +1,4 @@
-#ifndef HTG_SQL_BINDER_H_
-#define HTG_SQL_BINDER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -50,4 +49,3 @@ class Binder {
 
 }  // namespace htg::sql
 
-#endif  // HTG_SQL_BINDER_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_SQL_ENGINE_H_
-#define HTG_SQL_ENGINE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -61,4 +60,3 @@ class SqlEngine {
 
 }  // namespace htg::sql
 
-#endif  // HTG_SQL_ENGINE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_SQL_LEXER_H_
-#define HTG_SQL_LEXER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -35,4 +34,3 @@ Result<std::vector<Token>> Tokenize(std::string_view sql);
 
 }  // namespace htg::sql
 
-#endif  // HTG_SQL_LEXER_H_

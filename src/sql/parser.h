@@ -1,5 +1,4 @@
-#ifndef HTG_SQL_PARSER_H_
-#define HTG_SQL_PARSER_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -18,4 +17,3 @@ Result<Statement> ParseStatement(std::string_view sql);
 
 }  // namespace htg::sql
 
-#endif  // HTG_SQL_PARSER_H_

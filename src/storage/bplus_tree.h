@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_BPLUS_TREE_H_
-#define HTG_STORAGE_BPLUS_TREE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -75,4 +74,3 @@ class BPlusTree {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_BPLUS_TREE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_CLUSTERED_TABLE_H_
-#define HTG_STORAGE_CLUSTERED_TABLE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -47,4 +46,3 @@ class ClusteredTable : public TableStorage {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_CLUSTERED_TABLE_H_

@@ -91,8 +91,9 @@ class FaultInjectingVfs::FaultyWritableFile : public WritableFile {
       const size_t n =
           std::min(data.size() - (data.empty() ? 0 : 1),
                    static_cast<size_t>(torn_prefix));
-      base_->Append(data.substr(0, n)).ok();
-      base_->Sync().ok();  // the torn prefix really reaches the platter
+      HTG_IGNORE_STATUS(base_->Append(data.substr(0, n)));
+      // The torn prefix really reaches the platter.
+      HTG_IGNORE_STATUS(base_->Sync());
     }
     return fault;
   }
@@ -106,7 +107,7 @@ class FaultInjectingVfs::FaultyWritableFile : public WritableFile {
   Status Close() override {
     const Status fault = vfs_->NextOp("close " + path_, nullptr);
     if (!fault.ok()) {
-      base_->Close().ok();
+      HTG_IGNORE_STATUS(base_->Close());
       return fault;
     }
     return base_->Close();

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_FAULT_INJECTION_H_
-#define HTG_STORAGE_FAULT_INJECTION_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -101,4 +100,3 @@ class FaultInjectingVfs : public Vfs {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_FAULT_INJECTION_H_

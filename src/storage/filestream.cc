@@ -122,7 +122,7 @@ Status FileStreamStore::Recover() {
       manifest_[name] = meta;
       ++recovery_stats_.creates_rolled_forward;
     } else {
-      if (vfs_->FileExists(path)) vfs_->DeleteFile(path).ok();
+      if (vfs_->FileExists(path)) HTG_IGNORE_STATUS(vfs_->DeleteFile(path));
       ++recovery_stats_.creates_rolled_back;
     }
   }
@@ -131,7 +131,7 @@ Status FileStreamStore::Recover() {
   for (const auto& [name, unused] : pending_deletes) {
     (void)unused;
     const std::string path = root_ + "/" + name;
-    if (vfs_->FileExists(path)) vfs_->DeleteFile(path).ok();
+    if (vfs_->FileExists(path)) HTG_IGNORE_STATUS(vfs_->DeleteFile(path));
     manifest_.erase(name);
     ++recovery_stats_.deletes_completed;
   }
@@ -155,7 +155,7 @@ Status FileStreamStore::Recover() {
   for (const std::string& name : entries) {
     if (name == kManifestName || name == kWalName) continue;
     if (manifest_.count(name) > 0) continue;
-    vfs_->DeleteFile(root_ + "/" + name).ok();
+    HTG_IGNORE_STATUS(vfs_->DeleteFile(root_ + "/" + name));
     ++recovery_stats_.orphans_removed;
   }
 
@@ -344,7 +344,7 @@ Status FileStreamStore::Clear() {
   if (entries.ok()) {
     for (const std::string& name : *entries) {
       if (name == kManifestName || name == kWalName) continue;
-      vfs_->DeleteFile(root_ + "/" + name).ok();
+      HTG_IGNORE_STATUS(vfs_->DeleteFile(root_ + "/" + name));
     }
   }
   return Status::OK();

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_FILESTREAM_H_
-#define HTG_STORAGE_FILESTREAM_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -145,4 +144,3 @@ class FileStreamStore {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_FILESTREAM_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_HEAP_TABLE_H_
-#define HTG_STORAGE_HEAP_TABLE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -58,4 +57,3 @@ class HeapTable : public TableStorage {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_HEAP_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_PAGE_H_
-#define HTG_STORAGE_PAGE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -99,4 +98,3 @@ class PageReader {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_PAGE_H_

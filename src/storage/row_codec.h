@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_ROW_CODEC_H_
-#define HTG_STORAGE_ROW_CODEC_H_
+#pragma once
 
 #include <string>
 
@@ -48,4 +47,3 @@ std::string BytesToGuid(std::string_view bytes);
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_ROW_CODEC_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_TABLE_H_
-#define HTG_STORAGE_TABLE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -71,4 +70,3 @@ class TableStorage {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_TABLE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_TRANSACTION_H_
-#define HTG_STORAGE_TRANSACTION_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -49,4 +48,3 @@ class Transaction {
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_TRANSACTION_H_

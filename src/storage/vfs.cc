@@ -213,7 +213,8 @@ Status WriteFileAtomic(Vfs* vfs, const std::string& path,
   if (status.ok()) status = close_status;
   if (status.ok()) status = vfs->RenameFile(tmp, path);
   if (!status.ok()) {
-    vfs->DeleteFile(tmp).ok();  // best-effort cleanup of the partial temp
+    // Best-effort cleanup of the partial temp.
+    HTG_IGNORE_STATUS(vfs->DeleteFile(tmp));
     return status;
   }
   const size_t slash = path.rfind('/');

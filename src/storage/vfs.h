@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_VFS_H_
-#define HTG_STORAGE_VFS_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -89,4 +88,3 @@ Status RunWithRetries(const RetryPolicy& policy,
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_VFS_H_

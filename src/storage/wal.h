@@ -1,5 +1,4 @@
-#ifndef HTG_STORAGE_WAL_H_
-#define HTG_STORAGE_WAL_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -74,4 +73,3 @@ std::string EncodeWalRecord(const WalRecord& record);
 
 }  // namespace htg::storage
 
-#endif  // HTG_STORAGE_WAL_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_TYPES_DATA_TYPE_H_
-#define HTG_TYPES_DATA_TYPE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -41,4 +40,3 @@ Result<DataType> DataTypeFromName(std::string_view name);
 
 }  // namespace htg
 
-#endif  // HTG_TYPES_DATA_TYPE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_TYPES_SCHEMA_H_
-#define HTG_TYPES_SCHEMA_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -56,4 +55,3 @@ class Schema {
 
 }  // namespace htg
 
-#endif  // HTG_TYPES_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_TYPES_VALUE_H_
-#define HTG_TYPES_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -89,4 +88,3 @@ int CompareRowsOn(const Row& a, const Row& b, const std::vector<int>& cols);
 
 }  // namespace htg
 
-#endif  // HTG_TYPES_VALUE_H_

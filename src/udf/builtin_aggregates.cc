@@ -177,12 +177,16 @@ class AvgFunction : public AggregateFunction {
 
 }  // namespace
 
-void RegisterBuiltinAggregates(FunctionRegistry* registry) {
-  registry->RegisterAggregate(std::make_unique<CountFunction>()).ok();
-  registry->RegisterAggregate(std::make_unique<SumFunction>()).ok();
-  registry->RegisterAggregate(std::make_unique<MinMaxFunction>(true)).ok();
-  registry->RegisterAggregate(std::make_unique<MinMaxFunction>(false)).ok();
-  registry->RegisterAggregate(std::make_unique<AvgFunction>()).ok();
+Status RegisterBuiltinAggregates(FunctionRegistry* registry) {
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterAggregate(std::make_unique<CountFunction>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterAggregate(std::make_unique<SumFunction>()));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterAggregate(std::make_unique<MinMaxFunction>(true)));
+  HTG_RETURN_IF_ERROR(
+      registry->RegisterAggregate(std::make_unique<MinMaxFunction>(false)));
+  return registry->RegisterAggregate(std::make_unique<AvgFunction>());
 }
 
 }  // namespace htg::udf

@@ -63,9 +63,14 @@ Result<Value> EvalSubstring(EvalContext*, const std::vector<Value>& args) {
 
 }  // namespace
 
-void RegisterBuiltins(FunctionRegistry* registry) {
-  auto reg = [registry](ScalarFunction fn) {
-    registry->RegisterScalar(std::move(fn)).ok();
+Status RegisterBuiltins(FunctionRegistry* registry) {
+  // Registration only fails on a duplicate name — a programming error —
+  // so record the first failure and keep going; the caller refuses to
+  // open a database with a half-populated function catalog.
+  Status first_error;
+  auto reg = [registry, &first_error](ScalarFunction fn) {
+    Status s = registry->RegisterScalar(std::move(fn));
+    if (first_error.ok() && !s.ok()) first_error = std::move(s);
   };
 
   reg(MakeFn("LEN", 1, 1, DataType::kInt64, EvalLen));
@@ -256,8 +261,9 @@ void RegisterBuiltins(FunctionRegistry* registry) {
     reg(std::move(f));
   }
 
-  RegisterBuiltinAggregates(registry);
+  HTG_RETURN_IF_ERROR(RegisterBuiltinAggregates(registry));
   (void)FixedType;
+  return first_error;
 }
 
 }  // namespace htg::udf

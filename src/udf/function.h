@@ -1,5 +1,4 @@
-#ifndef HTG_UDF_FUNCTION_H_
-#define HTG_UDF_FUNCTION_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -109,4 +108,3 @@ class AggregateFunction {
 
 }  // namespace htg::udf
 
-#endif  // HTG_UDF_FUNCTION_H_

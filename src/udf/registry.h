@@ -1,5 +1,4 @@
-#ifndef HTG_UDF_REGISTRY_H_
-#define HTG_UDF_REGISTRY_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -33,12 +32,13 @@ class FunctionRegistry {
 };
 
 // Installs the built-in function library (string/math scalars and the
-// COUNT/SUM/MIN/MAX/AVG aggregates).
-void RegisterBuiltins(FunctionRegistry* registry);
+// COUNT/SUM/MIN/MAX/AVG aggregates). Fails only on a duplicate name (a
+// programming error); callers must not serve SQL from a registry that
+// failed to populate.
+Status RegisterBuiltins(FunctionRegistry* registry);
 
 // Installs only the standard aggregates (called by RegisterBuiltins).
-void RegisterBuiltinAggregates(FunctionRegistry* registry);
+Status RegisterBuiltinAggregates(FunctionRegistry* registry);
 
 }  // namespace htg::udf
 
-#endif  // HTG_UDF_REGISTRY_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_WORKFLOW_LOADERS_H_
-#define HTG_WORKFLOW_LOADERS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -78,4 +77,3 @@ Status ImportFastqAsFileStream(sql::SqlEngine* engine,
 
 }  // namespace htg::workflow
 
-#endif  // HTG_WORKFLOW_LOADERS_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_WORKFLOW_PROVENANCE_H_
-#define HTG_WORKFLOW_PROVENANCE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -53,4 +52,3 @@ class ProvenanceRecorder {
 
 }  // namespace htg::workflow
 
-#endif  // HTG_WORKFLOW_PROVENANCE_H_

@@ -1,5 +1,4 @@
-#ifndef HTG_WORKFLOW_SCHEMA_H_
-#define HTG_WORKFLOW_SCHEMA_H_
+#pragma once
 
 #include <string>
 
@@ -38,4 +37,3 @@ Status CreateOneToOneSchema(sql::SqlEngine* engine,
 
 }  // namespace htg::workflow
 
-#endif  // HTG_WORKFLOW_SCHEMA_H_

@@ -1,0 +1,19 @@
+// Lint fixture: a header with no #pragma once that also includes a .cc
+// file and void-discards a call result. Not compiled.
+// expect-lint: pragma-once
+// expect-lint: include-cc
+// expect-lint: void-status
+#ifndef HTG_TESTS_LINT_BAD_HEADER_H_
+#define HTG_TESTS_LINT_BAD_HEADER_H_
+
+#include "common/status.cc"
+
+namespace htg {
+
+inline void DropStatusInvisibly(const Status& (*op)()) {
+  (void)op();  // void-status: use HTG_IGNORE_STATUS instead
+}
+
+}  // namespace htg
+
+#endif  // HTG_TESTS_LINT_BAD_HEADER_H_

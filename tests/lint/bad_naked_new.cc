@@ -1,0 +1,24 @@
+// Lint fixture: allocations with no visible owner, and a matching naked
+// delete. Not compiled.
+// expect-lint: naked-new
+#include <memory>
+
+struct Node {
+  int value = 0;
+};
+
+int UseAfterManualOwnership() {
+  Node* n = new Node();  // naked-new: no visible owner
+  int v = n->value;
+  delete n;  // naked-new (delete form)
+  return v;
+}
+
+// These idioms are sanctioned and must NOT fire:
+std::unique_ptr<Node> Owned() {
+  return std::unique_ptr<Node>(new Node());
+}
+Node& LeakySingleton() {
+  static Node& node = *new Node();
+  return node;
+}

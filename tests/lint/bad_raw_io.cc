@@ -1,0 +1,17 @@
+// Lint fixture: raw file I/O outside the Vfs seam. NOT compiled; scanned
+// only by `htg_lint.py --selftest`, which asserts each annotated rule fires.
+// expect-lint: raw-io
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+bool WriteDirectly(const char* path, const char* data, int len) {
+  FILE* f = fopen(path, "wb");  // raw-io: bypasses storage::Vfs
+  if (f == nullptr) return false;
+  fwrite(data, 1, len, f);
+  fclose(f);
+  int fd = ::open(path, O_WRONLY);  // raw-io again
+  ::fsync(fd);                      // and again
+  ::close(fd);
+  return true;
+}

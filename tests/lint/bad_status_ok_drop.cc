@@ -1,0 +1,23 @@
+// Lint fixture: `.ok();` in statement position, discarding the error the
+// [[nodiscard]] Status carried. Not compiled.
+// expect-lint: status-ok-drop
+#include "common/status.h"
+
+namespace htg {
+
+Status BestEffortDelete(const char*);
+
+void Cleanup(const char* path) {
+  BestEffortDelete(path).ok();  // status-ok-drop: error vanishes
+}
+
+// Consumed results must NOT fire:
+bool CleanupChecked(const char* path) {
+  Status s = BestEffortDelete(path);
+  if (s.ok()) return true;
+  const bool retried = BestEffortDelete(path).ok();
+  return retried && s.ok();
+}
+bool JustReturn(const char* path) { return BestEffortDelete(path).ok(); }
+
+}  // namespace htg

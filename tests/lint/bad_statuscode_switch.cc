@@ -1,0 +1,19 @@
+// Lint fixture: a switch over StatusCode with a default: label, which
+// would silently swallow any StatusCode added later. Not compiled.
+// expect-lint: statuscode-switch
+#include "common/status.h"
+
+namespace htg {
+
+const char* Classify(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCorruption:
+      return "corrupt";
+    default:  // statuscode-switch: hides newly added codes
+      return "other";
+  }
+}
+
+}  // namespace htg

@@ -1,0 +1,21 @@
+// Lint fixture: a UDA whose instance lacks Merge(), so it could never run
+// in a parallel partial/final plan (paper Sec. 5.3). Not compiled.
+// expect-lint: uda-merge
+#include "udf/function.h"
+
+namespace htg::udf {
+
+class BrokenSumInstance : public AggregateInstance {
+ public:
+  Status Accumulate(const std::vector<Value>& args) override {
+    total_ += args[0].AsInt64();
+    return Status::OK();
+  }
+  // No Merge() override: uda-merge must flag this class.
+  Result<Value> Terminate() override { return Value::Int64(total_); }
+
+ private:
+  int64_t total_ = 0;
+};
+
+}  // namespace htg::udf

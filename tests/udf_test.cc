@@ -9,7 +9,7 @@ namespace {
 
 class BuiltinsTest : public ::testing::Test {
  protected:
-  void SetUp() override { RegisterBuiltins(&registry_); }
+  void SetUp() override { ASSERT_TRUE(RegisterBuiltins(&registry_).ok()); }
 
   Value Eval(const std::string& name, std::vector<Value> args) {
     const ScalarFunction* fn = registry_.FindScalar(name);

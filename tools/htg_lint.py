@@ -1,0 +1,458 @@
+#!/usr/bin/env python3
+"""htg_lint: project-specific invariants the compiler can't check.
+
+Rules (ids usable in NOLINT suppressions):
+
+  raw-io            All file I/O in src/ goes through the storage::Vfs seam
+                    (src/storage/vfs.cc is the one POSIX boundary). Raw
+                    fopen/::open/::pwrite/::fsync/fstream anywhere else in
+                    engine code bypasses fault injection and crash-safety
+                    accounting.
+  naked-new         No naked new/delete in src/: ownership must be visible
+                    at the allocation site (make_unique, unique_ptr(new ...),
+                    .reset(new ...), or the intentional-leak `*new` static
+                    singleton idiom). Page/tree node internals in
+                    src/storage/bplus_tree.cc are exempt.
+  statuscode-switch A switch over htg::StatusCode must be exhaustive: no
+                    `default:` label that would silently swallow newly added
+                    codes (the compiler's -Wswitch only helps without one).
+  uda-merge         Every AggregateInstance subclass must implement Merge()
+                    -- the paper's precondition (Sec. 5.3) for running the
+                    aggregate in a parallel partial/final plan.
+  include-cc        Never #include a .cc file.
+  pragma-once       Every header starts with #pragma once.
+  void-status       No (void)/static_cast<void> discard of a call result in
+                    src/ -- dropping a Status/Result that way is invisible;
+                    use HTG_IGNORE_STATUS(expr), which logs in debug builds.
+  status-ok-drop    No `expr.ok();` in statement position: calling .ok()
+                    and ignoring the bool launders [[nodiscard]] away.
+
+Suppression: append `// NOLINT(htg-<rule>)` to the offending line (or a
+bare NOLINT comment, honoured for compatibility with clang-tidy). Lint
+fixtures under tests/lint/ are excluded from the tree scan and exercised by
+`--selftest`, which asserts every `// expect-lint: <rule>` annotation fires
+and nothing else does.
+
+Usage:
+  htg_lint.py [ROOT]            lint ROOT/{src,bench,tests}  (default: cwd)
+  htg_lint.py --selftest [ROOT] run the fixture self-test
+"""
+
+import os
+import re
+import sys
+
+FIXTURE_DIR = os.path.join("tests", "lint")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [htg-{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets and
+    newlines so line numbers stay valid. NOLINT markers are handled by the
+    caller before stripping."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == state:
+                state = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_brace(text, open_idx):
+    """Index just past the brace matching text[open_idx] ('{'), or len."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# ---------------------------------------------------------------- rules ---
+
+RAW_IO_RE = re.compile(
+    r"\b(fopen|freopen|tmpfile)\s*\("
+    r"|::\s*(open|openat|creat|pread|pwrite|fsync|fdatasync)\s*\("
+    r"|\bstd::(i|o)?fstream\b"
+)
+
+
+def check_raw_io(path, text, rel):
+    if rel.replace(os.sep, "/") == "src/storage/vfs.cc":
+        return []
+    return [
+        Finding(path, line_of(text, m.start()), "raw-io",
+                f"raw file I/O `{m.group(0).strip()}` bypasses the Vfs seam; "
+                "use storage::Vfs (src/storage/vfs.h)")
+        for m in RAW_IO_RE.finditer(text)
+    ]
+
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is placement new
+DELETE_RE = re.compile(r"\bdelete(\[\])?\s")
+NAKED_NEW_EXEMPT = {"src/storage/bplus_tree.cc"}
+OWNED_CONTEXT_RE = re.compile(
+    r"(unique_ptr|shared_ptr|make_unique|make_shared|\.reset|->reset)"
+    r"[^;{}]*$"
+)
+
+
+def check_naked_new(path, text, rel):
+    if rel.replace(os.sep, "/") in NAKED_NEW_EXEMPT:
+        return []
+    findings = []
+    for m in NEW_RE.finditer(text):
+        # Statement context: everything since the last ; { or } before `new`.
+        stmt_start = max(
+            text.rfind(";", 0, m.start()),
+            text.rfind("{", 0, m.start()),
+            text.rfind("}", 0, m.start()),
+        )
+        stmt = text[stmt_start + 1: m.start()]
+        # `*new T(...)` is the sanctioned intentional-leak singleton idiom.
+        if stmt.rstrip().endswith("*"):
+            continue
+        if OWNED_CONTEXT_RE.search(stmt):
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "naked-new",
+            "naked `new` without a visible owner; use make_unique / "
+            "unique_ptr(new ...) or the `*new` leaky-singleton idiom"))
+    for m in DELETE_RE.finditer(text):
+        before = text[max(0, m.start() - 24): m.start()]
+        if re.search(r"=\s*$", before):  # `= delete;` deleted function
+            continue
+        if re.search(r"operator\s*$", before):
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "naked-new",
+            "naked `delete`; prefer owning smart pointers"))
+    return findings
+
+
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+
+
+def check_statuscode_switch(path, text, rel):
+    findings = []
+    for m in SWITCH_RE.finditer(text):
+        cond_start = m.end() - 1
+        depth, i = 0, cond_start
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        cond = text[cond_start: i + 1]
+        if "StatusCode" not in cond and not re.search(
+                r"(\.|->)\s*code\s*\(\s*\)", cond):
+            continue
+        body_open = text.find("{", i)
+        if body_open < 0:
+            continue
+        body_end = matching_brace(text, body_open)
+        dm = re.search(r"\bdefault\s*:", text[body_open:body_end])
+        if dm:
+            findings.append(Finding(
+                path, line_of(text, body_open + dm.start()),
+                "statuscode-switch",
+                "`default:` in a switch over StatusCode silently swallows "
+                "newly added codes; enumerate every case instead"))
+    return findings
+
+
+UDA_CLASS_RE = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*public\s+"
+    r"(?:::)?(?:htg::)?(?:udf::)?AggregateInstance\b"
+)
+
+
+def check_uda_merge(path, text, rel):
+    findings = []
+    for m in UDA_CLASS_RE.finditer(text):
+        body_open = text.find("{", m.end())
+        if body_open < 0:
+            continue
+        body = text[body_open:matching_brace(text, body_open)]
+        if not re.search(r"\bMerge\s*\(", body):
+            findings.append(Finding(
+                path, line_of(text, m.start()), "uda-merge",
+                f"aggregate instance `{m.group(1)}` does not implement "
+                "Merge(); parallel partial/final plans require it"))
+    return findings
+
+
+INCLUDE_CC_RE = re.compile(r'#\s*include\s+["<][^">]*\.cc[">]')
+
+
+def check_include_cc(path, text, rel):
+    return [
+        Finding(path, line_of(text, m.start()), "include-cc",
+                "#include of a .cc file; move shared code into a header")
+        for m in INCLUDE_CC_RE.finditer(text)
+    ]
+
+
+def check_pragma_once(path, text, rel):
+    if not path.endswith(".h"):
+        return []
+    head = "\n".join(text.splitlines()[:10])
+    if "#pragma once" in head:
+        return []
+    return [Finding(path, 1, "pragma-once",
+                    "header does not start with #pragma once")]
+
+
+OK_STMT_RE = re.compile(r"\.ok\s*\(\s*\)\s*;")
+
+
+def check_status_ok_drop(path, text, rel):
+    """Flags `expr.ok();` in statement position: calling .ok() and ignoring
+    the bool launders a [[nodiscard]] Status into silence. The PR-3 sweep
+    found a dozen of these (dropped DeleteFile/Append/Register statuses)."""
+    findings = []
+    for m in OK_STMT_RE.finditer(text):
+        # Walk back over the expression whose .ok() is being called:
+        # balanced (...) / [...] groups and identifier/member chains.
+        j = m.start()
+        while j > 0:
+            c = text[j - 1]
+            if c in ")]":
+                depth = 0
+                while j > 0:
+                    j -= 1
+                    if text[j] in ")]":
+                        depth += 1
+                    elif text[j] in "([":
+                        depth -= 1
+                        if depth == 0:
+                            break
+            elif c.isalnum() or c in "_.:":
+                j -= 1
+            elif c == ">" and j >= 2 and text[j - 2] == "-":
+                j -= 2
+            else:
+                break
+        before = text[:j].rstrip()
+        # Consumed results: assignment, return, negation, inside a larger
+        # expression, comparison, or ternary.
+        if before.endswith(("return", "co_return")):
+            continue
+        if before and before[-1] in "=!&|?:,<>(+-*/%":
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "status-ok-drop",
+            "`expr.ok();` discards the error; propagate the Status or wrap "
+            "the expression in HTG_IGNORE_STATUS(...)"))
+    return findings
+
+
+VOID_CAST_RE = re.compile(
+    r"\(\s*void\s*\)\s*[\w:.>\-\[\]]+\s*\(|static_cast<\s*void\s*>\s*\([^)]*\(")
+
+
+def check_void_status(path, text, rel):
+    if rel.replace(os.sep, "/") == "src/common/status.h":
+        return []  # home of HTG_IGNORE_STATUS itself
+    return [
+        Finding(path, line_of(text, m.start()), "void-status",
+                "(void)-discard of a call result hides a possible dropped "
+                "Status; use HTG_IGNORE_STATUS(expr) instead")
+        for m in VOID_CAST_RE.finditer(text)
+    ]
+
+
+# rule id -> (checker, directory scopes it applies to, wants_raw_text).
+# include-cc must see raw text: comment/string stripping blanks the quoted
+# include path it matches on.
+RULES = {
+    "raw-io": (check_raw_io, ("src",), False),
+    "naked-new": (check_naked_new, ("src",), False),
+    "statuscode-switch":
+        (check_statuscode_switch, ("src", "bench", "tests"), False),
+    "uda-merge": (check_uda_merge, ("src", "bench", "tests"), False),
+    "include-cc": (check_include_cc, ("src", "bench", "tests"), True),
+    "pragma-once": (check_pragma_once, ("src", "bench", "tests"), False),
+    "void-status": (check_void_status, ("src",), False),
+    "status-ok-drop":
+        (check_status_ok_drop, ("src", "bench", "tests"), False),
+}
+
+
+def nolint_lines(raw_text):
+    """Line numbers carrying a NOLINT marker -> set of suppressed rules
+    (empty set = suppress everything on that line)."""
+    suppressed = {}
+    for i, line in enumerate(raw_text.splitlines(), start=1):
+        m = re.search(r"NOLINT(?:\(([^)]*)\))?", line)
+        if not m:
+            continue
+        rules = set()
+        if m.group(1):
+            for item in m.group(1).split(","):
+                item = item.strip()
+                if item.startswith("htg-"):
+                    rules.add(item[len("htg-"):])
+                else:
+                    rules.add(item)
+        suppressed[i] = rules
+    return suppressed
+
+
+def lint_file(path, rel, rule_ids=None, all_scopes=False):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    suppressed = nolint_lines(raw)
+    text = strip_comments_and_strings(raw)
+    scope = rel.replace(os.sep, "/").split("/", 1)[0]
+    findings = []
+    for rule, (checker, scopes, wants_raw) in RULES.items():
+        if rule_ids is not None and rule not in rule_ids:
+            continue
+        if not all_scopes and scope not in scopes:
+            continue
+        for finding in checker(path, raw if wants_raw else text, rel):
+            rules = suppressed.get(finding.line)
+            if rules is not None and (not rules or finding.rule in rules
+                                      or "htg-" + finding.rule in rules):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def tree_files(root):
+    for top in ("src", "bench", "tests"):
+        base = os.path.join(root, top)
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root)
+            if rel_dir.replace(os.sep, "/").startswith(
+                    FIXTURE_DIR.replace(os.sep, "/")):
+                continue
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".h")):
+                    full = os.path.join(dirpath, name)
+                    yield full, os.path.relpath(full, root)
+
+
+def run_lint(root):
+    findings = []
+    count = 0
+    for path, rel in tree_files(root):
+        count += 1
+        findings.extend(lint_file(path, rel))
+    for f in findings:
+        print(f)
+    print(f"htg_lint: {count} files scanned, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([\w-]+)")
+
+
+def run_selftest(root):
+    """Every fixture declares the rules it must trip via `// expect-lint`;
+    a fixture with no annotations must stay clean. Rules fire across all
+    scopes here so fixtures can live in one directory."""
+    fixture_dir = os.path.join(root, FIXTURE_DIR)
+    fixtures = sorted(
+        f for f in os.listdir(fixture_dir) if f.endswith((".cc", ".h")))
+    if not fixtures:
+        print(f"htg_lint --selftest: no fixtures in {fixture_dir}")
+        return 1
+    failures = []
+    for name in fixtures:
+        path = os.path.join(fixture_dir, name)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        expected = set(EXPECT_RE.findall(raw))
+        fired = {f.rule for f in lint_file(path, name, all_scopes=True)}
+        missing = expected - fired
+        unexpected = fired - expected
+        if missing:
+            failures.append(f"{name}: expected rule(s) did not fire: "
+                            f"{', '.join(sorted(missing))}")
+        if unexpected:
+            failures.append(f"{name}: unexpected rule(s) fired: "
+                            f"{', '.join(sorted(unexpected))}")
+    for failure in failures:
+        print("htg_lint --selftest FAIL:", failure)
+    print(f"htg_lint --selftest: {len(fixtures)} fixtures, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--selftest"]
+    selftest = len(args) != len(argv) - 1
+    root = args[0] if args else os.getcwd()
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"htg_lint: {root} does not look like the repo root")
+        return 2
+    return run_selftest(root) if selftest else run_lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
