@@ -13,6 +13,7 @@
 // query beats the script and scales with cores. (The Perl-vs-C++ constant
 // factor is discussed in EXPERIMENTS.md.)
 
+#include <algorithm>
 #include <thread>
 
 #include "baseline/script_binning.h"
@@ -40,6 +41,9 @@ void Run() {
   printf("== Fig. 7/8 + §5.3.2: unique-read binning, script vs SQL ==\n");
   printf("DGE lane: %llu reads, HTG_SCALE=%.2f\n\n",
          static_cast<unsigned long long>(config.num_reads), Scale());
+  BenchReport report("fig7_binning");
+  report.SetConfig("scale", Scale());
+  report.SetConfig("reads", static_cast<double>(config.num_reads));
   Lane lane = MakeLane(config);
 
   // --- The sequential script (Fig. 7) --------------------------------
@@ -59,6 +63,7 @@ void Run() {
          script->TotalSeconds(),
          static_cast<unsigned long long>(script->reads_total),
          static_cast<unsigned long long>(script->unique_tags));
+  report.AddTimings("script_total", {script->TotalSeconds()});
 
   // --- Query 1 in the engine (Fig. 8) --------------------------------
   BenchDb bench = OpenBenchDb("fig7");
@@ -72,18 +77,22 @@ void Run() {
   const int hw =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   const int parallel_dop = std::max(4, hw);
+  report.SetConfig("parallel_dop", parallel_dop);
   TablePrinter table({"Configuration", "unique tags", "seconds",
                       "speedup vs script"});
   uint64_t sql_unique = 0;
   for (int dop : {1, parallel_dop}) {
     bench.db->set_max_dop(dop);
-    Stopwatch timer;
-    Result<sql::QueryResult> result = bench.engine->Execute(kQuery1);
-    CheckOk(result.ok() ? Status::OK() : result.status(), "query 1");
-    const double seconds = timer.ElapsedSeconds();
-    sql_unique = result->rows.size();
+    uint64_t result_rows = 0;
+    const double seconds = report.MeasureSeconds(
+        StringPrintf("query1_dop%d", dop), 3, [&] {
+          Result<sql::QueryResult> result = bench.engine->Execute(kQuery1);
+          CheckOk(result.ok() ? Status::OK() : result.status(), "query 1");
+          result_rows = result->rows.size();
+        });
+    sql_unique = result_rows;
     table.AddRow({StringPrintf("SQL Query 1, DOP=%d", dop),
-                  std::to_string(result->rows.size()),
+                  std::to_string(result_rows),
                   StringPrintf("%.3f", seconds),
                   StringPrintf("%.1fx", script->TotalSeconds() / seconds)});
   }
@@ -104,6 +113,38 @@ void Run() {
   printf("Paper shape check: the declarative query beats the sequential "
          "file-centric script.\n");
 
+  // --- Metrics-instrumentation overhead --------------------------------
+  // Same query with the metrics registry recording vs. the kill switch
+  // off; the delta bounds the cost of the always-on observability layer.
+  {
+    bench.db->set_max_dop(parallel_dop);
+    CheckOk(bench.engine->Execute(kQuery1).status(), "overhead warmup");
+    // Interleave on/off reps so drift (page cache, frequency scaling,
+    // allocator state) lands on both sides equally instead of biasing
+    // whichever phase runs first.
+    std::vector<double> on_reps, off_reps;
+    for (int run = 0; run < 7; ++run) {
+      for (bool enabled : {true, false}) {
+        obs::SetMetricsEnabled(enabled);
+        Stopwatch timer;
+        CheckOk(bench.engine->Execute(kQuery1).status(), "overhead run");
+        (enabled ? on_reps : off_reps).push_back(timer.ElapsedSeconds());
+      }
+    }
+    obs::SetMetricsEnabled(true);
+    // Best-of: scheduler/cache noise only ever adds time, so the minimum
+    // is the least-contaminated estimate of each configuration's cost.
+    const double on_best = *std::min_element(on_reps.begin(), on_reps.end());
+    const double off_best =
+        *std::min_element(off_reps.begin(), off_reps.end());
+    report.AddTimings("query1_metrics_on", std::move(on_reps));
+    report.AddTimings("query1_metrics_off", std::move(off_reps));
+    printf("\nMetrics overhead on Query 1 (DOP=%d, interleaved best of 7): "
+           "on %.3f s, off %.3f s (%+.2f%%)\n",
+           parallel_dop, on_best, off_best,
+           off_best > 0 ? (on_best / off_best - 1.0) * 100.0 : 0.0);
+  }
+
   // --- CROSS APPLY pipeline DOP sweep ---------------------------------
   // The per-read pivot (the §5.3.3 alignment shape) is the CPU-heavy
   // pipeline the morsel-parallel exchange targets: scan → CROSS APPLY →
@@ -122,14 +163,17 @@ void Run() {
   for (int dop : {1, 2, parallel_dop}) {
     bench.db->set_max_dop(dop);
     CheckOk(bench.engine->Execute(kPivotQuery).status(), "pivot warmup");
+    std::vector<double> reps;
     double best = 1e30;
     for (int run = 0; run < 3; ++run) {
       Stopwatch timer;
       Result<sql::QueryResult> result = bench.engine->Execute(kPivotQuery);
       CheckOk(result.status(), "pivot query");
-      best = std::min(best, timer.ElapsedSeconds());
+      reps.push_back(timer.ElapsedSeconds());
+      best = std::min(best, reps.back());
       pivot_groups = result->rows.size();
     }
+    report.AddTimings(StringPrintf("pivot_dop%d", dop), std::move(reps));
     if (dop == 1) pivot_base = best;
     pivot_table.AddRow({std::to_string(dop), StringPrintf("%.3f", best),
                         StringPrintf("%.2fx", pivot_base / best)});
@@ -143,6 +187,7 @@ void Run() {
            "wall-clock speedup here.\n",
            parallel_dop);
   }
+  report.Write();
 }
 
 }  // namespace

@@ -34,6 +34,9 @@ void Run() {
   printf("lane: %llu reads, %llu-base reference, HTG_SCALE=%.2f\n\n",
          static_cast<unsigned long long>(config.num_reads),
          static_cast<unsigned long long>(config.reference_bases), Scale());
+  BenchReport report("table1_storage_dge");
+  report.SetConfig("scale", Scale());
+  report.SetConfig("reads", static_cast<double>(config.num_reads));
   Lane lane = MakeLane(config);
   printf("unique tags: %zu, alignments: %zu\n\n", lane.tags.size(),
          lane.alignments.size());
@@ -161,12 +164,22 @@ void Run() {
         BytesCell(TableBytes(db, d.table + "_row"), base),
         BytesCell(TableBytes(db, d.table + "_page"), base),
     });
+    report.AddValue(d.table + "_files", static_cast<double>(d.files),
+                    "bytes");
+    for (const char* suffix : {"_1to1", "_n", "_row", "_page"}) {
+      report.AddValue(d.table + suffix,
+                      static_cast<double>(TableBytes(db, d.table + suffix)),
+                      "bytes");
+    }
   }
+  report.AddValue("Read_filestream", static_cast<double>(filestream_reads),
+                  "bytes");
   printf("\n");
   table.Print();
   printf(
       "\nPaper shape check: FileStream == Files; 1:1 > Files; "
       "PAGE < ROW < Normalized on repetitive DGE data.\n");
+  report.Write();
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 
 #include "baseline/file_pipeline.h"
 #include "genomics/register.h"
+#include "storage/vfs.h"
 
 namespace htg::bench {
 
@@ -157,6 +159,118 @@ void CheckOk(const Status& status, const char* what) {
     fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
     exit(1);
   }
+}
+
+namespace {
+
+// Order statistic over a copy of `reps` (nearest-rank on the sorted set);
+// 0 when empty.
+double RepsPercentile(std::vector<double> reps, double p) {
+  if (reps.empty()) return 0;
+  std::sort(reps.begin(), reps.end());
+  const size_t idx = static_cast<size_t>(p * (reps.size() - 1) + 0.5);
+  return reps[std::min(idx, reps.size() - 1)];
+}
+
+// Shortest round-trippable representation; %.9g keeps nanosecond-level
+// timing precision without trailing noise.
+std::string JsonNumber(double v) { return StringPrintf("%.9g", v); }
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::SetConfig(const std::string& key, const std::string& value) {
+  config_[key] = "\"" + obs::JsonEscape(value) + "\"";
+}
+
+void BenchReport::SetConfig(const std::string& key, double value) {
+  config_[key] = JsonNumber(value);
+}
+
+double BenchReport::MeasureSeconds(const std::string& result_name, int reps,
+                                   const std::function<void()>& fn) {
+  ResultEntry entry;
+  entry.name = result_name;
+  entry.unit = "seconds";
+  entry.reps.reserve(reps);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    entry.reps.push_back(timer.ElapsedSeconds());
+  }
+  entry.metrics_delta =
+      obs::MetricsRegistry::Global().Snapshot().Delta(before);
+  entry.has_metrics = true;
+  const double median = RepsPercentile(entry.reps, 0.5);
+  results_.push_back(std::move(entry));
+  return median;
+}
+
+void BenchReport::AddTimings(const std::string& result_name,
+                             std::vector<double> reps_seconds) {
+  ResultEntry entry;
+  entry.name = result_name;
+  entry.unit = "seconds";
+  entry.reps = std::move(reps_seconds);
+  results_.push_back(std::move(entry));
+}
+
+void BenchReport::AddValue(const std::string& result_name, double value,
+                           const std::string& unit) {
+  ResultEntry entry;
+  entry.name = result_name;
+  entry.unit = unit;
+  entry.value = value;
+  entry.is_scalar = true;
+  results_.push_back(std::move(entry));
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n";
+  out += StringPrintf("  \"schema_version\": %d,\n", kSchemaVersion);
+  out += "  \"bench\": \"" + obs::JsonEscape(name_) + "\",\n";
+  out += "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, literal] : config_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + obs::JsonEscape(key) + "\": " + literal;
+  }
+  out += "},\n  \"results\": [\n";
+  for (size_t i = 0; i < results_.size(); ++i) {
+    const ResultEntry& r = results_[i];
+    out += "    {\"name\": \"" + obs::JsonEscape(r.name) + "\", \"unit\": \"" +
+           obs::JsonEscape(r.unit) + "\"";
+    if (r.is_scalar) {
+      out += ", \"value\": " + JsonNumber(r.value);
+    } else {
+      out += ", \"reps\": [";
+      for (size_t j = 0; j < r.reps.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += JsonNumber(r.reps[j]);
+      }
+      out += "], \"median\": " + JsonNumber(RepsPercentile(r.reps, 0.5));
+      out += ", \"p90\": " + JsonNumber(RepsPercentile(r.reps, 0.9));
+    }
+    if (r.has_metrics) out += ", \"metrics\": " + r.metrics_delta.ToJson();
+    out += "}";
+    if (i + 1 < results_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void BenchReport::Write() const {
+  const char* env = getenv("HTG_BENCH_OUT");
+  const std::string dir = (env != nullptr && *env != '\0') ? env : ".";
+  storage::Vfs* vfs = storage::Vfs::Default();
+  CheckOk(vfs->CreateDirs(dir), "create bench output dir");
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  CheckOk(storage::WriteFileAtomic(vfs, path, ToJson()), "write bench json");
+  printf("\n[bench json] wrote %s\n", path.c_str());
 }
 
 }  // namespace htg::bench

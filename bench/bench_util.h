@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "genomics/aligner.h"
@@ -77,6 +80,60 @@ class TablePrinter {
 
 // "12.3 KiB (0.95x)" relative to a baseline byte count.
 std::string BytesCell(uint64_t bytes, uint64_t baseline);
+
+// Machine-readable bench output: accumulates named results and writes a
+// schema-versioned BENCH_<name>.json next to the human-readable tables, so
+// CI (tools/bench_compare.py) can diff runs against checked-in baselines.
+//
+// Timing results carry every repetition plus a metrics-registry delta
+// spanning the timed region; scalar results (byte counts, row counts)
+// carry a single value and unit.
+class BenchReport {
+ public:
+  // JSON schema_version; bump when the layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchReport(std::string name);
+
+  // Config keys describe the workload (scale, rows, dop) so a comparison
+  // across mismatched configs can be rejected.
+  void SetConfig(const std::string& key, const std::string& value);
+  void SetConfig(const std::string& key, double value);
+
+  // Times fn() `reps` times and records per-rep seconds plus the metrics
+  // snapshot delta across all reps. Returns the median seconds.
+  double MeasureSeconds(const std::string& result_name, int reps,
+                        const std::function<void()>& fn);
+
+  // Records externally measured repetition timings (seconds).
+  void AddTimings(const std::string& result_name,
+                  std::vector<double> reps_seconds);
+
+  // Records a scalar measurement (e.g. unit "bytes" or "rows").
+  void AddValue(const std::string& result_name, double value,
+                const std::string& unit);
+
+  std::string ToJson() const;
+
+  // Writes BENCH_<name>.json into $HTG_BENCH_OUT (default: current
+  // directory) and prints the path. Aborts the bench on I/O failure.
+  void Write() const;
+
+ private:
+  struct ResultEntry {
+    std::string name;
+    std::string unit;
+    std::vector<double> reps;    // timing results
+    double value = 0;            // scalar results
+    bool is_scalar = false;
+    obs::MetricsSnapshot metrics_delta;
+    bool has_metrics = false;
+  };
+
+  std::string name_;
+  std::map<std::string, std::string> config_;  // values are JSON literals
+  std::vector<ResultEntry> results_;
+};
 
 // Aborts the bench with a message on error status.
 void CheckOk(const Status& status, const char* what);

@@ -1,0 +1,209 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace htg::obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+size_t ThreadShard() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  return shard;
+}
+
+}  // namespace internal
+
+bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the percentile observation, 1-based.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket i holds values in [2^(i-1), 2^i); report the upper bound.
+      return i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+    }
+  }
+  return 0;
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& base) const {
+  HistogramSnapshot out;
+  out.count = count - base.count;
+  out.sum = sum - base.sum;
+  out.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t b = i < base.buckets.size() ? base.buckets[i] : 0;
+    out.buckets[i] = buckets[i] - b;
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = base.counters.find(name);
+    out.counters[name] = value - (it == base.counters.end() ? 0 : it->second);
+  }
+  out.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    const auto it = base.histograms.find(name);
+    out.histograms[name] =
+        it == base.histograms.end() ? hist : hist.Delta(it->second);
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf("\"%s\":%llu", JsonEscape(name).c_str(),
+                        static_cast<unsigned long long>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf("\"%s\":%lld", JsonEscape(name).c_str(),
+                        static_cast<long long>(value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += StringPrintf(
+        "\"%s\":{\"count\":%llu,\"sum\":%llu,\"p50\":%llu,\"p90\":%llu,"
+        "\"p99\":%llu}",
+        JsonEscape(name).c_str(), static_cast<unsigned long long>(hist.count),
+        static_cast<unsigned long long>(hist.sum),
+        static_cast<unsigned long long>(hist.Percentile(0.50)),
+        static_cast<unsigned long long>(hist.Percentile(0.90)),
+        static_cast<unsigned long long>(hist.Percentile(0.99)));
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaky singleton: metrics outlive every thread that might still be
+  // recording at process exit.
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.buckets.resize(Histogram::kBuckets);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets[i] = hist->bucket(i);
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+}  // namespace htg::obs

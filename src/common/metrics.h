@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htg::obs {
+
+// Process-wide engine metrics (the observability layer of DESIGN.md).
+//
+// Design constraints, in order:
+//   1. Hot-path cost: Counter::Add is a relaxed load (enabled flag), a
+//      thread-local read, and one relaxed fetch_add on a cache-line-padded
+//      shard — safe to leave in per-row code.
+//   2. Always-on: metrics accumulate monotonically for the process
+//      lifetime; consumers diff two Snapshot()s rather than resetting
+//      (resets would race with concurrent writers).
+//   3. No dependencies: plain atomics, no allocation after registration.
+//
+// The kill switch exists to *measure* the instrumentation itself (the
+// bench suite reports fig7 with metrics on vs. off); production code never
+// needs to toggle it.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+
+extern std::atomic<bool> g_metrics_enabled;
+
+// Stable per-thread shard index (hashed thread id, cached thread-local).
+size_t ThreadShard();
+
+}  // namespace internal
+
+// Monotonic counter, sharded across cache lines so concurrent writers
+// (morsel workers, pool threads) don't serialize on one atomic.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    cells_[internal::ThreadShard() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static constexpr size_t kShards = 16;
+  Cell cells_[kShards];
+};
+
+// Last-value-wins instantaneous measure (queue depth, open files).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Latency histogram with log2 buckets: bucket i holds values whose bit
+// width is i, i.e. [2^(i-1), 2^i). Values are nanoseconds by convention.
+// Recording is two relaxed fetch_adds; percentiles are estimated from the
+// bucket upper bounds at snapshot time.
+class Histogram {
+ public:
+  // bit_width(uint64) is in [0, 64], so 65 buckets.
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;  // Histogram::kBuckets entries
+
+  // Upper-bound estimate of the p-th percentile (p in [0, 1]) in the
+  // recorded unit; 0 when empty.
+  uint64_t Percentile(double p) const;
+  HistogramSnapshot Delta(const HistogramSnapshot& base) const;
+};
+
+// Point-in-time copy of every registered metric. Diffable and
+// serializable; this is what benches embed in BENCH_*.json.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // this - base, per metric (counters and histogram buckets subtract;
+  // gauges keep their current value). Metrics absent from `base` are
+  // treated as zero there.
+  MetricsSnapshot Delta(const MetricsSnapshot& base) const;
+
+  // Compact one-line JSON object:
+  //   {"counters":{...},"gauges":{...},"histograms":{"name":
+  //     {"count":N,"sum":N,"p50":N,"p90":N,"p99":N}}}
+  std::string ToJson() const;
+};
+
+// The process-wide registry. Get* registers on first use and returns a
+// pointer that stays valid for the process lifetime, so call sites cache
+// it in a static (see the HTG_METRIC_* macros).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace htg::obs
+
+// Call-site helpers: resolve the metric once (function-local static) and
+// hand back the pointer. `name` must be a string literal so each call
+// site owns its static.
+#define HTG_METRIC_COUNTER(name)                        \
+  ([]() -> ::htg::obs::Counter* {                       \
+    static ::htg::obs::Counter* metric =                \
+        ::htg::obs::MetricsRegistry::Global().GetCounter(name); \
+    return metric;                                      \
+  }())
+
+#define HTG_METRIC_GAUGE(name)                          \
+  ([]() -> ::htg::obs::Gauge* {                         \
+    static ::htg::obs::Gauge* metric =                  \
+        ::htg::obs::MetricsRegistry::Global().GetGauge(name); \
+    return metric;                                      \
+  }())
+
+#define HTG_METRIC_HISTOGRAM(name)                      \
+  ([]() -> ::htg::obs::Histogram* {                     \
+    static ::htg::obs::Histogram* metric =              \
+        ::htg::obs::MetricsRegistry::Global().GetHistogram(name); \
+    return metric;                                      \
+  }())

@@ -1,15 +1,25 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace htg {
 
-// Wall-clock timer for benches and EXPLAIN ANALYZE-style reporting.
+// Wall-clock timer for benches and EXPLAIN ANALYZE-style reporting. This
+// is the only sanctioned timing primitive in src/exec (the htg_lint
+// exec-raw-timing rule bans direct clock calls there).
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
   void Restart() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();

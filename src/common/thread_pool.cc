@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/metrics.h"
+
 namespace htg {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -23,10 +25,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  HTG_METRIC_COUNTER("threadpool.tasks.submitted")->Add(1);
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  HTG_METRIC_GAUGE("threadpool.queue.depth")
+      ->Set(static_cast<int64_t>(depth));
   work_cv_.notify_one();
 }
 
@@ -90,6 +97,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    HTG_METRIC_COUNTER("threadpool.tasks.executed")->Add(1);
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "storage/heap_table.h"
 
@@ -155,7 +156,12 @@ class DistinctAggregateInstance : public udf::AggregateInstance {
   Status Accumulate(const std::vector<Value>& args) override {
     std::string key;
     for (const Value& v : args) {
-      key += v.is_null() ? "\x01N" : "\x02" + v.ToString();
+      if (v.is_null()) {
+        key += "\x01N";
+      } else {
+        key += '\x02';
+        key += v.ToString();
+      }
     }
     distinct_.emplace(std::move(key), args);
     return Status::OK();
@@ -193,6 +199,7 @@ AggSpec AggSpec::Clone() const {
 }
 
 std::unique_ptr<udf::AggregateInstance> AggSpec::NewInstance() const {
+  HTG_METRIC_COUNTER("udf.uda.instances")->Add(1);
   if (distinct) return std::make_unique<DistinctAggregateInstance>(fn);
   return fn->NewInstance();
 }
@@ -233,7 +240,7 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
       aggs_(std::move(aggs)),
       schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)) {}
 
-Result<std::unique_ptr<storage::RowIterator>> HashAggregateOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> HashAggregateOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
@@ -365,7 +372,7 @@ class StreamAggIterator : public storage::RowIterator {
 
 }  // namespace
 
-Result<std::unique_ptr<storage::RowIterator>> StreamAggregateOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> StreamAggregateOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
@@ -390,9 +397,15 @@ ParallelAggregateOp::ParallelAggregateOp(catalog::TableDef* table,
       dop_(dop < 1 ? 1 : dop),
       morsel_pages_(morsel_pages == 0 ? kDefaultMorselPages : morsel_pages),
       schema_(MakeAggregateSchema(group_exprs_, group_names, aggs_)),
-      repr_(BuildExplainPipeline(table_, stages_, morsel_pages_)) {}
+      repr_(BuildExplainPipeline(table_, stages_, dop_, morsel_pages_)) {}
 
-Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::Open(
+int64_t ParallelAggregateOp::EstimateRows() const {
+  // A global aggregate yields exactly one row; grouped cardinality is
+  // unknown without column statistics.
+  return group_exprs_.empty() ? 1 : -1;
+}
+
+Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
     ExecContext* ctx) {
   auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
   if (heap == nullptr) {
@@ -405,6 +418,12 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::Open(
   const int dop =
       std::min(static_cast<size_t>(dop_), std::max<size_t>(1, morsels.size()));
 
+  OperatorStats* stats = mutable_stats();
+  if (ctx->collect_stats) {
+    stats->worker_rows.assign(dop, 0);
+    stats->worker_morsels.assign(dop, 0);
+  }
+
   // Partial phase: workers steal morsels off the shared counter, replay
   // the stage pipeline over each page range, and accumulate into
   // thread-local partial maps. Expression trees are immutable and shared;
@@ -415,8 +434,17 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::Open(
       ctx->pool, dop, morsels.size(), [&](int worker, size_t m) -> Status {
         OperatorPtr pipeline =
             BuildMorselPipeline(table_, morsels[m], stages_);
+        if (ctx->collect_stats) {
+          LinkPipelineStats(pipeline.get(), repr_.get());
+        }
         HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                              pipeline->Open(&worker_ctx[worker]));
+        if (ctx->collect_stats) {
+          // Count the rows this worker feeds its partial map, for the
+          // per-worker skew lines under the exchange in ANALYZE output.
+          iter = WrapCounting(std::move(iter), &stats->worker_rows[worker]);
+          ++stats->worker_morsels[worker];
+        }
         return BuildGroups(iter.get(), group_exprs_, aggs_,
                            &worker_ctx[worker].eval, &partials[worker]);
       }));

@@ -40,10 +40,13 @@ class HashAggregateOp : public Operator {
                   std::vector<AggSpec> aggs);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  int64_t EstimateRows() const override {
+    return group_exprs_.empty() ? 1 : -1;
   }
 
  private:
@@ -63,10 +66,13 @@ class StreamAggregateOp : public Operator {
                     std::vector<AggSpec> aggs);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  int64_t EstimateRows() const override {
+    return group_exprs_.empty() ? 1 : -1;
   }
 
  private:
@@ -93,11 +99,12 @@ class ParallelAggregateOp : public Operator {
                       std::vector<AggSpec> aggs, int dop, size_t morsel_pages);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {repr_.get()};
   }
+  int64_t EstimateRows() const override;
 
  private:
   catalog::TableDef* table_;

@@ -1,5 +1,6 @@
 #include "exec/apply_ops.h"
 
+#include "common/metrics.h"
 #include "exec/join_ops.h"
 
 namespace htg::exec {
@@ -43,6 +44,7 @@ class CrossApplyIterator : public storage::RowIterator {
         }
         args.push_back(std::move(*v));
       }
+      HTG_METRIC_COUNTER("udf.tvf.opens")->Add(1);
       Result<std::unique_ptr<storage::RowIterator>> inner =
           fn_->Open(args, db_);
       if (!inner.ok()) {
@@ -68,7 +70,7 @@ class CrossApplyIterator : public storage::RowIterator {
 
 }  // namespace
 
-Result<std::unique_ptr<storage::RowIterator>> TvfScanOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> TvfScanOp::OpenImpl(
     ExecContext* ctx) {
   std::vector<Value> args;
   args.reserve(args_.size());
@@ -76,6 +78,7 @@ Result<std::unique_ptr<storage::RowIterator>> TvfScanOp::Open(
     HTG_ASSIGN_OR_RETURN(Value v, a->Eval(&ctx->eval, Row{}));
     args.push_back(std::move(v));
   }
+  HTG_METRIC_COUNTER("udf.tvf.opens")->Add(1);
   return fn_->Open(args, ctx->db);
 }
 
@@ -97,7 +100,7 @@ CrossApplyOp::CrossApplyOp(OperatorPtr child, const udf::TableFunction* fn,
       fn_schema_(std::move(fn_schema)),
       schema_(ConcatSchemas(child_->output_schema(), fn_schema_)) {}
 
-Result<std::unique_ptr<storage::RowIterator>> CrossApplyOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> CrossApplyOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));

@@ -18,7 +18,7 @@ class TvfScanOp : public Operator {
       : fn_(fn), args_(std::move(args)), schema_(std::move(schema)) {}
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
 
  private:
@@ -36,7 +36,7 @@ class CrossApplyOp : public Operator {
                std::vector<ExprPtr> args, Schema fn_schema);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};

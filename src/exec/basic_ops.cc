@@ -96,7 +96,12 @@ class DistinctIterator : public storage::RowIterator {
     while (child_->Next(row)) {
       std::string key;
       for (const Value& v : *row) {
-        key += v.is_null() ? "\x01N" : "\x02" + v.ToString();
+        if (v.is_null()) {
+          key += "\x01N";
+        } else {
+          key += '\x02';
+          key += v.ToString();
+        }
       }
       if (seen_.insert(std::move(key)).second) return true;
     }
@@ -143,7 +148,7 @@ TableScanOp::TableScanOp(catalog::TableDef* table, size_t first_page,
 TableScanOp::TableScanOp(catalog::TableDef* table, Row seek_prefix)
     : table_(table), has_seek_(true), seek_prefix_(std::move(seek_prefix)) {}
 
-Result<std::unique_ptr<storage::RowIterator>> TableScanOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> TableScanOp::OpenImpl(
     ExecContext*) {
   if (has_range_) {
     auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
@@ -159,6 +164,17 @@ Result<std::unique_ptr<storage::RowIterator>> TableScanOp::Open(
   return {table_->table->NewScan()};
 }
 
+int64_t TableScanOp::EstimateRows() const {
+  const auto rows = static_cast<int64_t>(table_->table->num_rows());
+  if (!has_range_) return rows;
+  // Page-range partition: prorate by the fraction of sealed pages scanned.
+  auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
+  const size_t npages = heap != nullptr ? heap->num_pages_sealed() : 0;
+  if (npages == 0) return rows;
+  const size_t span = end_page_ > first_page_ ? end_page_ - first_page_ : 0;
+  return static_cast<int64_t>(static_cast<uint64_t>(rows) * span / npages);
+}
+
 std::string TableScanOp::Describe() const {
   std::string kind = table_->clustered_key.empty()
                          ? "Table Scan"
@@ -171,7 +187,7 @@ std::string TableScanOp::Describe() const {
   return out;
 }
 
-Result<std::unique_ptr<storage::RowIterator>> ValuesOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> ValuesOp::OpenImpl(
     ExecContext* ctx) {
   std::vector<Row> rows;
   rows.reserve(rows_.size());
@@ -198,7 +214,7 @@ OpenRowsetOp::OpenRowsetOp(std::string path) : path_(std::move(path)) {
   schema_.AddColumn(col);
 }
 
-Result<std::unique_ptr<storage::RowIterator>> OpenRowsetOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> OpenRowsetOp::OpenImpl(
     ExecContext* ctx) {
   if (ctx->db == nullptr) {
     return Status::ExecError("OPENROWSET requires a database");
@@ -220,7 +236,7 @@ std::string OpenRowsetOp::Describe() const {
   return "Bulk Import [" + path_ + "]";
 }
 
-Result<std::unique_ptr<storage::RowIterator>> FilterOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> FilterOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
@@ -243,7 +259,7 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
   }
 }
 
-Result<std::unique_ptr<storage::RowIterator>> ProjectOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> ProjectOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
@@ -261,14 +277,14 @@ std::string ProjectOp::Describe() const {
   return out;
 }
 
-Result<std::unique_ptr<storage::RowIterator>> DistinctOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> DistinctOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
   return {std::make_unique<DistinctIterator>(std::move(child))};
 }
 
-Result<std::unique_ptr<storage::RowIterator>> TopOp::Open(ExecContext* ctx) {
+Result<std::unique_ptr<storage::RowIterator>> TopOp::OpenImpl(ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
   return {std::make_unique<TopIterator>(std::move(child), limit_)};

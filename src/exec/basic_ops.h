@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,8 +24,9 @@ class TableScanOp : public Operator {
   TableScanOp(catalog::TableDef* table, Row seek_prefix);
 
   const Schema& output_schema() const override { return table_->schema; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
+  int64_t EstimateRows() const override;
 
   catalog::TableDef* table() const { return table_; }
 
@@ -44,8 +46,11 @@ class ValuesOp : public Operator {
       : schema_(std::move(schema)), rows_(std::move(rows)) {}
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
+  int64_t EstimateRows() const override {
+    return static_cast<int64_t>(rows_.size());
+  }
 
  private:
   Schema schema_;
@@ -59,8 +64,9 @@ class OpenRowsetOp : public Operator {
   explicit OpenRowsetOp(std::string path);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
+  int64_t EstimateRows() const override { return 1; }
 
  private:
   std::string path_;
@@ -75,10 +81,15 @@ class FilterOp : public Operator {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  // Textbook default selectivity of 1/3 — no predicate statistics yet.
+  int64_t EstimateRows() const override {
+    const int64_t child = child_->EstimateRows();
+    return child < 0 ? -1 : child / 3;
   }
 
  private:
@@ -93,11 +104,12 @@ class ProjectOp : public Operator {
             std::vector<std::string> names);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  int64_t EstimateRows() const override { return child_->EstimateRows(); }
 
  private:
   OperatorPtr child_;
@@ -114,7 +126,7 @@ class DistinctOp : public Operator {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override { return "Distinct Sort (Distinct)"; }
   std::vector<const Operator*> children() const override {
     return {child_.get()};
@@ -133,10 +145,14 @@ class TopOp : public Operator {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  int64_t EstimateRows() const override {
+    const int64_t child = child_->EstimateRows();
+    return child < 0 ? limit_ : std::min(limit_, child);
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace htg::exec {
@@ -200,6 +201,7 @@ Result<Value> FnCallExpr::Eval(udf::EvalContext* ctx, const Row& row) const {
     args.push_back(std::move(v));
   }
   if (any_null && !fn_->null_tolerant) return Value::Null();
+  HTG_METRIC_COUNTER("udf.scalar.calls")->Add(1);
   return fn_->eval(ctx, args);
 }
 

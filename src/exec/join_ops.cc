@@ -333,7 +333,7 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
   }
 }
 
-Result<std::unique_ptr<storage::RowIterator>> HashJoinOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> HashJoinOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> right,
                        right_->Open(ctx));
@@ -370,7 +370,7 @@ MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
       right_keys_(std::move(right_keys)),
       schema_(ConcatSchemas(left_->output_schema(), right_->output_schema())) {}
 
-Result<std::unique_ptr<storage::RowIterator>> MergeJoinOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> MergeJoinOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> left,
                        left_->Open(ctx));
@@ -393,7 +393,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
       predicate_(std::move(predicate)),
       schema_(ConcatSchemas(left_->output_schema(), right_->output_schema())) {}
 
-Result<std::unique_ptr<storage::RowIterator>> NestedLoopJoinOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> NestedLoopJoinOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> right,
                        right_->Open(ctx));

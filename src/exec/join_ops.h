@@ -18,7 +18,7 @@ class HashJoinOp : public Operator {
              bool left_outer = false);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get(), right_.get()};
@@ -43,7 +43,7 @@ class MergeJoinOp : public Operator {
               std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get(), right_.get()};
@@ -64,7 +64,7 @@ class NestedLoopJoinOp : public Operator {
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {left_.get(), right_.get()};

@@ -1,8 +1,60 @@
 #include "exec/operator.h"
 
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
 namespace htg::exec {
 
 namespace {
+
+// Times Next() and counts rows into the owning operator's stats. Only
+// constructed under EXPLAIN ANALYZE, so the two clock reads per row are
+// never on the normal query path.
+class StatsIterator : public storage::RowIterator {
+ public:
+  StatsIterator(std::unique_ptr<storage::RowIterator> inner,
+                OperatorStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  ~StatsIterator() override {
+    Stopwatch sw;
+    inner_.reset();
+    stats_->close_ns.fetch_add(sw.ElapsedNanos(), std::memory_order_relaxed);
+  }
+
+  bool Next(Row* row) override {
+    Stopwatch sw;
+    const bool ok = inner_->Next(row);
+    stats_->next_ns.fetch_add(sw.ElapsedNanos(), std::memory_order_relaxed);
+    if (ok) stats_->rows_out.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  }
+
+  Status status() const override { return inner_->status(); }
+
+ private:
+  std::unique_ptr<storage::RowIterator> inner_;
+  OperatorStats* stats_;
+};
+
+class CountingIterator : public storage::RowIterator {
+ public:
+  CountingIterator(std::unique_ptr<storage::RowIterator> inner,
+                   uint64_t* counter)
+      : inner_(std::move(inner)), counter_(counter) {}
+
+  bool Next(Row* row) override {
+    const bool ok = inner_->Next(row);
+    if (ok) ++*counter_;
+    return ok;
+  }
+
+  Status status() const override { return inner_->status(); }
+
+ private:
+  std::unique_ptr<storage::RowIterator> inner_;
+  uint64_t* counter_;
+};
 
 void ExplainRec(const Operator& op, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
@@ -13,11 +65,67 @@ void ExplainRec(const Operator& op, int depth, std::string* out) {
   }
 }
 
+void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
+  const size_t indent = static_cast<size_t>(depth) * 2;
+  out->append(indent, ' ');
+  out->append(op.Describe());
+  const OperatorStats& s = op.stats();
+  const uint64_t opens = s.open_calls.load(std::memory_order_relaxed);
+  if (opens > 0) {
+    const uint64_t rows = s.rows_out.load(std::memory_order_relaxed);
+    const int64_t est = op.EstimateRows();
+    const double total_ms =
+        static_cast<double>(s.open_ns.load(std::memory_order_relaxed) +
+                            s.next_ns.load(std::memory_order_relaxed) +
+                            s.close_ns.load(std::memory_order_relaxed)) /
+        1e6;
+    out->append(StringPrintf(" (actual rows=%llu, est rows=%s, opens=%llu, "
+                             "time=%.3f ms)",
+                             static_cast<unsigned long long>(rows),
+                             est < 0 ? "?"
+                                     : StringPrintf("%lld",
+                                                    static_cast<long long>(est))
+                                           .c_str(),
+                             static_cast<unsigned long long>(opens),
+                             total_ms));
+  }
+  out->push_back('\n');
+  for (size_t w = 0; w < s.worker_rows.size(); ++w) {
+    out->append(indent + 2, ' ');
+    out->append(StringPrintf(
+        "[worker %zu] morsels=%llu rows=%llu\n", w,
+        static_cast<unsigned long long>(
+            w < s.worker_morsels.size() ? s.worker_morsels[w] : 0),
+        static_cast<unsigned long long>(s.worker_rows[w])));
+  }
+  for (const Operator* child : op.children()) {
+    ExplainAnalyzeRec(*child, depth + 1, out);
+  }
+}
+
 }  // namespace
+
+Result<std::unique_ptr<storage::RowIterator>> Operator::Open(
+    ExecContext* ctx) {
+  if (!ctx->collect_stats) return OpenImpl(ctx);
+  OperatorStats* stats = sink_;
+  Stopwatch sw;
+  Result<std::unique_ptr<storage::RowIterator>> result = OpenImpl(ctx);
+  stats->open_ns.fetch_add(sw.ElapsedNanos(), std::memory_order_relaxed);
+  stats->open_calls.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) return result;
+  return {std::make_unique<StatsIterator>(std::move(result).value(), stats)};
+}
 
 std::string ExplainPlan(const Operator& root) {
   std::string out;
   ExplainRec(root, 0, &out);
+  return out;
+}
+
+std::string ExplainAnalyzePlan(const Operator& root) {
+  std::string out;
+  ExplainAnalyzeRec(root, 0, &out);
   return out;
 }
 
@@ -28,6 +136,11 @@ Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows) {
     row.clear();
   }
   return iter->status();
+}
+
+std::unique_ptr<storage::RowIterator> WrapCounting(
+    std::unique_ptr<storage::RowIterator> inner, uint64_t* counter) {
+  return std::make_unique<CountingIterator>(std::move(inner), counter);
 }
 
 }  // namespace htg::exec

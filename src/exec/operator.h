@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +20,9 @@ struct ExecContext {
   Database* db = nullptr;
   ThreadPool* pool = nullptr;
   int dop = 1;
+  // EXPLAIN ANALYZE: time Open/Next/close and count rows per operator.
+  // Off by default so normal queries pay nothing for the stats machinery.
+  bool collect_stats = false;
   udf::EvalContext eval;
 
   static ExecContext For(Database* db) {
@@ -30,6 +35,22 @@ struct ExecContext {
   }
 };
 
+// Runtime counters for one plan operator, filled only under
+// ExecContext::collect_stats. Atomic because parallel plans feed one
+// operator's stats from several morsel workers at once. Exchange
+// operators additionally record per-worker totals (skew diagnosis).
+struct OperatorStats {
+  std::atomic<uint64_t> open_calls{0};  // streams opened (morsel replays)
+  std::atomic<uint64_t> rows_out{0};
+  std::atomic<uint64_t> open_ns{0};
+  std::atomic<uint64_t> next_ns{0};   // cumulative time inside Next
+  std::atomic<uint64_t> close_ns{0};  // iterator teardown
+  // Indexed by dense worker id; sized by the exchange operator at Open.
+  // Each slot is written by exactly one worker thread.
+  std::vector<uint64_t> worker_rows;
+  std::vector<uint64_t> worker_morsels;
+};
+
 // A physical plan node. Open() builds the pull-based row stream; the tree
 // structure is also what EXPLAIN prints.
 class Operator {
@@ -37,12 +58,35 @@ class Operator {
   virtual ~Operator() = default;
 
   virtual const Schema& output_schema() const = 0;
-  virtual Result<std::unique_ptr<storage::RowIterator>> Open(
-      ExecContext* ctx) = 0;
+
+  // Non-virtual entry point: forwards to OpenImpl, and when the context
+  // collects stats, times the call and wraps the returned iterator so
+  // rows and Next() time accumulate into stats(). The fast path is a
+  // single branch.
+  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx);
 
   // One-line plan description, e.g. "Hash Match (Aggregate) [groups=1]".
   virtual std::string Describe() const = 0;
   virtual std::vector<const Operator*> children() const { return {}; }
+
+  // Planner cardinality estimate for ANALYZE's actual-vs-estimated
+  // column; negative when unknown.
+  virtual int64_t EstimateRows() const { return -1; }
+
+  // Stats are execution telemetry, not plan state: mutable so morsel
+  // pipeline clones can be pointed at the stats of the EXPLAIN tree node
+  // they replay (SetStatsSink), which the renderer walks const.
+  OperatorStats* mutable_stats() const { return sink_; }
+  const OperatorStats& stats() const { return *sink_; }
+  void SetStatsSink(OperatorStats* sink) const { sink_ = sink; }
+
+ protected:
+  virtual Result<std::unique_ptr<storage::RowIterator>> OpenImpl(
+      ExecContext* ctx) = 0;
+
+ private:
+  mutable OperatorStats stats_;
+  mutable OperatorStats* sink_ = &stats_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -55,8 +99,20 @@ using OperatorPtr = std::unique_ptr<Operator>;
 //         Hash Match (Partial Aggregate) ...
 std::string ExplainPlan(const Operator& root);
 
+// Renders the plan tree annotated with runtime stats. Only meaningful
+// after the plan ran with ExecContext::collect_stats set; operators that
+// never opened (EXPLAIN-only markers) print without an annotation.
+//
+//   Hash Match (Aggregate) [...] (actual rows=4, est rows=?, time=1.2 ms)
+//     Filter [...] (actual rows=600, est rows=333, time=0.8 ms)
+std::string ExplainAnalyzePlan(const Operator& root);
+
 // Drains `iter`, appending every row to `rows`.
 Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows);
 
-}  // namespace htg::exec
+// Wraps an iterator so rows passed through are counted into *counter
+// (single-writer; exchange operators use one slot per worker).
+std::unique_ptr<storage::RowIterator> WrapCounting(
+    std::unique_ptr<storage::RowIterator> inner, uint64_t* counter);
 
+}  // namespace htg::exec

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/apply_ops.h"
 #include "exec/basic_ops.h"
@@ -35,6 +36,7 @@ size_t ChooseMorselPages(size_t num_pages, int dop, size_t max_pages) {
 Status ParallelDrainMorsels(ThreadPool* pool, int dop, size_t num_morsels,
                             const std::function<Status(int, size_t)>& fn) {
   if (num_morsels == 0) return Status::OK();
+  HTG_METRIC_COUNTER("exec.morsels.dispatched")->Add(num_morsels);
   if (dop < 1) dop = 1;
   dop = std::min<size_t>(dop, num_morsels);
   if (dop == 1 || pool == nullptr) {
@@ -70,6 +72,9 @@ Status ParallelDrainMorsels(ThreadPool* pool, int dop, size_t num_morsels,
   auto drain = [](const std::shared_ptr<State>& s, int worker) {
     for (size_t i = s->next.fetch_add(1); i < s->n;
          i = s->next.fetch_add(1)) {
+      // A morsel drained by a helper rather than the caller was "stolen"
+      // off the shared counter — the steal rate is the load-balance signal.
+      if (worker != 0) HTG_METRIC_COUNTER("exec.morsels.stolen")->Add(1);
       if (!s->failed.load(std::memory_order_acquire)) {
         Status status = s->fn(worker, i);
         if (!status.ok()) {
@@ -240,11 +245,13 @@ Schema PipelineSchema(catalog::TableDef* table,
 // DistributeStreamsOp.
 // --------------------------------------------------------------------------
 
-DistributeStreamsOp::DistributeStreamsOp(OperatorPtr child,
+DistributeStreamsOp::DistributeStreamsOp(OperatorPtr child, int dop,
                                          size_t morsel_pages)
-    : child_(std::move(child)), morsel_pages_(morsel_pages) {}
+    : child_(std::move(child)),
+      dop_(dop < 1 ? 1 : dop),
+      morsel_pages_(morsel_pages) {}
 
-Result<std::unique_ptr<storage::RowIterator>> DistributeStreamsOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> DistributeStreamsOp::OpenImpl(
     ExecContext*) {
   return Status::Internal(
       "Distribute Streams is an EXPLAIN marker; exchange operators open "
@@ -252,18 +259,34 @@ Result<std::unique_ptr<storage::RowIterator>> DistributeStreamsOp::Open(
 }
 
 std::string DistributeStreamsOp::Describe() const {
-  return StringPrintf("Parallelism (Distribute Streams) [morsels of %zu pages]",
-                      morsel_pages_);
+  return StringPrintf(
+      "Parallelism (Distribute Streams) [DOP=%d, morsels of %zu pages]", dop_,
+      morsel_pages_);
 }
 
 OperatorPtr BuildExplainPipeline(catalog::TableDef* table,
                                  const std::vector<ParallelStage>& stages,
-                                 size_t morsel_pages) {
+                                 int dop, size_t morsel_pages) {
   auto* heap = dynamic_cast<storage::HeapTable*>(table->table.get());
   const size_t npages = heap != nullptr ? heap->num_pages_sealed() : 0;
   OperatorPtr op = std::make_unique<TableScanOp>(table, 0, npages);
-  op = std::make_unique<DistributeStreamsOp>(std::move(op), morsel_pages);
+  op = std::make_unique<DistributeStreamsOp>(std::move(op), dop, morsel_pages);
   return ApplyStages(std::move(op), stages);
+}
+
+void LinkPipelineStats(const Operator* pipeline, const Operator* repr) {
+  while (pipeline != nullptr && repr != nullptr) {
+    if (dynamic_cast<const DistributeStreamsOp*>(repr) != nullptr) {
+      const std::vector<const Operator*> kids = repr->children();
+      repr = kids.empty() ? nullptr : kids[0];
+      continue;
+    }
+    pipeline->SetStatsSink(repr->mutable_stats());
+    const std::vector<const Operator*> pkids = pipeline->children();
+    const std::vector<const Operator*> rkids = repr->children();
+    pipeline = pkids.empty() ? nullptr : pkids[0];
+    repr = rkids.empty() ? nullptr : rkids[0];
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -279,9 +302,16 @@ ParallelMapOp::ParallelMapOp(catalog::TableDef* table,
       morsel_pages_(morsel_pages == 0 ? kDefaultMorselPages : morsel_pages),
       preserve_order_(preserve_order),
       schema_(PipelineSchema(table_, stages_)),
-      repr_(BuildExplainPipeline(table_, stages_, morsel_pages_)) {}
+      repr_(BuildExplainPipeline(table_, stages_, dop_, morsel_pages_)) {}
 
-Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::Open(
+int64_t ParallelMapOp::EstimateRows() const {
+  // Scan cardinality; filter/apply stages make the true fan-out unknown,
+  // so only a bare pipeline keeps the estimate.
+  return stages_.empty() ? static_cast<int64_t>(table_->table->num_rows())
+                         : -1;
+}
+
+Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
     ExecContext* ctx) {
   auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
   if (heap == nullptr) {
@@ -292,6 +322,12 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::Open(
   const std::vector<Morsel> morsels =
       MakeMorsels(heap->num_pages_sealed(), morsel_pages_);
   const int dop = std::min<size_t>(dop_, std::max<size_t>(1, morsels.size()));
+
+  OperatorStats* stats = mutable_stats();
+  if (ctx->collect_stats) {
+    stats->worker_rows.assign(dop, 0);
+    stats->worker_morsels.assign(dop, 0);
+  }
 
   // Workers drain morsels into per-morsel buffers; each worker evaluates
   // expressions through its own EvalContext copy.
@@ -304,9 +340,16 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::Open(
       ctx->pool, dop, morsels.size(), [&](int worker, size_t m) -> Status {
         OperatorPtr pipeline =
             BuildMorselPipeline(table_, morsels[m], stages_);
+        if (ctx->collect_stats) {
+          LinkPipelineStats(pipeline.get(), repr_.get());
+        }
         HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                              pipeline->Open(&worker_ctx[worker]));
         HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &buffers[m]));
+        if (ctx->collect_stats) {
+          stats->worker_rows[worker] += buffers[m].size();
+          ++stats->worker_morsels[worker];
+        }
         if (!preserve_order_) {
           std::lock_guard<std::mutex> lock(done_mu);
           done_order.push_back(m);

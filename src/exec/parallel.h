@@ -92,23 +92,33 @@ Schema PipelineSchema(catalog::TableDef* table,
 // EXPLAIN-only marker for the worker side of an exchange: prints
 // "Parallelism (Distribute Streams)" above the scan it wraps, mirroring
 // the SQL Server showplan the paper reproduces. Never opened at runtime.
+// `dop` is the effective degree (already clamped to the morsel count at
+// plan time), so EXPLAIN output is deterministic and golden-testable.
 class DistributeStreamsOp : public Operator {
  public:
-  DistributeStreamsOp(OperatorPtr child, size_t morsel_pages);
+  DistributeStreamsOp(OperatorPtr child, int dop, size_t morsel_pages);
 
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  int64_t EstimateRows() const override { return child_->EstimateRows(); }
 
  private:
   OperatorPtr child_;
+  int dop_;
   size_t morsel_pages_;
 };
+
+// Points each operator of a morsel pipeline at the stats sink of its
+// counterpart in the EXPLAIN representative tree, so every morsel replay
+// accumulates into the single tree EXPLAIN ANALYZE renders. The repr tree
+// differs only by the Distribute Streams marker, which is skipped.
+void LinkPipelineStats(const Operator* pipeline, const Operator* repr);
 
 // ---------------------------------------------------------------------------
 // ParallelMapOp ("Parallelism (Gather Streams)" over a stateless pipeline):
@@ -123,11 +133,12 @@ class ParallelMapOp : public Operator {
                 int dop, size_t morsel_pages, bool preserve_order);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {repr_.get()};
   }
+  int64_t EstimateRows() const override;
 
  private:
   catalog::TableDef* table_;
@@ -143,7 +154,7 @@ class ParallelMapOp : public Operator {
 // chain over a Distribute Streams marker over a full-range scan.
 OperatorPtr BuildExplainPipeline(catalog::TableDef* table,
                                  const std::vector<ParallelStage>& stages,
-                                 size_t morsel_pages);
+                                 int dop, size_t morsel_pages);
 
 }  // namespace htg::exec
 

@@ -130,7 +130,7 @@ Result<std::vector<Row>> DrainAndSort(Operator* child,
   return sorted;
 }
 
-Result<std::unique_ptr<storage::RowIterator>> SortOp::Open(ExecContext* ctx) {
+Result<std::unique_ptr<storage::RowIterator>> SortOp::OpenImpl(ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::vector<Row> rows,
                        DrainAndSort(child_.get(), keys_, ctx));
   return {std::make_unique<RowsIterator>(std::move(rows))};
@@ -148,7 +148,7 @@ RowNumberOp::RowNumberOp(OperatorPtr child, std::vector<SortKey> keys,
   schema_.AddColumn(col);
 }
 
-Result<std::unique_ptr<storage::RowIterator>> RowNumberOp::Open(
+Result<std::unique_ptr<storage::RowIterator>> RowNumberOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::vector<Row> rows,
                        DrainAndSort(child_.get(), keys_, ctx));

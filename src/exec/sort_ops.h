@@ -22,11 +22,12 @@ class SortOp : public Operator {
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  int64_t EstimateRows() const override { return child_->EstimateRows(); }
 
  private:
   OperatorPtr child_;
@@ -41,11 +42,12 @@ class RowNumberOp : public Operator {
               std::string column_name);
 
   const Schema& output_schema() const override { return schema_; }
-  Result<std::unique_ptr<storage::RowIterator>> Open(ExecContext* ctx) override;
+  Result<std::unique_ptr<storage::RowIterator>> OpenImpl(ExecContext* ctx) override;
   std::string Describe() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
+  int64_t EstimateRows() const override { return child_->EstimateRows(); }
 
  private:
   OperatorPtr child_;

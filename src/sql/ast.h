@@ -145,6 +145,8 @@ struct Statement {
     kExplain,
   };
   Kind kind = Kind::kSelect;
+  // EXPLAIN ANALYZE: execute the plan and annotate it with runtime stats.
+  bool explain_analyze = false;
   std::unique_ptr<SelectStmt> select;  // kSelect / kExplain
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -103,7 +104,26 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
       HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
                            binder.BindSelect(*stmt.select));
       QueryResult result;
-      result.message = exec::ExplainPlan(*plan);
+      if (!stmt.explain_analyze) {
+        result.message = exec::ExplainPlan(*plan);
+        return result;
+      }
+      // EXPLAIN ANALYZE: run the plan to completion with per-operator
+      // stats collection on, then render the annotated tree. Result rows
+      // are drained and discarded — the plan is the output.
+      exec::ExecContext ctx = exec::ExecContext::For(db_);
+      ctx.collect_stats = true;
+      Stopwatch total;
+      HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
+                           plan->Open(&ctx));
+      std::vector<Row> rows;
+      HTG_RETURN_IF_ERROR(exec::DrainIterator(iter.get(), &rows));
+      iter.reset();  // fold iterator teardown into the close timings
+      result.message =
+          exec::ExplainAnalyzePlan(*plan) +
+          StringPrintf("total: %llu rows in %.3f ms\n",
+                       static_cast<unsigned long long>(rows.size()),
+                       total.ElapsedMillis());
       return result;
     }
     case Statement::Kind::kCreateTable:

@@ -32,6 +32,7 @@ class Parser {
     if (CurIsKw("EXPLAIN")) {
       Advance();
       stmt.kind = Statement::Kind::kExplain;
+      stmt.explain_analyze = AcceptKw("ANALYZE");
       HTG_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       return stmt;
     }

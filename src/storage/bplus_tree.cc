@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/metrics.h"
+
 namespace htg::storage {
 
 struct BPlusTree::Node {
@@ -170,6 +172,7 @@ void BPlusTree::Cursor::Advance() {
   if (index_ >= static_cast<int>(leaf->keys_.size())) {
     leaf_ = leaf->next_leaf;
     index_ = 0;
+    if (leaf_ != nullptr) HTG_METRIC_COUNTER("btree.leaf.reads")->Add(1);
     // Skip empty leaves (possible only for a fresh tree's empty root).
     while (leaf_ != nullptr &&
            static_cast<const Node*>(leaf_)->keys_.empty()) {
@@ -188,6 +191,8 @@ BPlusTree::Cursor BPlusTree::First() const {
 }
 
 BPlusTree::Cursor BPlusTree::Seek(const Row& key) const {
+  HTG_METRIC_COUNTER("btree.seeks")->Add(1);
+  HTG_METRIC_COUNTER("btree.node.reads")->Add(height_);
   const Node* node = root_;
   while (!node->is_leaf) {
     // First child whose subtree may contain a key >= probe: descend at the

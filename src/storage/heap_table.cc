@@ -1,5 +1,7 @@
 #include "storage/heap_table.h"
 
+#include "common/metrics.h"
+
 namespace htg::storage {
 
 class HeapTable::ScanIterator : public RowIterator {
@@ -20,6 +22,7 @@ class HeapTable::ScanIterator : public RowIterator {
       reader_ = std::make_unique<PageReader>(&table_->schema_,
                                              Slice(table_->pages_[page_index_]));
       ++page_index_;
+      HTG_METRIC_COUNTER("heap.page.reads")->Add(1);
       status_ = reader_->Init();
       if (!status_.ok()) return false;
     }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/crc32c.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/varint.h"
 
@@ -92,6 +93,8 @@ std::string PageBuilder::Finish() {
   // or bit-flipped page is a typed Status::Corruption at decode time, not
   // undefined behaviour.
   PutU32(&page, Crc32c(page));
+  HTG_METRIC_COUNTER("page.build.ops")->Add(1);
+  HTG_METRIC_COUNTER("page.build.bytes")->Add(page.size());
   encoded_rows_.clear();
   bitmaps_.clear();
   fields_.clear();
@@ -196,10 +199,12 @@ Status PageReader::Init() {
   const uint32_t expected = GetU32(page_.data() + body);
   const uint32_t actual = Crc32c(page_.data(), body);
   if (expected != actual) {
+    HTG_METRIC_COUNTER("page.checksum.failures")->Add(1);
     return Status::Corruption(StringPrintf(
         "page checksum mismatch (stored %08x, computed %08x)", expected,
         actual));
   }
+  HTG_METRIC_COUNTER("page.read.ops")->Add(1);
   mode_ = static_cast<Compression>(page_[0]);
   if (mode_ != Compression::kNone && mode_ != Compression::kRow &&
       mode_ != Compression::kPage) {

@@ -9,6 +9,9 @@
 #include <system_error>
 #include <thread>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+
 namespace htg::storage {
 
 namespace fs = std::filesystem;
@@ -40,11 +43,16 @@ class PosixWritableFile : public WritableFile {
       p += n;
       left -= static_cast<size_t>(n);
     }
+    HTG_METRIC_COUNTER("vfs.write.ops")->Add(1);
+    HTG_METRIC_COUNTER("vfs.write.bytes")->Add(data.size());
     return Status::OK();
   }
 
   Status Sync() override {
+    Stopwatch sw;
     if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_, errno);
+    HTG_METRIC_COUNTER("vfs.sync.ops")->Add(1);
+    HTG_METRIC_HISTOGRAM("vfs.sync.ns")->Record(sw.ElapsedNanos());
     return Status::OK();
   }
 
@@ -82,6 +90,8 @@ class PosixRandomAccessFile : public RandomAccessFile {
       if (n == 0) break;  // EOF
       done += static_cast<size_t>(n);
     }
+    HTG_METRIC_COUNTER("vfs.read.ops")->Add(1);
+    HTG_METRIC_COUNTER("vfs.read.bytes")->Add(done);
     return done;
   }
 

@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include "common/crc32c.h"
+#include "common/metrics.h"
 #include "common/varint.h"
 
 namespace htg::storage {
@@ -77,6 +78,8 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (vfs->FileExists(path)) {
     HTG_ASSIGN_OR_RETURN(std::string data, vfs->ReadFileToString(path));
     DecodeWalRecords(data, recovered);
+    HTG_METRIC_COUNTER("wal.recoveries")->Add(1);
+    HTG_METRIC_COUNTER("wal.replayed.records")->Add(recovered->size());
   }
   return std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(vfs, std::move(path)));
@@ -91,7 +94,11 @@ Status WriteAheadLog::EnsureOpen() {
 Status WriteAheadLog::Append(const WalRecord& record, bool sync) {
   HTG_RETURN_IF_ERROR(EnsureOpen());
   HTG_RETURN_IF_ERROR(file_->Append(EncodeWalRecord(record)));
-  if (sync) HTG_RETURN_IF_ERROR(file_->Sync());
+  HTG_METRIC_COUNTER("wal.appends")->Add(1);
+  if (sync) {
+    HTG_RETURN_IF_ERROR(file_->Sync());
+    HTG_METRIC_COUNTER("wal.commits")->Add(1);
+  }
   return Status::OK();
 }
 

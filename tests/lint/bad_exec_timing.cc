@@ -1,0 +1,17 @@
+// Fixture: raw clock reads that would bypass htg::Stopwatch in src/exec.
+#include <chrono>
+#include <ctime>
+
+namespace htg::exec {
+
+uint64_t BadOperatorTiming() {
+  auto t0 = std::chrono::steady_clock::now();  // expect-lint: exec-raw-timing
+  using std::chrono::high_resolution_clock;
+  auto t1 = high_resolution_clock::now();  // expect-lint: exec-raw-timing
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // expect-lint: exec-raw-timing
+  return static_cast<uint64_t>((t1 - t0).count()) +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace htg::exec

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON outputs (files or directories of BENCH_*.json).
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold 1.5] [--schema-version 1]
+
+BASELINE and CURRENT are either single BENCH_<name>.json files or
+directories containing them (e.g. bench/baselines/ vs a fresh run).
+Timing results compare by median, scalar results by value; a result
+regresses when current > baseline * threshold. Exit status 1 on any
+regression, so CI can gate on it.
+
+Results present on only one side are reported but are not failures
+(benches gain and lose measurements across commits); mismatched configs
+are flagged as a warning since the numbers may not be comparable.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load_reports(path):
+    """Returns {bench_name: report_dict} from a file or directory."""
+    paths = []
+    if os.path.isdir(path):
+        for name in sorted(os.listdir(path)):
+            if name.startswith("BENCH_") and name.endswith(".json"):
+                paths.append(os.path.join(path, name))
+    else:
+        paths.append(path)
+    if not paths:
+        sys.exit(f"error: no BENCH_*.json found under {path}")
+    reports = {}
+    for p in paths:
+        with open(p, encoding="utf-8") as f:
+            report = json.load(f)
+        for key in ("schema_version", "bench", "results"):
+            if key not in report:
+                sys.exit(f"error: {p}: missing key {key!r}")
+        reports[report["bench"]] = report
+    return reports
+
+
+def result_metric(result):
+    """The comparable scalar of one result entry, or None."""
+    if "value" in result:
+        return float(result["value"])
+    if "median" in result:
+        return float(result["median"])
+    return None
+
+
+def compare(baseline, current, threshold, schema_version):
+    failures = []
+    warnings = []
+    compared = 0
+
+    for bench, cur in sorted(current.items()):
+        base = baseline.get(bench)
+        if base is None:
+            warnings.append(f"{bench}: no baseline (new bench?)")
+            continue
+        for report, side in ((base, "baseline"), (cur, "current")):
+            if report["schema_version"] != schema_version:
+                failures.append(
+                    f"{bench}: {side} schema_version "
+                    f"{report['schema_version']} != expected {schema_version}")
+        if base.get("config") != cur.get("config"):
+            warnings.append(
+                f"{bench}: config differs ({base.get('config')} vs "
+                f"{cur.get('config')}); numbers may not be comparable")
+
+        base_results = {r["name"]: r for r in base["results"]}
+        for result in cur["results"]:
+            name = result["name"]
+            base_result = base_results.pop(name, None)
+            if base_result is None:
+                warnings.append(f"{bench}/{name}: not in baseline")
+                continue
+            if result.get("unit") != base_result.get("unit"):
+                failures.append(
+                    f"{bench}/{name}: unit changed "
+                    f"({base_result.get('unit')} -> {result.get('unit')})")
+                continue
+            base_value = result_metric(base_result)
+            cur_value = result_metric(result)
+            if base_value is None or cur_value is None:
+                warnings.append(f"{bench}/{name}: no comparable metric")
+                continue
+            compared += 1
+            ratio = cur_value / base_value if base_value > 0 else float("inf")
+            line = (f"{bench}/{name}: {base_value:.6g} -> {cur_value:.6g} "
+                    f"{result.get('unit', '')} ({ratio:.2f}x)")
+            if base_value > 0 and ratio > threshold:
+                failures.append(f"REGRESSION {line} exceeds {threshold:.2f}x")
+            else:
+                print(f"  ok {line}")
+        for name in base_results:
+            warnings.append(f"{bench}/{name}: dropped from current run")
+
+    for bench in sorted(set(baseline) - set(current)):
+        warnings.append(f"{bench}: missing from current run")
+
+    return compared, warnings, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH json file or dir")
+    parser.add_argument("current", help="current BENCH json file or dir")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when current > baseline * threshold "
+                             "(default %(default)s)")
+    parser.add_argument("--schema-version", type=int, default=SCHEMA_VERSION,
+                        help="required schema_version (default %(default)s)")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        sys.exit("error: --threshold must be positive")
+
+    baseline = load_reports(args.baseline)
+    current = load_reports(args.current)
+    compared, warnings, failures = compare(
+        baseline, current, args.threshold, args.schema_version)
+
+    for w in warnings:
+        print(f"  warn {w}")
+    for f in failures:
+        print(f"  FAIL {f}")
+    print(f"bench_compare: {compared} results compared, "
+          f"{len(warnings)} warnings, {len(failures)} failures "
+          f"(threshold {args.threshold:.2f}x)")
+    if compared == 0 and not failures:
+        sys.exit("error: nothing compared — wrong paths?")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

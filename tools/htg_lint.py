@@ -26,6 +26,11 @@ Rules (ids usable in NOLINT suppressions):
                     use HTG_IGNORE_STATUS(expr), which logs in debug builds.
   status-ok-drop    No `expr.ok();` in statement position: calling .ok()
                     and ignoring the bool launders [[nodiscard]] away.
+  exec-raw-timing   No raw std::chrono clock reads (steady_clock /
+                    high_resolution_clock / system_clock, or clock_gettime)
+                    in src/exec: operator timing must go through
+                    htg::Stopwatch / the OperatorStats plumbing so EXPLAIN
+                    ANALYZE accounting stays in one place.
 
 Suppression: append `// NOLINT(htg-<rule>)` to the offending line (or a
 bare NOLINT comment, honoured for compatibility with clang-tidy). Lint
@@ -325,6 +330,30 @@ def check_void_status(path, text, rel):
     ]
 
 
+RAW_TIMING_RE = re.compile(
+    r"\b(?:std\s*::\s*)?chrono\s*::\s*"
+    r"(steady_clock|high_resolution_clock|system_clock)\b"
+    r"|\b(steady_clock|high_resolution_clock|system_clock)\s*::\s*now\s*\("
+    r"|\b(clock_gettime|gettimeofday)\s*\("
+)
+
+
+def check_exec_raw_timing(path, text, rel):
+    # Only the executor is restricted; storage/common may read clocks (the
+    # Stopwatch itself lives in src/common). Selftest fixtures arrive with a
+    # bare filename, which must still trip the rule.
+    norm = rel.replace(os.sep, "/")
+    if "/" in norm and not norm.startswith("src/exec/"):
+        return []
+    return [
+        Finding(path, line_of(text, m.start()), "exec-raw-timing",
+                f"raw clock read `{m.group(0).strip()}` in src/exec; use "
+                "htg::Stopwatch (src/common/stopwatch.h) so operator timing "
+                "stays on the single sanctioned path into OperatorStats")
+        for m in RAW_TIMING_RE.finditer(text)
+    ]
+
+
 # rule id -> (checker, directory scopes it applies to, wants_raw_text).
 # include-cc must see raw text: comment/string stripping blanks the quoted
 # include path it matches on.
@@ -339,6 +368,7 @@ RULES = {
     "void-status": (check_void_status, ("src",), False),
     "status-ok-drop":
         (check_status_ok_drop, ("src", "bench", "tests"), False),
+    "exec-raw-timing": (check_exec_raw_timing, ("src",), False),
 }
 
 
