@@ -24,6 +24,110 @@ uint64_t TableBytes(Database* db, const std::string& name) {
   return CheckOk(db->GetTable(name), "get table")->table->Stats().data_bytes;
 }
 
+uint64_t PoolCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+int64_t CountRows(sql::SqlEngine* engine, const std::string& table) {
+  sql::QueryResult result = CheckOk(
+      engine->Execute("SELECT COUNT(*) FROM " + table), "count rows");
+  if (result.rows.size() != 1) {
+    fprintf(stderr, "FATAL COUNT(*) returned %zu rows\n", result.rows.size());
+    exit(1);
+  }
+  return result.rows[0][0].AsInt64();
+}
+
+// Cold-vs-warm scan sweep over the normalized read table, plus a
+// deliberately undersized pool that must evict and still answer
+// correctly. Emitted as a separate BENCH_bufferpool.json so the storage
+// byte counts above stay decoupled from cache-behaviour baselines.
+void RunBufferPoolSweep(Database* db, sql::SqlEngine* engine,
+                        const Lane& lane, const LaneConfig& config) {
+  storage::BufferPool* pool = db->buffer_pool();
+  if (pool == nullptr) {
+    printf("\nbuffer pool disabled; skipping cold/warm sweep\n");
+    return;
+  }
+  printf("\n== Buffer pool: cold vs warm scans of Read_n ==\n");
+  BenchReport report("bufferpool");
+  report.SetConfig("scale", Scale());
+  report.SetConfig("reads", static_cast<double>(config.num_reads));
+  report.SetConfig("pool_mb",
+                   static_cast<double>(pool->capacity_bytes() >> 20));
+
+  const int64_t expected = static_cast<int64_t>(lane.reads.size());
+  const auto check_scan = [&] {
+    const int64_t rows = CountRows(engine, "Read_n");
+    if (rows != expected) {
+      fprintf(stderr, "FATAL scan returned %lld rows, want %lld\n",
+              static_cast<long long>(rows),
+              static_cast<long long>(expected));
+      exit(1);
+    }
+  };
+
+  // Cold: every rep starts from an empty cache (dirty pages written back,
+  // frames dropped), so the scan re-reads the spill file.
+  const double cold = report.MeasureSeconds("scan_cold", 10, [&] {
+    CheckOk(pool->EvictAll(), "evict all");
+    check_scan();
+  });
+  // Warm: the previous rep's scan left every page resident.
+  check_scan();
+  const uint64_t hits_before = PoolCounter("bufferpool.hit");
+  const uint64_t misses_before = PoolCounter("bufferpool.miss");
+  const double warm = report.MeasureSeconds("scan_warm", 10, check_scan);
+  const uint64_t hits = PoolCounter("bufferpool.hit") - hits_before;
+  const uint64_t misses = PoolCounter("bufferpool.miss") - misses_before;
+  const double hit_pct =
+      hits + misses > 0
+          ? 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses)
+          : 0.0;
+  report.AddValue("warm_hit_pct", hit_pct, "percent");
+  report.AddValue("warm_misses", static_cast<double>(misses), "count");
+  printf("cold %.3f ms, warm %.3f ms (%.1fx), warm hit rate %.1f%%\n",
+         cold * 1e3, warm * 1e3, warm > 0 ? cold / warm : 0.0, hit_pct);
+
+  // Undersized pool: the read table's working set far exceeds 64 KiB, so
+  // loading + scanning must cycle pages through eviction — and the scan
+  // must still see every row.
+  DatabaseOptions small_options;
+  small_options.filestream_root = config.work_dir + "_smallpool_fs";
+  small_options.buffer_pool_bytes = 64 * 1024;
+  auto small_db = CheckOk(Database::Open("table1_smallpool", small_options),
+                          "open small-pool db");
+  CheckOk(small_db->filestream()->Clear(), "clear small-pool store");
+  sql::SqlEngine small_engine(small_db.get());
+  workflow::SchemaOptions schema_options;
+  schema_options.suffix = "_sp";
+  CheckOk(workflow::CreateGenomicsSchema(&small_engine, schema_options),
+          "small-pool schema");
+  const uint64_t evictions_before = PoolCounter("bufferpool.evict");
+  CheckOk(workflow::LoadReads(small_db.get(), "Read_sp", lane.reads,
+                              {1, 1, 1}),
+          "small-pool load");
+  const int64_t small_rows = CountRows(&small_engine, "Read_sp");
+  const uint64_t evictions = PoolCounter("bufferpool.evict") -
+                             evictions_before;
+  if (small_rows != expected || evictions == 0) {
+    fprintf(stderr,
+            "FATAL small-pool scan: %lld rows (want %lld), %llu evictions "
+            "(want > 0)\n",
+            static_cast<long long>(small_rows),
+            static_cast<long long>(expected),
+            static_cast<unsigned long long>(evictions));
+    exit(1);
+  }
+  report.AddValue("small_pool_evictions", static_cast<double>(evictions),
+                  "count");
+  printf("64 KiB pool: %llu evictions, scan still %lld rows\n",
+         static_cast<unsigned long long>(evictions),
+         static_cast<long long>(small_rows));
+  report.Write();
+}
+
 void Run() {
   LaneConfig config;
   config.dge = true;
@@ -180,6 +284,8 @@ void Run() {
       "\nPaper shape check: FileStream == Files; 1:1 > Files; "
       "PAGE < ROW < Normalized on repetitive DGE data.\n");
   report.Write();
+
+  RunBufferPoolSweep(db, engine, lane, config);
 }
 
 }  // namespace

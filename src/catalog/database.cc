@@ -17,6 +17,24 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& name,
     options.filestream_root = "/tmp/htgdb_" + name + "_fs";
   }
   std::unique_ptr<Database> db(new Database(name, std::move(options)));
+  if (db->options_.enable_buffer_pool) {
+    storage::BufferPoolOptions pool_options;
+    pool_options.capacity_bytes = db->options_.buffer_pool_bytes != 0
+                                      ? db->options_.buffer_pool_bytes
+                                      : storage::BufferPoolCapacityFromEnv();
+    db->buffer_pool_ =
+        std::make_unique<storage::BufferPool>(pool_options);
+    storage::Vfs* vfs = db->options_.filestream_options.vfs != nullptr
+                            ? db->options_.filestream_options.vfs
+                            : storage::Vfs::Default();
+    HTG_ASSIGN_OR_RETURN(
+        db->tablespace_,
+        storage::TableSpace::Open(vfs,
+                                  db->options_.filestream_root + "/tablespace",
+                                  db->buffer_pool_.get()));
+    // Blob chunk reads share the same pool as table pages.
+    db->options_.filestream_options.buffer_pool = db->buffer_pool_.get();
+  }
   HTG_ASSIGN_OR_RETURN(
       db->filestream_,
       storage::FileStreamStore::Open(db->options_.filestream_root,
@@ -37,11 +55,20 @@ Status Database::CreateTable(catalog::TableDef def) {
   }
   if (def.table == nullptr) {
     if (def.clustered_key.empty()) {
-      def.table = std::make_unique<storage::HeapTable>(def.schema,
+      auto heap = std::make_unique<storage::HeapTable>(def.schema,
                                                        def.compression);
+      if (tablespace_ != nullptr) {
+        HTG_RETURN_IF_ERROR(heap->AttachStorage(tablespace_.get(), def.name));
+      }
+      def.table = std::move(heap);
     } else {
-      def.table = std::make_unique<storage::ClusteredTable>(
+      auto clustered = std::make_unique<storage::ClusteredTable>(
           def.schema, def.clustered_key, def.compression);
+      if (tablespace_ != nullptr) {
+        HTG_RETURN_IF_ERROR(
+            clustered->AttachStorage(tablespace_.get(), def.name));
+      }
+      def.table = std::move(clustered);
     }
   }
   tables_.emplace(key, std::make_unique<catalog::TableDef>(std::move(def)));

@@ -7,7 +7,9 @@
 
 #include "catalog/table_def.h"
 #include "common/result.h"
+#include "storage/buffer_pool.h"
 #include "storage/filestream.h"
+#include "storage/tablespace.h"
 #include "storage/transaction.h"
 #include "udf/registry.h"
 
@@ -20,6 +22,13 @@ struct DatabaseOptions {
   // Durability knobs for the BLOB store (Vfs seam, retry policy, read
   // verification). Tests inject a FaultInjectingVfs here.
   storage::FileStreamOptions filestream_options;
+  // Route table pages and BLOB chunk reads through one shared buffer
+  // pool (with spill files under "<filestream_root>/tablespace"). Off
+  // reverts every table to the fully in-memory storage mode — the
+  // ablation knob for cache-effect measurements.
+  bool enable_buffer_pool = true;
+  // Pool capacity in bytes; 0 = HTG_BUFFER_POOL_MB (default 64 MiB).
+  size_t buffer_pool_bytes = 0;
   // Degree of parallelism for eligible query plans (SQL Server's MAXDOP).
   int max_dop = 4;
   // Row-count threshold below which the planner stays serial.
@@ -46,6 +55,8 @@ class Database {
   udf::FunctionRegistry* functions() { return &functions_; }
   const udf::FunctionRegistry* functions() const { return &functions_; }
   storage::FileStreamStore* filestream() { return filestream_.get(); }
+  // Null when options.enable_buffer_pool is false.
+  storage::BufferPool* buffer_pool() { return buffer_pool_.get(); }
 
   // DDL -----------------------------------------------------------------
 
@@ -74,6 +85,11 @@ class Database {
 
   std::string name_;
   DatabaseOptions options_;
+  // Declared before tables_ and filestream_: TableFiles and pooled blob
+  // registrations must be destroyed before the pool and tablespace they
+  // point into (members destruct in reverse declaration order).
+  std::unique_ptr<storage::BufferPool> buffer_pool_;
+  std::unique_ptr<storage::TableSpace> tablespace_;
   std::map<std::string, std::unique_ptr<catalog::TableDef>> tables_;
   udf::FunctionRegistry functions_;
   std::unique_ptr<storage::FileStreamStore> filestream_;

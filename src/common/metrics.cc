@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 
@@ -11,7 +12,21 @@ namespace htg::obs {
 
 namespace internal {
 
-std::atomic<bool> g_metrics_enabled{true};
+namespace {
+
+// HTG_METRICS=0 (or "off") disables all metric recording for the process
+// — the runtime form of the kill switch the instrumentation benches flip
+// programmatically via SetMetricsEnabled().
+bool MetricsEnabledFromEnv() {
+  const char* env = std::getenv("HTG_METRICS");
+  if (env == nullptr) return true;
+  const std::string_view v(env);
+  return !(v == "0" || v == "off" || v == "OFF" || v == "false");
+}
+
+}  // namespace
+
+std::atomic<bool> g_metrics_enabled{MetricsEnabledFromEnv()};
 
 size_t ThreadShard() {
   static thread_local const size_t shard =

@@ -412,7 +412,7 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
     return Status::Internal("parallel aggregate over non-heap table " +
                             table_->name);
   }
-  heap->SealCurrentPage();
+  HTG_RETURN_IF_ERROR(heap->SealCurrentPage());
   const std::vector<Morsel> morsels =
       MakeMorsels(heap->num_pages_sealed(), morsel_pages_);
   const int dop =

@@ -318,7 +318,7 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
     return Status::Internal("parallel map over non-heap table " +
                             table_->name);
   }
-  heap->SealCurrentPage();
+  HTG_RETURN_IF_ERROR(heap->SealCurrentPage());
   const std::vector<Morsel> morsels =
       MakeMorsels(heap->num_pages_sealed(), morsel_pages_);
   const int dop = std::min<size_t>(dop_, std::max<size_t>(1, morsels.size()));

@@ -653,7 +653,7 @@ Result<OperatorPtr> Binder::BindSelect(const SelectStmt& stmt) {
     parallel = parallel && heap != nullptr;
 
     if (parallel) {
-      heap->SealCurrentPage();
+      HTG_RETURN_IF_ERROR(heap->SealCurrentPage());
       const MorselPlan mp = PlanMorsels(heap, db_->options());
       // Stage order matches the serial plan: CROSS APPLY stages from the
       // FROM clause, then the WHERE filter over the widened rows.
@@ -690,7 +690,7 @@ Result<OperatorPtr> Binder::BindSelect(const SelectStmt& stmt) {
                           from.pipeline_heap->table->num_rows() >=
                               db_->options().parallel_threshold;
     if (parallel) {
-      heap->SealCurrentPage();
+      HTG_RETURN_IF_ERROR(heap->SealCurrentPage());
       const MorselPlan mp = PlanMorsels(heap, db_->options());
       std::vector<exec::ParallelStage> stages =
           exec::CloneStages(from.apply_stages);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "sql/binder.h"
@@ -113,6 +114,7 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
       // are drained and discarded — the plan is the output.
       exec::ExecContext ctx = exec::ExecContext::For(db_);
       ctx.collect_stats = true;
+      const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
       Stopwatch total;
       HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                            plan->Open(&ctx));
@@ -124,6 +126,27 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
           StringPrintf("total: %llu rows in %.3f ms\n",
                        static_cast<unsigned long long>(rows.size()),
                        total.ElapsedMillis());
+      // Cache behaviour of this one statement: the pool counters' delta
+      // across the run. Omitted when the plan never touched the pool.
+      const obs::MetricsSnapshot delta =
+          obs::MetricsRegistry::Global().Snapshot().Delta(before);
+      const auto counter = [&delta](const char* name) -> uint64_t {
+        const auto it = delta.counters.find(name);
+        return it == delta.counters.end() ? 0 : it->second;
+      };
+      const uint64_t hits = counter("bufferpool.hit");
+      const uint64_t misses = counter("bufferpool.miss");
+      if (hits + misses > 0) {
+        result.message += StringPrintf(
+            "buffer pool: %llu hits, %llu misses (%.1f%% hit), "
+            "%llu evictions, %llu write-backs\n",
+            static_cast<unsigned long long>(hits),
+            static_cast<unsigned long long>(misses),
+            100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses),
+            static_cast<unsigned long long>(counter("bufferpool.evict")),
+            static_cast<unsigned long long>(counter("bufferpool.writeback")));
+      }
       return result;
     }
     case Statement::Kind::kCreateTable:

@@ -1,9 +1,67 @@
 #include "storage/clustered_table.h"
 
+#include <cstring>
+
 #include "common/crc32c.h"
 #include "common/string_util.h"
+#include "storage/page.h"
 
 namespace htg::storage {
+
+namespace {
+
+// Pooled-mode leaf reference: where one row's payload lives in the
+// table's leaf-page file.
+struct LeafRef {
+  uint32_t page_no = 0;
+  uint32_t offset = 0;
+  uint32_t length = 0;
+};
+
+constexpr size_t kLeafRefBytes = 12;
+
+std::string EncodeLeafRef(const LeafRef& ref) {
+  std::string out(kLeafRefBytes, '\0');
+  std::memcpy(out.data(), &ref.page_no, 4);
+  std::memcpy(out.data() + 4, &ref.offset, 4);
+  std::memcpy(out.data() + 8, &ref.length, 4);
+  return out;
+}
+
+Status DecodeLeafRef(const std::string& payload, LeafRef* ref) {
+  if (payload.size() != kLeafRefBytes) {
+    return Status::Corruption("clustered leaf reference has wrong size");
+  }
+  std::memcpy(&ref->page_no, payload.data(), 4);
+  std::memcpy(&ref->offset, payload.data() + 4, 4);
+  std::memcpy(&ref->length, payload.data() + 8, 4);
+  return Status::OK();
+}
+
+// Verifies the per-row CRC32C trailer and decodes the row image.
+Status DecodePayload(const Schema& schema, Compression row_mode,
+                     Slice payload, Row* row) {
+  if (payload.size() < 4) {
+    return Status::Corruption("clustered leaf payload too small");
+  }
+  const size_t body = payload.size() - 4;
+  uint32_t expected = 0;
+  for (int i = 0; i < 4; ++i) {
+    expected |= static_cast<uint32_t>(
+                    static_cast<unsigned char>(payload[body + i]))
+                << (8 * i);
+  }
+  const uint32_t actual = Crc32c(payload.data(), body);
+  if (expected != actual) {
+    return Status::Corruption(
+        StringPrintf("clustered leaf checksum mismatch "
+                     "(stored %08x, computed %08x)",
+                     expected, actual));
+  }
+  return DecodeRow(schema, row_mode, Slice(payload.data(), body), row);
+}
+
+}  // namespace
 
 class ClusteredTable::ScanIterator : public RowIterator {
  public:
@@ -12,29 +70,13 @@ class ClusteredTable::ScanIterator : public RowIterator {
 
   bool Next(Row* row) override {
     if (!cursor_.Valid()) return false;
-    // Verify and strip the per-payload CRC32C trailer appended by Insert.
     const std::string& payload = cursor_.payload();
-    if (payload.size() < 4) {
-      status_ = Status::Corruption("clustered leaf payload too small");
-      return false;
+    if (table_->backing_ == nullptr) {
+      status_ = DecodePayload(table_->schema_, table_->row_mode_,
+                              Slice(payload), row);
+    } else {
+      status_ = ResolveAndDecode(payload, row);
     }
-    const size_t body = payload.size() - 4;
-    uint32_t expected = 0;
-    for (int i = 0; i < 4; ++i) {
-      expected |= static_cast<uint32_t>(
-                      static_cast<unsigned char>(payload[body + i]))
-                  << (8 * i);
-    }
-    const uint32_t actual = Crc32c(payload.data(), body);
-    if (expected != actual) {
-      status_ = Status::Corruption(
-          StringPrintf("clustered leaf checksum mismatch "
-                       "(stored %08x, computed %08x)",
-                       expected, actual));
-      return false;
-    }
-    status_ = DecodeRow(table_->schema_, table_->row_mode_,
-                        Slice(payload.data(), body), row);
     if (!status_.ok()) return false;
     cursor_.Advance();
     return true;
@@ -43,8 +85,34 @@ class ClusteredTable::ScanIterator : public RowIterator {
   Status status() const override { return status_; }
 
  private:
+  Status ResolveAndDecode(const std::string& encoded_ref, Row* row) {
+    LeafRef ref;
+    HTG_RETURN_IF_ERROR(DecodeLeafRef(encoded_ref, &ref));
+    Slice page;
+    if (ref.page_no == table_->backing_->num_pages()) {
+      // Still in the in-progress leaf page (no concurrent DML during
+      // scans, so the buffer is stable while this iterator runs).
+      page = Slice(table_->leaf_buf_);
+    } else {
+      // Key order visits runs of rows on the same leaf page; keep the
+      // pin across the run instead of re-fetching per row.
+      if (!guard_.valid() || guard_.page_no() != ref.page_no) {
+        auto pinned = table_->backing_->ReadPage(ref.page_no);
+        if (!pinned.ok()) return std::move(pinned).status();
+        guard_ = std::move(pinned).value();
+      }
+      page = guard_.data();
+    }
+    if (static_cast<uint64_t>(ref.offset) + ref.length > page.size()) {
+      return Status::Corruption("clustered leaf reference out of bounds");
+    }
+    return DecodePayload(table_->schema_, table_->row_mode_,
+                         Slice(page.data() + ref.offset, ref.length), row);
+  }
+
   const ClusteredTable* table_;
   BPlusTree::Cursor cursor_;
+  PageGuard guard_;  // pin on the sealed leaf page last resolved
   Status status_;
 };
 
@@ -55,6 +123,16 @@ ClusteredTable::ClusteredTable(Schema schema, std::vector<int> key_columns,
       mode_(mode),
       row_mode_(mode == Compression::kNone ? Compression::kNone
                                            : Compression::kRow) {}
+
+Status ClusteredTable::AttachStorage(TableSpace* space,
+                                     const std::string& name) {
+  if (tree_.size() != 0 || backing_ != nullptr) {
+    return Status::InvalidArgument(
+        "AttachStorage requires an empty, unattached table");
+  }
+  HTG_ASSIGN_OR_RETURN(backing_, space->CreateTableFile(name));
+  return Status::OK();
+}
 
 Status ClusteredTable::Insert(const Row& row) {
   Row key;
@@ -74,7 +152,37 @@ Status ClusteredTable::Insert(const Row& row) {
   for (int i = 0; i < 4; ++i) {
     payload.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
   }
-  tree_.Insert(std::move(key), std::move(payload));
+  if (backing_ == nullptr) {
+    tree_.Insert(std::move(key), std::move(payload));
+    return Status::OK();
+  }
+  LeafRef ref;
+  ref.page_no = static_cast<uint32_t>(backing_->num_pages());
+  ref.offset = static_cast<uint32_t>(leaf_buf_.size());
+  ref.length = static_cast<uint32_t>(payload.size());
+  leaf_buf_.append(payload);
+  payload_bytes_total_ += payload.size();
+  tree_.Insert(std::move(key), EncodeLeafRef(ref));
+  if (leaf_buf_.size() >= kDefaultPageSize) {
+    HTG_RETURN_IF_ERROR(SealLeafPage());
+  }
+  return Status::OK();
+}
+
+Status ClusteredTable::SealLeafPage() {
+  if (leaf_buf_.empty()) return Status::OK();
+  // Page-level CRC32C trailer, the format the pool verifies on miss-fill.
+  const uint32_t crc = Crc32c(leaf_buf_.data(), leaf_buf_.size());
+  for (int i = 0; i < 4; ++i) {
+    leaf_buf_.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  const uint64_t expected_page = backing_->num_pages();
+  HTG_ASSIGN_OR_RETURN(const uint64_t page_no,
+                       backing_->AppendPage(std::move(leaf_buf_)));
+  leaf_buf_.clear();
+  if (page_no != expected_page) {
+    return Status::Internal("clustered leaf page numbering out of sync");
+  }
   return Status::OK();
 }
 
@@ -82,7 +190,11 @@ StorageStats ClusteredTable::Stats() const {
   StorageStats stats;
   stats.rows = tree_.size();
   stats.pages = tree_.num_nodes();
-  stats.data_bytes = tree_.payload_bytes() + tree_.ApproxNodeBytes();
+  // payload_bytes_total_ mirrors what tree_.payload_bytes() holds in the
+  // in-memory mode, so the Table 1/2 numbers do not depend on residency.
+  const uint64_t payload_bytes =
+      backing_ == nullptr ? tree_.payload_bytes() : payload_bytes_total_;
+  stats.data_bytes = payload_bytes + tree_.ApproxNodeBytes();
   return stats;
 }
 
@@ -98,6 +210,11 @@ Result<std::unique_ptr<RowIterator>> ClusteredTable::NewScanFrom(
   return {std::make_unique<ScanIterator>(this, tree_.Seek(prefix))};
 }
 
-void ClusteredTable::Truncate() { tree_.Clear(); }
+void ClusteredTable::Truncate() {
+  tree_.Clear();
+  leaf_buf_.clear();
+  payload_bytes_total_ = 0;
+  if (backing_ != nullptr) HTG_IGNORE_STATUS(backing_->DropTailPages(0));
+}
 
 }  // namespace htg::storage

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "storage/bplus_tree.h"
 #include "storage/table.h"
+#include "storage/tablespace.h"
 
 namespace htg::storage {
 
@@ -16,10 +18,25 @@ namespace htg::storage {
 // Rows are ROW-compression encoded in the leaves. (SQL Server would also
 // allow PAGE compression on indexes; we restrict page compression to heaps
 // and note it in DESIGN.md — the storage study of Tables 1/2 uses heaps.)
+//
+// Two payload residency modes:
+//   * In-memory (default): the encoded row (plus its CRC32C trailer)
+//     lives directly in the tree leaf.
+//   * Pooled (AttachStorage): leaf payloads accumulate into ~8 KiB leaf
+//     pages sealed into a TableFile through the shared BufferPool; the
+//     tree keeps a fixed 12-byte (page, offset, length) reference per
+//     row, and scans pin leaf pages via PageGuard — the B+-tree's leaf
+//     level becomes cache-managed while the key level stays in memory.
+//   Both modes keep the per-row CRC32C trailer; pooled pages add the
+//   page-level trailer the pool verifies on every miss-fill.
 class ClusteredTable : public TableStorage {
  public:
   ClusteredTable(Schema schema, std::vector<int> key_columns,
                  Compression mode);
+
+  // Routes sealed leaf pages through `space`'s buffer pool. Must be
+  // called before the first Insert.
+  Status AttachStorage(TableSpace* space, const std::string& name);
 
   const Schema& schema() const override { return schema_; }
   Compression compression() const override { return mode_; }
@@ -37,12 +54,21 @@ class ClusteredTable : public TableStorage {
  private:
   class ScanIterator;
 
+  // Seals leaf_buf_ into the backing file (page CRC trailer appended).
+  Status SealLeafPage();
+
   Schema schema_;
   std::vector<int> key_columns_;
   Compression mode_;
   Compression row_mode_;  // encoding used in leaves (kNone or kRow)
   BPlusTree tree_;
+
+  std::unique_ptr<TableFile> backing_;
+  std::string leaf_buf_;  // payloads of the in-progress leaf page
+  // Raw payload bytes stored (incl. per-row CRC trailers) — what
+  // tree_.payload_bytes() reports in the in-memory mode, so Table 1/2
+  // storage accounting is identical in both modes.
+  uint64_t payload_bytes_total_ = 0;
 };
 
 }  // namespace htg::storage
-

@@ -26,10 +26,41 @@ bool FaultInjectingVfs::fault_fired() const {
 void FaultInjectingVfs::Reset(FaultPlan plan) {
   std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
+  read_plan_ = ReadFaultPlan{};
   ops_ = 0;
+  reads_ = 0;
   transient_left_ = -1;
   crashed_ = false;
   fired_ = false;
+}
+
+int64_t FaultInjectingVfs::reads_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+void FaultInjectingVfs::SetReadFaults(ReadFaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_plan_ = plan;
+  reads_ = 0;
+}
+
+Status FaultInjectingVfs::NextRead(const std::string& what,
+                                   uint64_t* corrupt_seed) {
+  *corrupt_seed = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t index = reads_++;
+  if (read_plan_.kind == ReadFaultPlan::Kind::kNone ||
+      index != read_plan_.fail_read_at) {
+    return Status::OK();
+  }
+  fired_ = true;
+  if (read_plan_.kind == ReadFaultPlan::Kind::kFail) {
+    return Status::IOError("injected read fault (" + what + ")");
+  }
+  // kCorrupt: the read itself "succeeds"; the caller flips a byte.
+  *corrupt_seed = read_plan_.seed | 1;  // non-zero flags corruption
+  return Status::OK();
 }
 
 Status FaultInjectingVfs::NextOp(const std::string& what,
@@ -135,9 +166,41 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingVfs::NewAppendableFile(
   return {std::make_unique<FaultyWritableFile>(this, std::move(file), path)};
 }
 
+// Wraps a base RandomAccessFile so every ReadAt consults the read plan.
+class FaultInjectingVfs::FaultyRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultyRandomAccessFile(FaultInjectingVfs* vfs,
+                         std::unique_ptr<RandomAccessFile> base,
+                         std::string path)
+      : vfs_(vfs), base_(std::move(base)), path_(std::move(path)) {}
+
+  Result<size_t> ReadAt(uint64_t offset, char* buf,
+                        size_t len) const override {
+    uint64_t corrupt_seed = 0;
+    HTG_RETURN_IF_ERROR(vfs_->NextRead("pread " + path_, &corrupt_seed));
+    HTG_ASSIGN_OR_RETURN(const size_t got, base_->ReadAt(offset, buf, len));
+    if (corrupt_seed != 0 && got > 0) {
+      // Flip one seed-chosen byte of the result — silent data corruption
+      // the page checksum (not the read path) must detect.
+      buf[corrupt_seed % got] ^= 0x40;
+    }
+    return got;
+  }
+
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  FaultInjectingVfs* vfs_;
+  std::unique_ptr<RandomAccessFile> base_;
+  std::string path_;
+};
+
 Result<std::unique_ptr<RandomAccessFile>>
 FaultInjectingVfs::NewRandomAccessFile(const std::string& path) {
-  return base_->NewRandomAccessFile(path);
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                       base_->NewRandomAccessFile(path));
+  return {std::make_unique<FaultyRandomAccessFile>(this, std::move(file),
+                                                   path)};
 }
 
 Result<std::string> FaultInjectingVfs::ReadFileToString(

@@ -50,6 +50,32 @@ struct FaultPlan {
   static uint64_t SeedFromEnv();
 };
 
+// Read faults are planned separately from mutating ops: positioned reads
+// (RandomAccessFile::ReadAt) are numbered 0, 1, 2, ... in call order, and
+// the read whose index equals `fail_read_at` is hit. Keeping the two
+// counters apart preserves the mutating-op numbering invariant above —
+// re-reading state never shifts a durability point. The buffer-pool tests
+// drive these: an injected read fault must surface as an error with no
+// poisoned frame left behind, and a corrupted fill must surface as
+// Status::Corruption from checksum verification.
+struct ReadFaultPlan {
+  enum class Kind {
+    kNone,
+    // The read fails with EIO; no bytes are produced.
+    kFail,
+    // The read succeeds but one seed-chosen byte of the returned buffer
+    // is flipped — the bit-rot / misdirected-read case page checksums
+    // must catch.
+    kCorrupt,
+  };
+
+  Kind kind = Kind::kNone;
+  // Index of the ReadAt call to hit; -1 disables injection.
+  int64_t fail_read_at = -1;
+  // kCorrupt: picks which byte of the read result is flipped.
+  uint64_t seed = 0;
+};
+
 // A Vfs wrapper that injects the planned fault, for the crash-recovery
 // sweep ("inject fault at op k, reopen, verify invariants" for k = 0..N)
 // and the graceful-degradation tests. Thread-safe; one shared op counter.
@@ -62,8 +88,14 @@ class FaultInjectingVfs : public Vfs {
   // sweep fail_at_op over [0, N).
   int64_t ops_seen() const;
   bool fault_fired() const;
-  // Re-arms with a new plan and resets the op counter and crash state.
+  // Re-arms with a new plan and resets the op counters and crash state
+  // (any armed read-fault plan is cleared too).
   void Reset(FaultPlan plan);
+
+  // Positioned reads seen so far (counted independently of ops_seen).
+  int64_t reads_seen() const;
+  // Arms the read-fault plan without disturbing the mutating-op state.
+  void SetReadFaults(ReadFaultPlan plan);
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -82,6 +114,7 @@ class FaultInjectingVfs : public Vfs {
 
  private:
   class FaultyWritableFile;
+  class FaultyRandomAccessFile;
 
   // Decides the fate of the next mutating op. Returns OK to pass it
   // through; a non-OK status to fail it. `torn_prefix` (may be null) is set
@@ -89,10 +122,17 @@ class FaultInjectingVfs : public Vfs {
   // to persist nothing.
   Status NextOp(const std::string& what, int64_t* torn_prefix);
 
+  // Decides the fate of the next positioned read. Returns OK to pass it
+  // through; sets `*corrupt_seed` (to the plan seed) when the read should
+  // succeed with a flipped byte.
+  Status NextRead(const std::string& what, uint64_t* corrupt_seed);
+
   Vfs* base_;
   FaultPlan plan_;
+  ReadFaultPlan read_plan_;
   mutable std::mutex mu_;
   int64_t ops_ = 0;
+  int64_t reads_ = 0;
   int transient_left_ = -1;  // -1 = fault not yet armed
   bool crashed_ = false;
   bool fired_ = false;

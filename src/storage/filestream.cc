@@ -1,5 +1,6 @@
 #include "storage/filestream.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
@@ -19,8 +20,26 @@ constexpr char kManifestHeader[] = "HTGFS-MANIFEST v1";
 
 Result<size_t> FileStreamReader::GetBytes(uint64_t offset, char* buf,
                                           size_t len) {
-  if (offset >= file_->size()) return size_t{0};
-  return file_->ReadAt(offset, buf, len);
+  if (offset >= size_) return size_t{0};
+  if (pool_ == nullptr) return file_->ReadAt(offset, buf, len);
+  // Pooled: copy out of pinned chunk frames, spanning chunk boundaries
+  // as needed. Sequential pagers hit the same frame chunk_bytes_/len
+  // times in a row; wrap-around re-reads hit every frame that is still
+  // resident.
+  size_t done = 0;
+  while (done < len && offset + done < size_) {
+    const uint64_t pos = offset + done;
+    const uint64_t chunk_no = pos / chunk_bytes_;
+    const size_t in_chunk = static_cast<size_t>(pos % chunk_bytes_);
+    HTG_ASSIGN_OR_RETURN(PageGuard chunk, pool_->Fetch(pool_file_id_,
+                                                       chunk_no));
+    const Slice data = chunk.data();
+    if (in_chunk >= data.size()) break;
+    const size_t n = std::min(len - done, data.size() - in_chunk);
+    std::memcpy(buf + done, data.data() + in_chunk, n);
+    done += n;
+  }
+  return done;
 }
 
 Result<std::unique_ptr<FileStreamStore>> FileStreamStore::Open(
@@ -234,13 +253,35 @@ Result<std::string> FileStreamStore::NameForPath(
 
 Result<std::unique_ptr<FileStreamReader>> FileStreamStore::OpenStream(
     const std::string& path) const {
+  BufferPool* pool = options_.buffer_pool;
+  if (pool != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pooled_.find(path);
+    if (it == pooled_.end()) {
+      Result<std::unique_ptr<RandomAccessFile>> file =
+          vfs_->NewRandomAccessFile(path);
+      if (!file.ok()) {
+        return Status::NotFound("filestream blob missing: " + path);
+      }
+      const uint64_t size = (*file)->size();
+      PagedFileOptions chunked;
+      chunked.fixed_page_bytes = options_.pool_chunk_bytes;
+      const uint32_t file_id =
+          pool->RegisterFile(std::move(*file), std::move(chunked));
+      it = pooled_.emplace(path, std::make_pair(file_id, size)).first;
+    }
+    return std::unique_ptr<FileStreamReader>(new FileStreamReader(
+        nullptr, it->second.second, pool, it->second.first,
+        options_.pool_chunk_bytes));
+  }
   Result<std::unique_ptr<RandomAccessFile>> file =
       vfs_->NewRandomAccessFile(path);
   if (!file.ok()) {
     return Status::NotFound("filestream blob missing: " + path);
   }
-  return std::unique_ptr<FileStreamReader>(
-      new FileStreamReader(std::move(*file)));
+  const uint64_t size = (*file)->size();
+  return std::unique_ptr<FileStreamReader>(new FileStreamReader(
+      std::move(*file), size, nullptr, 0, 0));
 }
 
 Result<std::string> FileStreamStore::ReadAll(const std::string& path) const {
@@ -319,6 +360,7 @@ Status FileStreamStore::Delete(const std::string& path) {
   });
   if (!status.ok()) return status;
   manifest_.erase(name);
+  UnpoolLocked(path);
   return Status::OK();
 }
 
@@ -338,6 +380,13 @@ Status FileStreamStore::Clear() {
   // crash mid-sweep leaves only orphans, which the next Open removes. The
   // reverse order would leave the catalog claiming vanished blobs.
   manifest_.clear();
+  if (options_.buffer_pool != nullptr) {
+    for (const auto& [path, reg] : pooled_) {
+      (void)path;
+      options_.buffer_pool->UnregisterFile(reg.first);
+    }
+    pooled_.clear();
+  }
   HTG_RETURN_IF_ERROR(WriteManifestLocked());
   HTG_RETURN_IF_ERROR(wal_->Reset());
   Result<std::vector<std::string>> entries = vfs_->ListDir(root_);
@@ -348,6 +397,23 @@ Status FileStreamStore::Clear() {
     }
   }
   return Status::OK();
+}
+
+FileStreamStore::~FileStreamStore() {
+  if (options_.buffer_pool == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, reg] : pooled_) {
+    (void)path;
+    options_.buffer_pool->UnregisterFile(reg.first);
+  }
+  pooled_.clear();
+}
+
+void FileStreamStore::UnpoolLocked(const std::string& path) {
+  auto it = pooled_.find(path);
+  if (it == pooled_.end()) return;
+  options_.buffer_pool->UnregisterFile(it->second.first);
+  pooled_.erase(it);
 }
 
 }  // namespace htg::storage

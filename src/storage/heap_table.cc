@@ -16,13 +16,27 @@ class HeapTable::ScanIterator : public RowIterator {
         status_ = reader_->status();
         if (!status_.ok()) return false;
       }
-      if (page_index_ >= end_page_ || page_index_ >= table_->pages_.size()) {
+      if (page_index_ >= end_page_ ||
+          page_index_ >= table_->page_rows_.size()) {
         return false;
       }
-      reader_ = std::make_unique<PageReader>(&table_->schema_,
-                                             Slice(table_->pages_[page_index_]));
+      Slice page;
+      if (table_->backing_ != nullptr) {
+        auto pinned = table_->backing_->ReadPage(page_index_);
+        if (!pinned.ok()) {
+          status_ = std::move(pinned).status();
+          return false;
+        }
+        // Drop the reader into the old page before unpinning it.
+        reader_.reset();
+        guard_ = std::move(pinned).value();
+        page = guard_.data();
+      } else {
+        page = Slice(table_->pages_[page_index_]);
+      }
       ++page_index_;
       HTG_METRIC_COUNTER("heap.page.reads")->Add(1);
+      reader_ = std::make_unique<PageReader>(&table_->schema_, page);
       status_ = reader_->Init();
       if (!status_.ok()) return false;
     }
@@ -34,9 +48,25 @@ class HeapTable::ScanIterator : public RowIterator {
   HeapTable* table_;
   size_t page_index_;
   size_t end_page_;
+  PageGuard guard_;  // pin on the page reader_ is positioned on
   std::unique_ptr<PageReader> reader_;
   Status status_;
 };
+
+namespace {
+
+// Scan stand-in for a table whose in-progress page failed to seal.
+class FailedIterator : public RowIterator {
+ public:
+  explicit FailedIterator(Status status) : status_(std::move(status)) {}
+  bool Next(Row*) override { return false; }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
 
 HeapTable::HeapTable(Schema schema, Compression mode, size_t page_size)
     : schema_(std::move(schema)),
@@ -44,84 +74,133 @@ HeapTable::HeapTable(Schema schema, Compression mode, size_t page_size)
       page_size_(page_size),
       builder_(&schema_, mode, page_size) {}
 
-Status HeapTable::Insert(const Row& row) {
-  HTG_RETURN_IF_ERROR(builder_.Add(row));
-  ++num_rows_;
-  if (builder_.ShouldFlush()) SealCurrentPage();
+Status HeapTable::AttachStorage(TableSpace* space, const std::string& name) {
+  if (num_rows_ != 0 || backing_ != nullptr) {
+    return Status::InvalidArgument(
+        "AttachStorage requires an empty, unattached table");
+  }
+  HTG_ASSIGN_OR_RETURN(backing_, space->CreateTableFile(name));
   return Status::OK();
 }
 
-void HeapTable::SealCurrentPage() {
-  if (builder_.empty()) return;
-  page_rows_.push_back(builder_.row_count());
-  pages_.push_back(builder_.Finish());
+Status HeapTable::Insert(const Row& row) {
+  HTG_RETURN_IF_ERROR(builder_.Add(row));
+  ++num_rows_;
+  if (builder_.ShouldFlush()) HTG_RETURN_IF_ERROR(SealCurrentPage());
+  return Status::OK();
+}
+
+Status HeapTable::SealCurrentPage() {
+  if (builder_.empty()) return Status::OK();
+  const int rows = builder_.row_count();
+  std::string page = builder_.Finish();
+  page_rows_.push_back(rows);
+  page_bytes_.push_back(static_cast<uint32_t>(page.size()));
+  if (backing_ != nullptr) {
+    auto page_no = backing_->AppendPage(std::move(page));
+    if (!page_no.ok()) {
+      // The rows of the failed page are gone; surface that rather than
+      // pretending the table still holds them.
+      page_rows_.pop_back();
+      page_bytes_.pop_back();
+      num_rows_ -= static_cast<uint64_t>(rows);
+      return std::move(page_no).status();
+    }
+  } else {
+    pages_.push_back(std::move(page));
+  }
+  return Status::OK();
 }
 
 StorageStats HeapTable::Stats() const {
   StorageStats stats;
   stats.rows = num_rows_;
-  stats.pages = pages_.size() + (builder_.empty() ? 0 : 1);
-  for (const std::string& p : pages_) stats.data_bytes += p.size();
+  stats.pages = page_rows_.size() + (builder_.empty() ? 0 : 1);
+  for (uint32_t bytes : page_bytes_) stats.data_bytes += bytes;
   stats.data_bytes += builder_.raw_bytes();
   return stats;
 }
 
 std::unique_ptr<RowIterator> HeapTable::NewScan() {
-  SealCurrentPage();
-  return std::make_unique<ScanIterator>(this, 0, pages_.size());
+  Status sealed = SealCurrentPage();
+  if (!sealed.ok()) return std::make_unique<FailedIterator>(std::move(sealed));
+  return std::make_unique<ScanIterator>(this, 0, page_rows_.size());
 }
 
 std::unique_ptr<RowIterator> HeapTable::NewScanRange(size_t first_page,
                                                      size_t end_page) {
-  SealCurrentPage();
-  return std::make_unique<ScanIterator>(this, first_page,
-                                        std::min(end_page, pages_.size()));
+  Status sealed = SealCurrentPage();
+  if (!sealed.ok()) return std::make_unique<FailedIterator>(std::move(sealed));
+  return std::make_unique<ScanIterator>(
+      this, first_page, std::min(end_page, page_rows_.size()));
 }
 
 void HeapTable::Truncate() {
+  if (backing_ != nullptr) HTG_IGNORE_STATUS(backing_->DropTailPages(0));
   pages_.clear();
   page_rows_.clear();
+  page_bytes_.clear();
   builder_ = PageBuilder(&schema_, mode_, page_size_);
   num_rows_ = 0;
 }
 
 Status HeapTable::TruncateToRows(uint64_t target_rows) {
-  SealCurrentPage();
+  HTG_RETURN_IF_ERROR(SealCurrentPage());
   if (target_rows >= num_rows_) return Status::OK();
   // Drop whole tail pages; if the boundary falls inside a page, re-insert
   // the surviving prefix of that page.
   uint64_t rows = num_rows_;
+  size_t keep_pages = page_rows_.size();
   std::vector<Row> survivors;
   Status status;
-  while (!pages_.empty() && rows > target_rows) {
-    const uint64_t page_rows = page_rows_.back();
-    if (rows - page_rows >= target_rows) {
-      rows -= page_rows;
-      pages_.pop_back();
-      page_rows_.pop_back();
-      continue;
-    }
-    // Partial page: keep the first (target_rows - (rows - page_rows)) rows.
-    const uint64_t keep = target_rows - (rows - page_rows);
-    PageReader reader(&schema_, Slice(pages_.back()));
-    status = reader.Init();
-    if (status.ok()) {
-      Row row;
-      for (uint64_t i = 0; i < keep; ++i) {
-        if (!reader.Next(&row)) {
-          status = reader.status().ok()
-                       ? Status::Internal("heap page ended before surviving "
-                                          "rows were recovered")
-                       : reader.status();
-          break;
+  while (keep_pages > 0 && rows > target_rows) {
+    const uint64_t page_rows =
+        static_cast<uint64_t>(page_rows_[keep_pages - 1]);
+    if (rows - page_rows < target_rows) {
+      // Partial page: keep its first (target_rows - rows_before_it) rows.
+      const uint64_t keep = target_rows - (rows - page_rows);
+      PageGuard guard;
+      Slice page;
+      if (backing_ != nullptr) {
+        auto pinned = backing_->ReadPage(keep_pages - 1);
+        if (pinned.ok()) {
+          guard = std::move(pinned).value();
+          page = guard.data();
+        } else {
+          status = std::move(pinned).status();
         }
-        survivors.push_back(row);
+      } else {
+        page = Slice(pages_[keep_pages - 1]);
+      }
+      if (status.ok()) {
+        PageReader reader(&schema_, page);
+        status = reader.Init();
+        if (status.ok()) {
+          Row row;
+          for (uint64_t i = 0; i < keep; ++i) {
+            if (!reader.Next(&row)) {
+              status = reader.status().ok()
+                           ? Status::Internal("heap page ended before "
+                                              "surviving rows were recovered")
+                           : reader.status();
+              break;
+            }
+            survivors.push_back(row);
+          }
+        }
       }
     }
     rows -= page_rows;
-    pages_.pop_back();
-    page_rows_.pop_back();
+    --keep_pages;
   }
+  if (backing_ != nullptr) {
+    Status dropped = backing_->DropTailPages(keep_pages);
+    if (!dropped.ok() && status.ok()) status = dropped;
+  } else {
+    pages_.resize(keep_pages);
+  }
+  page_rows_.resize(keep_pages);
+  page_bytes_.resize(keep_pages);
   num_rows_ = rows;
   for (const Row& r : survivors) {
     // Re-encoding rows that were valid on the dropped page; a failure here
@@ -129,7 +208,8 @@ Status HeapTable::TruncateToRows(uint64_t target_rows) {
     Status insert = Insert(r);
     if (!insert.ok() && status.ok()) status = insert;
   }
-  SealCurrentPage();
+  Status sealed = SealCurrentPage();
+  if (!sealed.ok() && status.ok()) status = sealed;
   return status;
 }
 

@@ -6,15 +6,28 @@
 
 #include "storage/page.h"
 #include "storage/table.h"
+#include "storage/tablespace.h"
 
 namespace htg::storage {
 
 // An append-oriented heap table: rows accumulate into a PageBuilder and
 // seal into immutable serialized pages. Scans stream page by page.
+//
+// Two residency modes:
+//   * In-memory (default): sealed pages live in pages_ — the mode of
+//     directly constructed tables in tests and ablation benches.
+//   * Pooled (AttachStorage): sealed pages go to a TableFile, i.e. into
+//     the shared BufferPool as dirty frames with the spill file behind
+//     them; scans pin pages via PageGuard. Database::CreateTable attaches
+//     every table it creates, so SQL-visible heaps are cache-managed.
 class HeapTable : public TableStorage {
  public:
   HeapTable(Schema schema, Compression mode,
             size_t page_size = kDefaultPageSize);
+
+  // Routes sealed pages through `space`'s buffer pool (named spill file).
+  // Must be called before the first Insert.
+  Status AttachStorage(TableSpace* space, const std::string& name);
 
   const Schema& schema() const override { return schema_; }
   Compression compression() const override { return mode_; }
@@ -30,10 +43,11 @@ class HeapTable : public TableStorage {
   std::unique_ptr<RowIterator> NewScanRange(size_t first_page,
                                             size_t end_page);
 
-  size_t num_pages_sealed() const { return pages_.size(); }
+  size_t num_pages_sealed() const { return page_rows_.size(); }
 
-  // Seals the in-progress page so Stats()/scans see every row.
-  void SealCurrentPage();
+  // Seals the in-progress page so Stats()/scans see every row. Can only
+  // fail in pooled mode (page hand-off to the pool may write back).
+  Status SealCurrentPage();
 
   // Drops rows from the tail until `target_rows` remain (transaction undo;
   // only supports undoing appends). Fails only if a surviving row from a
@@ -41,19 +55,20 @@ class HeapTable : public TableStorage {
   // left truncated to the rows that did survive.
   Status TruncateToRows(uint64_t target_rows);
 
-  const std::vector<std::string>& pages() const { return pages_; }
-
  private:
   class ScanIterator;
 
   Schema schema_;
   Compression mode_;
   size_t page_size_;
+  // In-memory mode: the sealed page images. Pooled mode: unused (the
+  // pool + spill file own the images).
   std::vector<std::string> pages_;
-  std::vector<int> page_rows_;  // row count per sealed page
+  std::vector<int> page_rows_;        // row count per sealed page
+  std::vector<uint32_t> page_bytes_;  // serialized size per sealed page
   PageBuilder builder_;
   uint64_t num_rows_ = 0;
+  std::unique_ptr<TableFile> backing_;
 };
 
 }  // namespace htg::storage
-

@@ -1,0 +1,150 @@
+#include "storage/tablespace.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/crc32c.h"
+#include "common/status.h"
+
+namespace htg::storage {
+
+namespace {
+
+// Table names become file names; keep only portable characters.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  if (out.empty()) out = "table";
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TableSpace>> TableSpace::Open(Vfs* vfs,
+                                                     std::string root,
+                                                     BufferPool* pool) {
+  HTG_RETURN_IF_ERROR(vfs->CreateDirs(root));
+  auto space = std::unique_ptr<TableSpace>(
+      new TableSpace(vfs, std::move(root), pool));
+  // Spill files are caches of in-memory tables; anything left from a
+  // previous incarnation is garbage. Best effort — a stale file that
+  // survives is truncated when its name is reused.
+  auto listing = vfs->ListDir(space->root_);
+  if (listing.ok()) {
+    for (const std::string& name : *listing) {
+      HTG_IGNORE_STATUS(vfs->DeleteFile(space->root_ + "/" + name));
+    }
+  }
+  return space;
+}
+
+TableSpace::~TableSpace() = default;
+
+Result<std::unique_ptr<TableFile>> TableSpace::CreateTableFile(
+    const std::string& name) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    seq = next_file_seq_++;
+  }
+  const std::string file_name =
+      SanitizeName(name) + "_" + std::to_string(seq) + ".htd";
+  const std::string path = root_ + "/" + file_name;
+
+  // Create the (empty) data file eagerly so the pool has a readable
+  // handle from day one; the appender stays open for write-back.
+  HTG_ASSIGN_OR_RETURN(auto appender, vfs_->NewWritableFile(path));
+  HTG_ASSIGN_OR_RETURN(auto reader, vfs_->NewRandomAccessFile(path));
+
+  auto file =
+      std::unique_ptr<TableFile>(new TableFile(this, file_name, path));
+  file->appender_ = std::move(appender);
+
+  PagedFileOptions options;
+  options.checksummed = true;
+  TableFile* raw = file.get();
+  options.write_page = [raw](uint64_t page_no, std::string_view bytes) {
+    return raw->WritePageOut(page_no, bytes);
+  };
+  file->file_id_ = pool_->RegisterFile(std::move(reader), std::move(options));
+  return file;
+}
+
+Status TableSpace::LogPageWrite(const std::string& file_name,
+                                uint64_t page_no, std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr) {
+    std::vector<WalRecord> recovered;  // stale records; superseded by sweep
+    HTG_ASSIGN_OR_RETURN(wal_,
+                         WriteAheadLog::Open(vfs_, root_ + "/WAL", &recovered));
+    HTG_RETURN_IF_ERROR(wal_->Reset());
+  }
+  WalRecord record;
+  record.type = WalRecordType::kIntentCreate;
+  record.name = file_name + "#" + std::to_string(page_no);
+  record.size = bytes.size();
+  record.content_crc = Crc32c(bytes.data(), bytes.size());
+  // No fsync: the WAL orders write-back (record strictly precedes data
+  // bytes) rather than anchoring durability — spill files are rebuildable.
+  return wal_->Append(record, /*sync=*/false);
+}
+
+TableFile::~TableFile() {
+  // Dirty frames are discarded with the registration: the table owning
+  // this file is being destroyed, so its pages are dead.
+  space_->pool()->UnregisterFile(file_id_);
+  if (appender_ != nullptr) HTG_IGNORE_STATUS(appender_->Close());
+  HTG_IGNORE_STATUS(space_->vfs()->DeleteFile(path_));
+}
+
+Result<uint64_t> TableFile::AppendPage(std::string bytes) {
+  const uint64_t page_no = next_page_;
+  const uint64_t offset = append_offset_;
+  const uint32_t length = static_cast<uint32_t>(bytes.size());
+  BufferPool* pool = space_->pool();
+  pool->AddPageExtent(file_id_, page_no, offset, length);
+  HTG_RETURN_IF_ERROR(
+      pool->PutPage(file_id_, page_no, std::move(bytes), /*dirty=*/true));
+  next_page_ = page_no + 1;
+  page_offsets_.push_back(offset);
+  append_offset_ = offset + length;
+  return page_no;
+}
+
+Result<PageGuard> TableFile::ReadPage(uint64_t page_no) const {
+  return space_->pool()->Fetch(file_id_, page_no);
+}
+
+Status TableFile::DropTailPages(uint64_t first_dropped) {
+  BufferPool* pool = space_->pool();
+  // Top-down so the pool's dirty-run bookkeeping shrinks from its tail.
+  for (uint64_t page = next_page_; page > first_dropped; --page) {
+    pool->DropPage(file_id_, page - 1);
+  }
+  next_page_ = first_dropped;
+  const uint64_t rewound = first_dropped < page_offsets_.size()
+                               ? page_offsets_[first_dropped]
+                               : append_offset_;
+  page_offsets_.resize(first_dropped);
+  // Future appends must land at or after the physical EOF: bytes of a
+  // dropped-but-already-flushed page become dead space in the append-only
+  // file rather than being reclaimed. (Dropped frames can no longer
+  // flush, so flushed_bytes_ is final for this comparison.)
+  append_offset_ = std::max(rewound,
+                            flushed_bytes_.load(std::memory_order_acquire));
+  return Status::OK();
+}
+
+Status TableFile::Flush() { return space_->pool()->FlushFile(file_id_); }
+
+Status TableFile::WritePageOut(uint64_t page_no, std::string_view bytes) {
+  HTG_RETURN_IF_ERROR(space_->LogPageWrite(name_, page_no, bytes));
+  HTG_RETURN_IF_ERROR(appender_->Append(bytes));
+  flushed_bytes_.fetch_add(bytes.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace htg::storage

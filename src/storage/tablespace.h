@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/vfs.h"
+#include "storage/wal.h"
+
+namespace htg::storage {
+
+class TableFile;
+
+// The spill home of a database's table storage: one directory of
+// append-only paged data files plus a shared write-ahead log, all cached
+// through one BufferPool. Tables seal pages *into the pool* (as dirty
+// frames); bytes only reach the data files when cache pressure or an
+// explicit flush writes them back — small tables never touch disk at all.
+//
+// Write-back protocol (per page, in strictly ascending page order):
+//   1. WAL record (file, page, size, CRC32C of the image) appended
+//   2. page image appended to the data file
+// The WAL therefore always describes a superset of the data file — a
+// write-back torn between (1) and (2) is detectable, and the append
+// order *is* the ordering guarantee ("dirty-page write-back ordered
+// against the WAL"). Spill files are rebuildable caches of in-memory
+// tables, not the durability root (that is the FileStream store's own
+// WAL + manifest), so write-back does not fsync.
+class TableSpace {
+ public:
+  // Creates `root` if needed and sweeps stale spill files from a previous
+  // incarnation (best effort — leftovers are truncated on reuse anyway).
+  static Result<std::unique_ptr<TableSpace>> Open(Vfs* vfs, std::string root,
+                                                  BufferPool* pool);
+
+  ~TableSpace();
+
+  // Creates the append-only data file for one table and registers it
+  // with the pool (checksummed pages, extent-based).
+  Result<std::unique_ptr<TableFile>> CreateTableFile(const std::string& name);
+
+  BufferPool* pool() const { return pool_; }
+  Vfs* vfs() const { return vfs_; }
+  const std::string& root() const { return root_; }
+
+ private:
+  friend class TableFile;
+
+  TableSpace(Vfs* vfs, std::string root, BufferPool* pool)
+      : vfs_(vfs), root_(std::move(root)), pool_(pool) {}
+
+  // Appends the write-back intent for one page (no fsync; see the
+  // protocol note above). Called with the pool's exclusive latch held.
+  Status LogPageWrite(const std::string& file_name, uint64_t page_no,
+                      std::string_view bytes);
+
+  Vfs* vfs_;
+  std::string root_;
+  BufferPool* pool_;
+
+  std::mutex wal_mu_;
+  std::unique_ptr<WriteAheadLog> wal_;  // created on first write-back
+  uint64_t next_file_seq_ = 0;
+};
+
+// One table's append-only paged spill file. Pages are sealed serialized
+// strings with a CRC32C trailer (PageBuilder::Finish format for heaps, a
+// concatenated payload run + trailer for clustered leaves); AppendPage
+// assigns the next page number and logical offset and caches the image as
+// a dirty frame — WritePageOut (the pool's write_page hook) later appends
+// it to disk behind a WAL record.
+//
+// Thread model: one writer (the engine's single-writer-per-table
+// contract) calls AppendPage/DropTailPages/Flush; ReadPage runs from any
+// morsel worker; WritePageOut runs on whichever thread triggers eviction,
+// serialized by the pool's exclusive latch.
+class TableFile {
+ public:
+  ~TableFile();
+
+  TableFile(const TableFile&) = delete;
+  TableFile& operator=(const TableFile&) = delete;
+
+  // Seals `bytes` as the next page and returns its page number.
+  Result<uint64_t> AppendPage(std::string bytes);
+
+  // Pins the page, reading it back from the data file if evicted.
+  Result<PageGuard> ReadPage(uint64_t page_no) const;
+
+  // Drops pages [first_dropped, num_pages) — transaction-rollback tail
+  // truncation. Already-flushed bytes become dead space in the data file;
+  // the logical append offset never rewinds past the physical EOF.
+  Status DropTailPages(uint64_t first_dropped);
+
+  // Writes back every dirty page (cold-cache resets, tests).
+  Status Flush();
+
+  uint64_t num_pages() const { return next_page_; }
+  uint32_t pool_file_id() const { return file_id_; }
+
+ private:
+  friend class TableSpace;
+
+  TableFile(TableSpace* space, std::string name, std::string path)
+      : space_(space), name_(std::move(name)), path_(std::move(path)) {}
+
+  // The pool's write_page hook (pool latch held): WAL record, then data
+  // append. Must not re-enter the pool.
+  Status WritePageOut(uint64_t page_no, std::string_view bytes);
+
+  TableSpace* space_;
+  std::string name_;
+  std::string path_;
+  uint32_t file_id_ = 0;
+
+  // Writer-thread state (single writer per table).
+  uint64_t next_page_ = 0;
+  uint64_t append_offset_ = 0;
+  std::vector<uint64_t> page_offsets_;  // logical offset of each page
+
+  // Write-back state, touched only under the pool latch; flushed_bytes_
+  // is atomic so DropTailPages can read the physical EOF without it.
+  std::unique_ptr<WritableFile> appender_;
+  std::atomic<uint64_t> flushed_bytes_{0};
+};
+
+}  // namespace htg::storage

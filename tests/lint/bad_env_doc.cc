@@ -1,0 +1,11 @@
+// Fixture: references an HTG_* environment knob that docs/OPERATIONS.md
+// does not list. Documented knobs (e.g. HTG_SCALE below) must not fire.
+// expect-lint: env-doc
+
+#include <cstdlib>
+
+double UndocumentedKnob() {
+  const char* env = std::getenv("HTG_NOT_A_REAL_KNOB");
+  if (env == nullptr) env = std::getenv("HTG_SCALE");  // documented: clean
+  return env ? 1.0 : 0.0;
+}

@@ -232,7 +232,7 @@ TEST(HeapTableTest, InsertScanRoundTrip) {
 TEST(HeapTableTest, RangeScansPartitionCompletely) {
   HeapTable table(TestSchema(), Compression::kNone, 512);
   for (int i = 0; i < 300; ++i) ASSERT_TRUE(table.Insert(TestRow(i)).ok());
-  table.SealCurrentPage();
+  ASSERT_TRUE(table.SealCurrentPage().ok());
   const size_t pages = table.num_pages_sealed();
   ASSERT_GT(pages, 3u);
   int total = 0;

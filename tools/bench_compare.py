@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--threshold 1.5] [--schema-version 1]
+                     [--strict]
 
 BASELINE and CURRENT are either single BENCH_<name>.json files or
 directories containing them (e.g. bench/baselines/ vs a fresh run).
@@ -10,9 +11,12 @@ Timing results compare by median, scalar results by value; a result
 regresses when current > baseline * threshold. Exit status 1 on any
 regression, so CI can gate on it.
 
-Results present on only one side are reported but are not failures
-(benches gain and lose measurements across commits); mismatched configs
-are flagged as a warning since the numbers may not be comparable.
+By default results present on only one side are reported but are not
+failures (benches gain and lose measurements across commits); mismatched
+configs are flagged as a warning since the numbers may not be
+comparable. Under --strict, any added, removed, or missing bench or
+result is a failure too — the mode CI uses against checked-in baselines,
+where a silently dropped measurement would otherwise disable its gate.
 """
 
 import argparse
@@ -54,15 +58,17 @@ def result_metric(result):
     return None
 
 
-def compare(baseline, current, threshold, schema_version):
+def compare(baseline, current, threshold, schema_version, strict=False):
     failures = []
     warnings = []
     compared = 0
+    # One-sided results: warnings normally, failures under --strict.
+    one_sided = failures if strict else warnings
 
     for bench, cur in sorted(current.items()):
         base = baseline.get(bench)
         if base is None:
-            warnings.append(f"{bench}: no baseline (new bench?)")
+            one_sided.append(f"{bench}: no baseline (new bench?)")
             continue
         for report, side in ((base, "baseline"), (cur, "current")):
             if report["schema_version"] != schema_version:
@@ -79,7 +85,7 @@ def compare(baseline, current, threshold, schema_version):
             name = result["name"]
             base_result = base_results.pop(name, None)
             if base_result is None:
-                warnings.append(f"{bench}/{name}: not in baseline")
+                one_sided.append(f"{bench}/{name}: not in baseline")
                 continue
             if result.get("unit") != base_result.get("unit"):
                 failures.append(
@@ -100,10 +106,10 @@ def compare(baseline, current, threshold, schema_version):
             else:
                 print(f"  ok {line}")
         for name in base_results:
-            warnings.append(f"{bench}/{name}: dropped from current run")
+            one_sided.append(f"{bench}/{name}: dropped from current run")
 
     for bench in sorted(set(baseline) - set(current)):
-        warnings.append(f"{bench}: missing from current run")
+        one_sided.append(f"{bench}: missing from current run")
 
     return compared, warnings, failures
 
@@ -117,6 +123,9 @@ def main():
                              "(default %(default)s)")
     parser.add_argument("--schema-version", type=int, default=SCHEMA_VERSION,
                         help="required schema_version (default %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat added/removed/missing benches and "
+                             "results as failures")
     args = parser.parse_args()
     if args.threshold <= 0:
         sys.exit("error: --threshold must be positive")
@@ -124,7 +133,8 @@ def main():
     baseline = load_reports(args.baseline)
     current = load_reports(args.current)
     compared, warnings, failures = compare(
-        baseline, current, args.threshold, args.schema_version)
+        baseline, current, args.threshold, args.schema_version,
+        strict=args.strict)
 
     for w in warnings:
         print(f"  warn {w}")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown docs.
+
+Walks every *.md file under the repo root and verifies that each
+relative markdown link target exists on disk. External links
+(http/https/mailto) and pure in-page anchors (#...) are skipped;
+a fragment on a relative link (FILE.md#section) is stripped before
+the existence check — anchor validity is out of scope.
+
+Exit status: 0 if every link resolves, 1 otherwise (one line per
+broken link, `file:line: target`).
+
+Usage: check_docs_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+# Inline links [text](target). Deliberately simple: no reference-style
+# links or angle-bracket autolinks are used in this repo's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    broken.append(f"{rel}:{lineno}: {match.group(1)}")
+    return broken
+
+
+def main(argv):
+    root = os.path.abspath(argv[1] if len(argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    for line in broken:
+        print(line)
+    print(f"check_docs_links: {checked} markdown files, "
+          f"{len(broken)} broken links", file=sys.stderr)
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

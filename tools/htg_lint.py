@@ -31,6 +31,10 @@ Rules (ids usable in NOLINT suppressions):
                     in src/exec: operator timing must go through
                     htg::Stopwatch / the OperatorStats plumbing so EXPLAIN
                     ANALYZE accounting stays in one place.
+  env-doc           Every HTG_* environment variable referenced from src/
+                    or bench/ must appear in docs/OPERATIONS.md -- one
+                    table holds every runtime knob, so a knob that exists
+                    only in code is undocumented by definition.
 
 Suppression: append `// NOLINT(htg-<rule>)` to the offending line (or a
 bare NOLINT comment, honoured for compatibility with clang-tidy). Lint
@@ -39,8 +43,9 @@ fixtures under tests/lint/ are excluded from the tree scan and exercised by
 and nothing else does.
 
 Usage:
-  htg_lint.py [ROOT]            lint ROOT/{src,bench,tests}  (default: cwd)
-  htg_lint.py --selftest [ROOT] run the fixture self-test
+  htg_lint.py [ROOT]              lint ROOT/{src,bench,tests}  (default: cwd)
+  htg_lint.py --rule NAME [ROOT]  run only the named rule (repeatable)
+  htg_lint.py --selftest [ROOT]   run the fixture self-test
 """
 
 import os
@@ -354,6 +359,42 @@ def check_exec_raw_timing(path, text, rel):
     ]
 
 
+OPERATIONS_DOC = os.path.join("docs", "OPERATIONS.md")
+# String literals naming an environment knob ("HTG_SCALE" etc). Project
+# macros (HTG_RETURN_IF_ERROR, HTG_METRIC_*) are identifiers, not quoted,
+# so they never match.
+ENV_VAR_RE = re.compile(r'"(HTG_[A-Z0-9_]+)"')
+
+# Set by main() so the checker can find docs/OPERATIONS.md; the cache
+# avoids re-reading it for every file.
+LINT_ROOT = os.getcwd()
+_documented_env = None
+
+
+def documented_env_vars():
+    """HTG_* names mentioned anywhere in docs/OPERATIONS.md."""
+    global _documented_env
+    if _documented_env is None:
+        try:
+            with open(os.path.join(LINT_ROOT, OPERATIONS_DOC),
+                      encoding="utf-8") as f:
+                _documented_env = set(re.findall(r"HTG_[A-Z0-9_]+", f.read()))
+        except OSError:
+            _documented_env = set()
+    return _documented_env
+
+
+def check_env_doc(path, text, rel):
+    documented = documented_env_vars()
+    return [
+        Finding(path, line_of(text, m.start()), "env-doc",
+                f"runtime knob `{m.group(1)}` is not documented in "
+                f"{OPERATIONS_DOC}; add it to the knob table there")
+        for m in ENV_VAR_RE.finditer(text)
+        if m.group(1) not in documented
+    ]
+
+
 # rule id -> (checker, directory scopes it applies to, wants_raw_text).
 # include-cc must see raw text: comment/string stripping blanks the quoted
 # include path it matches on.
@@ -369,6 +410,8 @@ RULES = {
     "status-ok-drop":
         (check_status_ok_drop, ("src", "bench", "tests"), False),
     "exec-raw-timing": (check_exec_raw_timing, ("src",), False),
+    # env-doc matches quoted knob names, so it needs unstripped text.
+    "env-doc": (check_env_doc, ("src", "bench"), True),
 }
 
 
@@ -427,15 +470,17 @@ def tree_files(root):
                     yield full, os.path.relpath(full, root)
 
 
-def run_lint(root):
+def run_lint(root, rule_ids=None):
     findings = []
     count = 0
     for path, rel in tree_files(root):
         count += 1
-        findings.extend(lint_file(path, rel))
+        findings.extend(lint_file(path, rel, rule_ids=rule_ids))
     for f in findings:
         print(f)
-    print(f"htg_lint: {count} files scanned, {len(findings)} finding(s)")
+    which = f" [{', '.join(sorted(rule_ids))}]" if rule_ids else ""
+    print(f"htg_lint{which}: {count} files scanned, "
+          f"{len(findings)} finding(s)")
     return 1 if findings else 0
 
 
@@ -475,13 +520,29 @@ def run_selftest(root):
 
 
 def main(argv):
-    args = [a for a in argv[1:] if a != "--selftest"]
-    selftest = len(args) != len(argv) - 1
-    root = args[0] if args else os.getcwd()
+    global LINT_ROOT
+    selftest = False
+    rule_ids = None
+    positional = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--selftest":
+            selftest = True
+        elif arg == "--rule":
+            name = next(it, None)
+            if name is None or name not in RULES:
+                known = ", ".join(sorted(RULES))
+                print(f"htg_lint: --rule needs one of: {known}")
+                return 2
+            rule_ids = (rule_ids or set()) | {name}
+        else:
+            positional.append(arg)
+    root = positional[0] if positional else os.getcwd()
     if not os.path.isdir(os.path.join(root, "src")):
         print(f"htg_lint: {root} does not look like the repo root")
         return 2
-    return run_selftest(root) if selftest else run_lint(root)
+    LINT_ROOT = root
+    return run_selftest(root) if selftest else run_lint(root, rule_ids)
 
 
 if __name__ == "__main__":
