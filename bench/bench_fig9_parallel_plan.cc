@@ -56,24 +56,36 @@ void Run() {
          CheckOk(bench.engine->Explain(kQuery1), "explain parallel").c_str());
 
   printf("--- DOP sweep ---\n");
-  TablePrinter table({"DOP", "seconds", "speedup vs DOP=1"});
-  double base_seconds = 0;
-  for (int dop : {1, 2, 4, std::max(8, hw)}) {
+  // Interleaved repetitions: each rep runs every DOP once before the next
+  // rep starts, so drift over the run (thermal, page cache, allocator
+  // state) spreads evenly across configurations instead of biasing
+  // whichever DOP happened to run last. 7 reps per DOP keep the medians
+  // stable enough for the monotonicity gate in bench_compare.py.
+  const std::vector<int> dops = {1, 2, 4, std::max(8, hw)};
+  constexpr int kReps = 7;
+  std::vector<std::vector<double>> reps(dops.size());
+  for (int dop : dops) {  // warm each configuration once
     bench.db->set_max_dop(dop);
-    // Warm once, then time the best of 3 runs.
     CheckOk(bench.engine->Execute(kQuery1).status(), "warmup");
-    std::vector<double> reps;
-    double best = 1e30;
-    for (int run = 0; run < 3; ++run) {
+  }
+  for (int run = 0; run < kReps; ++run) {
+    for (size_t i = 0; i < dops.size(); ++i) {
+      bench.db->set_max_dop(dops[i]);
       Stopwatch timer;
       Result<sql::QueryResult> result = bench.engine->Execute(kQuery1);
       CheckOk(result.ok() ? Status::OK() : result.status(), "query");
-      reps.push_back(timer.ElapsedSeconds());
-      best = std::min(best, reps.back());
+      reps[i].push_back(timer.ElapsedSeconds());
     }
-    report.AddTimings(StringPrintf("query1_dop%d", dop), std::move(reps));
-    if (dop == 1) base_seconds = best;
-    table.AddRow({std::to_string(dop), StringPrintf("%.3f", best),
+  }
+  TablePrinter table({"DOP", "seconds", "speedup vs DOP=1"});
+  double base_seconds = 0;
+  for (size_t i = 0; i < dops.size(); ++i) {
+    double best = 1e30;
+    for (double s : reps[i]) best = std::min(best, s);
+    report.AddTimings(StringPrintf("query1_dop%d", dops[i]),
+                      std::move(reps[i]));
+    if (dops[i] == 1) base_seconds = best;
+    table.AddRow({std::to_string(dops[i]), StringPrintf("%.3f", best),
                   StringPrintf("%.2fx", base_seconds / best)});
   }
   table.Print();

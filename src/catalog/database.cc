@@ -4,7 +4,21 @@
 #include "storage/clustered_table.h"
 #include "storage/heap_table.h"
 
+#include <cstdlib>
+
+#include "types/row_batch.h"
+
 namespace htg {
+
+size_t DatabaseOptions::ResolvedBatchRows() const {
+  if (batch_rows != 0) return batch_rows;
+  if (const char* env = std::getenv("HTG_BATCH_ROWS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return RowBatch::kDefaultRows;
+}
 
 Database::Database(std::string name, DatabaseOptions options)
     : name_(std::move(name)), options_(std::move(options)) {}

@@ -37,6 +37,14 @@ struct DatabaseOptions {
   // parallel plans; the planner shrinks morsels on small tables so every
   // worker gets several.
   size_t morsel_pages = 32;
+  // Rows per execution batch on the vectorized pull path.
+  //   0  = use HTG_BATCH_ROWS (default 1024)
+  //   1  = force the legacy row-at-a-time iterators (parity testing)
+  //   ≥2 = that many rows per batch
+  size_t batch_rows = 0;
+
+  // batch_rows with the 0 = environment default applied.
+  size_t ResolvedBatchRows() const;
 };
 
 // The top-level engine object: catalog of tables, the function registry

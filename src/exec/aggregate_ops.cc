@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "exec/batch.h"
 #include "storage/heap_table.h"
 
 namespace htg::exec {
@@ -78,6 +79,60 @@ Status BuildGroups(storage::RowIterator* iter,
   return iter->status();
 }
 
+// Vectorized BuildGroups: group keys and aggregate arguments evaluate as
+// batch kernels, so only the hash probe and the UDA Accumulate call (the
+// per-row seam — udf.uda instances accumulate row-at-a-time by contract)
+// remain per-row work.
+Status BuildGroupsBatch(storage::RowIterator* iter, size_t batch_rows,
+                        const std::vector<ExprPtr>& group_exprs,
+                        const std::vector<AggSpec>& aggs,
+                        udf::EvalContext* eval, GroupMap* groups) {
+  RowBatch batch(batch_rows);
+  std::vector<std::vector<Value>> key_cols(group_exprs.size());
+  std::vector<std::vector<std::vector<Value>>> agg_cols(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    agg_cols[i].resize(aggs[i].args.size());
+  }
+  std::vector<Value> args;
+  while (iter->NextBatch(&batch)) {
+    const size_t n = batch.ActiveRows();
+    const uint32_t* sel = batch.selection_data();
+    for (size_t g = 0; g < group_exprs.size(); ++g) {
+      HTG_RETURN_IF_ERROR(
+          group_exprs[g]->EvalBatch(eval, batch, sel, n, &key_cols[g]));
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      for (size_t a = 0; a < aggs[i].args.size(); ++a) {
+        HTG_RETURN_IF_ERROR(
+            aggs[i].args[a]->EvalBatch(eval, batch, sel, n, &agg_cols[i][a]));
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      Row key;
+      key.reserve(group_exprs.size());
+      for (size_t g = 0; g < group_exprs.size(); ++g) {
+        key.push_back(std::move(key_cols[g][j]));
+      }
+      auto it = groups->find(key);
+      if (it == groups->end()) {
+        std::vector<std::unique_ptr<udf::AggregateInstance>> instances;
+        instances.reserve(aggs.size());
+        for (const AggSpec& a : aggs) instances.push_back(a.NewInstance());
+        it = groups->emplace(std::move(key), std::move(instances)).first;
+      }
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        args.clear();
+        args.reserve(agg_cols[i].size());
+        for (size_t a = 0; a < agg_cols[i].size(); ++a) {
+          args.push_back(std::move(agg_cols[i][a][j]));
+        }
+        HTG_RETURN_IF_ERROR(it->second[i]->Accumulate(args));
+      }
+    }
+  }
+  return iter->status();
+}
+
 // Finalizes a group map into output rows.
 Result<std::vector<Row>> FinalizeGroups(GroupMap* groups, size_t num_aggs,
                                         bool global_aggregate,
@@ -106,21 +161,6 @@ Result<std::vector<Row>> FinalizeGroups(GroupMap* groups, size_t num_aggs,
   }
   return out;
 }
-
-class RowsIterator : public storage::RowIterator {
- public:
-  explicit RowsIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
-
-  bool Next(Row* row) override {
-    if (next_ >= rows_.size()) return false;
-    *row = std::move(rows_[next_++]);
-    return true;
-  }
-
- private:
-  std::vector<Row> rows_;
-  size_t next_ = 0;
-};
 
 std::string DescribeAggs(const std::vector<ExprPtr>& group_exprs,
                          const std::vector<AggSpec>& aggs) {
@@ -245,12 +285,18 @@ Result<std::unique_ptr<storage::RowIterator>> HashAggregateOp::OpenImpl(
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
   GroupMap groups;
-  HTG_RETURN_IF_ERROR(
-      BuildGroups(child.get(), group_exprs_, aggs_, &ctx->eval, &groups));
+  if (ctx->UseBatches() && child->BatchNative()) {
+    HTG_RETURN_IF_ERROR(BuildGroupsBatch(child.get(), ctx->batch_rows,
+                                         group_exprs_, aggs_, &ctx->eval,
+                                         &groups));
+  } else {
+    HTG_RETURN_IF_ERROR(
+        BuildGroups(child.get(), group_exprs_, aggs_, &ctx->eval, &groups));
+  }
   HTG_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
       FinalizeGroups(&groups, aggs_.size(), group_exprs_.empty(), aggs_));
-  return {std::make_unique<RowsIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
 }
 
 std::string HashAggregateOp::Describe() const {
@@ -422,6 +468,7 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
   if (ctx->collect_stats) {
     stats->worker_rows.assign(dop, 0);
     stats->worker_morsels.assign(dop, 0);
+    stats->worker_batches.assign(dop, 0);
   }
 
   // Partial phase: workers steal morsels off the shared counter, replay
@@ -440,10 +487,17 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
         HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                              pipeline->Open(&worker_ctx[worker]));
         if (ctx->collect_stats) {
-          // Count the rows this worker feeds its partial map, for the
-          // per-worker skew lines under the exchange in ANALYZE output.
-          iter = WrapCounting(std::move(iter), &stats->worker_rows[worker]);
+          // Count the rows (and batches) this worker feeds its partial
+          // map, for the per-worker skew lines under the exchange in
+          // ANALYZE output.
+          iter = WrapCounting(std::move(iter), &stats->worker_rows[worker],
+                              &stats->worker_batches[worker]);
           ++stats->worker_morsels[worker];
+        }
+        if (ctx->UseBatches() && iter->BatchNative()) {
+          return BuildGroupsBatch(iter.get(), ctx->batch_rows, group_exprs_,
+                                  aggs_, &worker_ctx[worker].eval,
+                                  &partials[worker]);
         }
         return BuildGroups(iter.get(), group_exprs_, aggs_,
                            &worker_ctx[worker].eval, &partials[worker]);
@@ -457,7 +511,7 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
         std::vector<Row> rows,
         FinalizeGroups(&partials[0], aggs_.size(), group_exprs_.empty(),
                        aggs_));
-    return {std::make_unique<RowsIterator>(std::move(rows))};
+    return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
   }
 
   // Final phase: a parallel partitioned merge instead of a serial fold.
@@ -495,7 +549,7 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
     for (Row& r : part) rows.push_back(std::move(r));
     part.clear();
   }
-  return {std::make_unique<RowsIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
 }
 
 std::string ParallelAggregateOp::Describe() const {

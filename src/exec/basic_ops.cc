@@ -3,27 +3,12 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "exec/batch.h"
 #include "storage/heap_table.h"
 
 namespace htg::exec {
 
 namespace {
-
-// Adapts a drained row vector to the iterator interface.
-class VectorIterator : public storage::RowIterator {
- public:
-  explicit VectorIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
-
-  bool Next(Row* row) override {
-    if (next_ >= rows_.size()) return false;
-    *row = std::move(rows_[next_++]);
-    return true;
-  }
-
- private:
-  std::vector<Row> rows_;
-  size_t next_ = 0;
-};
 
 class FilterIterator : public storage::RowIterator {
  public:
@@ -134,6 +119,119 @@ class TopIterator : public storage::RowIterator {
   int64_t remaining_;
 };
 
+// Vectorized Filter: pulls child batches and narrows each one's selection
+// vector in place (no row copying) until at least one row survives.
+class FilterBatchIterator : public BatchIterator {
+ public:
+  FilterBatchIterator(std::unique_ptr<storage::RowIterator> child,
+                      const Expr* predicate, udf::EvalContext* eval,
+                      size_t batch_rows)
+      : BatchIterator(batch_rows),
+        child_(std::move(child)),
+        predicate_(predicate),
+        eval_(eval) {}
+
+ protected:
+  bool ProduceBatch(RowBatch* batch) override {
+    for (;;) {
+      if (!child_->NextBatch(batch)) {
+        status_ = child_->status();
+        return false;
+      }
+      const Status s = FilterBatch(*predicate_, eval_, batch, &scratch_);
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+      if (batch->ActiveRows() > 0) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  const Expr* predicate_;
+  udf::EvalContext* eval_;
+  std::vector<Value> scratch_;
+};
+
+// Vectorized Compute Scalar: evaluates each projection expression over
+// the whole input batch (kernel loop over the selection vector), writing
+// straight into the output batch's dense columns.
+class ProjectBatchIterator : public BatchIterator {
+ public:
+  ProjectBatchIterator(std::unique_ptr<storage::RowIterator> child,
+                       const std::vector<ExprPtr>* exprs,
+                       udf::EvalContext* eval, size_t batch_rows)
+      : BatchIterator(batch_rows),
+        child_(std::move(child)),
+        exprs_(exprs),
+        eval_(eval),
+        input_(batch_rows) {}
+
+ protected:
+  bool ProduceBatch(RowBatch* batch) override {
+    if (!child_->NextBatch(&input_)) {
+      status_ = child_->status();
+      return false;
+    }
+    const size_t n = input_.ActiveRows();
+    batch->ResetColumns(exprs_->size());
+    for (size_t e = 0; e < exprs_->size(); ++e) {
+      const Status s = (*exprs_)[e]->EvalBatch(
+          eval_, input_, input_.selection_data(), n, &batch->column(e));
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+    }
+    batch->set_num_rows(n);
+    return n > 0;
+  }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  const std::vector<ExprPtr>* exprs_;
+  udf::EvalContext* eval_;
+  RowBatch input_;
+};
+
+// Vectorized Top: passes batches through, truncating the final batch's
+// selection to the remaining row budget.
+class TopBatchIterator : public BatchIterator {
+ public:
+  TopBatchIterator(std::unique_ptr<storage::RowIterator> child, int64_t limit,
+                   size_t batch_rows)
+      : BatchIterator(batch_rows), child_(std::move(child)),
+        remaining_(limit) {}
+
+ protected:
+  bool ProduceBatch(RowBatch* batch) override {
+    if (remaining_ <= 0) return false;
+    if (!child_->NextBatch(batch)) {
+      status_ = child_->status();
+      return false;
+    }
+    const int64_t n = static_cast<int64_t>(batch->ActiveRows());
+    if (n <= remaining_) {
+      remaining_ -= n;
+      return true;
+    }
+    std::vector<uint32_t> keep;
+    keep.reserve(static_cast<size_t>(remaining_));
+    for (int64_t i = 0; i < remaining_; ++i) {
+      keep.push_back(static_cast<uint32_t>(
+          batch->ActiveIndex(static_cast<size_t>(i))));
+    }
+    batch->SetSelection(std::move(keep));
+    remaining_ = 0;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<storage::RowIterator> child_;
+  int64_t remaining_;
+};
+
 }  // namespace
 
 TableScanOp::TableScanOp(catalog::TableDef* table) : table_(table) {}
@@ -200,7 +298,7 @@ Result<std::unique_ptr<storage::RowIterator>> ValuesOp::OpenImpl(
     }
     rows.push_back(std::move(row));
   }
-  return {std::make_unique<VectorIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
 }
 
 std::string ValuesOp::Describe() const {
@@ -229,7 +327,7 @@ Result<std::unique_ptr<storage::RowIterator>> OpenRowsetOp::OpenImpl(
   std::string bytes = std::move(*read);
   std::vector<Row> rows;
   rows.push_back(Row{Value::Blob(std::move(bytes))});
-  return {std::make_unique<VectorIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
 }
 
 std::string OpenRowsetOp::Describe() const {
@@ -240,6 +338,10 @@ Result<std::unique_ptr<storage::RowIterator>> FilterOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
+  if (ctx->UseBatches() && child->BatchNative()) {
+    return {std::make_unique<FilterBatchIterator>(
+        std::move(child), predicate_.get(), &ctx->eval, ctx->batch_rows)};
+  }
   return {std::make_unique<FilterIterator>(std::move(child), predicate_.get(),
                                            &ctx->eval)};
 }
@@ -263,6 +365,11 @@ Result<std::unique_ptr<storage::RowIterator>> ProjectOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
+  if (ctx->UseBatches() && child->BatchNative()) {
+    return {std::make_unique<ProjectBatchIterator>(std::move(child), &exprs_,
+                                                   &ctx->eval,
+                                                   ctx->batch_rows)};
+  }
   return {std::make_unique<ProjectIterator>(std::move(child), &exprs_,
                                             &ctx->eval)};
 }
@@ -287,6 +394,10 @@ Result<std::unique_ptr<storage::RowIterator>> DistinctOp::OpenImpl(
 Result<std::unique_ptr<storage::RowIterator>> TopOp::OpenImpl(ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
+  if (ctx->UseBatches() && child->BatchNative()) {
+    return {std::make_unique<TopBatchIterator>(std::move(child), limit_,
+                                               ctx->batch_rows)};
+  }
   return {std::make_unique<TopIterator>(std::move(child), limit_)};
 }
 

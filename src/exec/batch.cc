@@ -1,0 +1,63 @@
+#include "exec/batch.h"
+
+#include "common/metrics.h"
+
+namespace htg::exec {
+
+bool BatchIterator::Next(Row* row) {
+  // The row seam: refill the internal buffer from the batch path and hand
+  // rows out one at a time. exec.batch.fillrow_rows measures how much
+  // output crosses back into row-at-a-time form (the §5.2 boundary).
+  while (buffer_pos_ >= buffer_.ActiveRows()) {
+    if (!ProduceBatch(&buffer_)) return false;
+    buffer_pos_ = 0;
+  }
+  buffer_.FillRow(buffer_pos_++, row);
+  HTG_METRIC_COUNTER("exec.batch.fillrow_rows")->Add(1);
+  return true;
+}
+
+bool BatchIterator::NextBatch(RowBatch* batch) {
+  // Hand out any rows the Next() shim buffered first, so mixing the two
+  // pull styles on one iterator never drops or duplicates rows.
+  if (buffer_pos_ < buffer_.ActiveRows()) {
+    *batch = std::move(buffer_);
+    if (buffer_pos_ > 0) {
+      std::vector<uint32_t> rest;
+      rest.reserve(batch->ActiveRows() - buffer_pos_);
+      for (size_t i = buffer_pos_; i < batch->ActiveRows(); ++i) {
+        rest.push_back(static_cast<uint32_t>(batch->ActiveIndex(i)));
+      }
+      batch->SetSelection(std::move(rest));
+    }
+    buffer_ = RowBatch(batch_rows_);
+    buffer_pos_ = 0;
+  } else if (!ProduceBatch(batch)) {
+    return false;
+  }
+  HTG_METRIC_COUNTER("exec.batch.batches")->Add(1);
+  HTG_METRIC_COUNTER("exec.batch.rows")->Add(batch->ActiveRows());
+  return true;
+}
+
+bool MaterializedBatchesIterator::ProduceBatch(RowBatch* batch) {
+  while (next_ < batches_.size()) {
+    *batch = std::move(batches_[next_++]);
+    if (batch->ActiveRows() > 0) return true;
+  }
+  return false;
+}
+
+Status DrainBatches(storage::RowIterator* iter, size_t batch_rows,
+                    std::vector<RowBatch>* out, uint64_t* rows) {
+  for (;;) {
+    RowBatch batch(batch_rows);
+    if (!iter->NextBatch(&batch)) break;
+    if (batch.ActiveRows() == 0) continue;
+    *rows += batch.ActiveRows();
+    out->push_back(std::move(batch));
+  }
+  return iter->status();
+}
+
+}  // namespace htg::exec

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "types/row_batch.h"
+
+namespace htg::exec {
+
+// Base class for batch-native executor iterators. Subclasses implement
+// ProduceBatch() only; this class provides both pull interfaces:
+//
+//   * NextBatch() — the vectorized fast path. Ticks the exec.batch.*
+//     metrics so batch throughput shows up next to the morsel counters.
+//   * Next() — a row-at-a-time shim that drains an internal buffer batch
+//     via RowBatch::FillRow. This is the sanctioned row seam: row-only
+//     consumers (CROSS APPLY, stream aggregate, DISTINCT) sit on top of
+//     batch producers without any operator knowing about the other side.
+//
+// Error contract matches storage::RowIterator: a false return means end
+// of stream or error; status() distinguishes.
+class BatchIterator : public storage::RowIterator {
+ public:
+  explicit BatchIterator(size_t batch_rows)
+      : batch_rows_(batch_rows == 0 ? RowBatch::kDefaultRows : batch_rows),
+        buffer_(batch_rows_) {}
+
+  bool Next(Row* row) final;
+  bool NextBatch(RowBatch* batch) final;
+  bool BatchNative() const final { return true; }
+
+  Status status() const override { return status_; }
+
+ protected:
+  // Clears and fills `batch` with up to batch_rows_ rows. Returns true
+  // iff at least one live row was produced; on error, sets status_ and
+  // returns false.
+  virtual bool ProduceBatch(RowBatch* batch) = 0;
+
+  size_t batch_rows_;
+  Status status_;
+
+ private:
+  RowBatch buffer_;  // backs the Next() shim only
+  size_t buffer_pos_ = 0;
+};
+
+// Row-native iterator over pre-materialized rows — the one shared
+// implementation behind sort output, aggregate output, constant scans,
+// and the row-pipeline parallel gather (previously four private copies).
+// Deliberately NOT batch-native: the rows already exist, so Next() hands
+// each one over with a single vector move, while batching them would
+// move every value into columns and straight back out. Batch consumers
+// above a materialization point still work via the inherited adapter.
+class MaterializedRowsIterator : public storage::RowIterator {
+ public:
+  explicit MaterializedRowsIterator(std::vector<Row> rows)
+      : rows_(std::move(rows)) {}
+
+  bool Next(Row* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = std::move(rows_[next_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+// Batch-native iterator over pre-materialized batches (parallel gather:
+// morsel workers drain their pipelines into RowBatch buffers, and the
+// gather side replays them without ever converting to rows).
+class MaterializedBatchesIterator : public BatchIterator {
+ public:
+  explicit MaterializedBatchesIterator(
+      std::vector<RowBatch> batches,
+      size_t batch_rows = RowBatch::kDefaultRows)
+      : BatchIterator(batch_rows), batches_(std::move(batches)) {}
+
+ protected:
+  bool ProduceBatch(RowBatch* batch) override;
+
+ private:
+  std::vector<RowBatch> batches_;
+  size_t next_ = 0;
+};
+
+// Drains `iter` into freshly allocated batches of `batch_rows` capacity,
+// appending them to `out` (empty batches are not stored). Adds the live
+// row count to *rows.
+Status DrainBatches(storage::RowIterator* iter, size_t batch_rows,
+                    std::vector<RowBatch>* out, uint64_t* rows);
+
+}  // namespace htg::exec

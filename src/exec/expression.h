@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "types/row_batch.h"
 #include "types/value.h"
 #include "udf/function.h"
 
@@ -21,6 +22,19 @@ class Expr {
   virtual ~Expr() = default;
 
   virtual Result<Value> Eval(udf::EvalContext* ctx, const Row& row) const = 0;
+
+  // Vectorized evaluation: computes the expression for `count` live rows
+  // of `batch` — row j reads physical row sel[j], or j when sel is null —
+  // and stores the results densely into out[0..count) (resized here).
+  // Kernels loop over plain Value vectors instead of re-walking the tree
+  // per row; the base implementation falls back to per-row Eval() via
+  // RowBatch::FillRowAt, so every expression works under batch execution.
+  // Scalar UDF calls stay per-row inside FnCallExpr's kernel — the §5.2
+  // seam — so udf.scalar.calls still counts individual invocations.
+  virtual Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                           const uint32_t* sel, size_t count,
+                           std::vector<Value>* out) const;
+
   virtual DataType result_type() const = 0;
   virtual std::string ToString() const = 0;
   virtual ExprPtr Clone() const = 0;
@@ -59,6 +73,9 @@ class ColumnRefExpr : public Expr {
     }
     return row[index_];
   }
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override { return type_; }
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -81,6 +98,9 @@ class LiteralExpr : public Expr {
   Result<Value> Eval(udf::EvalContext*, const Row&) const override {
     return value_;
   }
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override { return value_.type(); }
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -101,6 +121,9 @@ class BinaryExpr : public Expr {
       : op_(op), left_(std::move(left)), right_(std::move(right)) {}
 
   Result<Value> Eval(udf::EvalContext* ctx, const Row& row) const override;
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -125,6 +148,9 @@ class UnaryExpr : public Expr {
   UnaryExpr(Op op, ExprPtr operand) : op_(op), operand_(std::move(operand)) {}
 
   Result<Value> Eval(udf::EvalContext* ctx, const Row& row) const override;
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override {
     return op_ == Op::kNot ? DataType::kBool : operand_->result_type();
   }
@@ -150,6 +176,11 @@ class FnCallExpr : public Expr {
   }
 
   Result<Value> Eval(udf::EvalContext* ctx, const Row& row) const override;
+  // Batch kernel: argument subtrees evaluate vectorized, but the function
+  // itself is invoked once per row — the deliberate UDF seam.
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override { return type_; }
   std::string ToString() const override;
   ExprPtr Clone() const override;
@@ -169,6 +200,9 @@ class CastExpr : public Expr {
     HTG_ASSIGN_OR_RETURN(Value v, operand_->Eval(ctx, row));
     return v.CastTo(target_);
   }
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override { return target_; }
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -190,6 +224,9 @@ class IsNullExpr : public Expr {
     HTG_ASSIGN_OR_RETURN(Value v, operand_->Eval(ctx, row));
     return Value::Bool(v.is_null() != negated_);
   }
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override { return DataType::kBool; }
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -230,6 +267,9 @@ class LikeExpr : public Expr {
         negated_(negated) {}
 
   Result<Value> Eval(udf::EvalContext* ctx, const Row& row) const override;
+  Status EvalBatch(udf::EvalContext* ctx, const RowBatch& batch,
+                   const uint32_t* sel, size_t count,
+                   std::vector<Value>* out) const override;
   DataType result_type() const override { return DataType::kBool; }
   std::string ToString() const override;
   ExprPtr Clone() const override {
@@ -248,6 +288,13 @@ class LikeExpr : public Expr {
 // Evaluates a predicate for filtering: NULL counts as false.
 Result<bool> EvalPredicate(const Expr& expr, udf::EvalContext* ctx,
                            const Row& row);
+
+// Vectorized filtering: evaluates `expr` over the batch's live rows and
+// replaces the batch's selection vector with the surviving physical row
+// indexes (NULL and false both drop, as in EvalPredicate). `scratch`
+// holds the predicate values between calls so the buffer is reused.
+Status FilterBatch(const Expr& expr, udf::EvalContext* ctx, RowBatch* batch,
+                   std::vector<Value>* scratch);
 
 }  // namespace htg::exec
 

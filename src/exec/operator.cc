@@ -30,6 +30,20 @@ class StatsIterator : public storage::RowIterator {
     return ok;
   }
 
+  bool NextBatch(RowBatch* batch) override {
+    Stopwatch sw;
+    const bool ok = inner_->NextBatch(batch);
+    stats_->next_ns.fetch_add(sw.ElapsedNanos(), std::memory_order_relaxed);
+    if (ok) {
+      stats_->rows_out.fetch_add(batch->ActiveRows(),
+                                 std::memory_order_relaxed);
+      stats_->batches_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ok;
+  }
+
+  bool BatchNative() const override { return inner_->BatchNative(); }
+
   Status status() const override { return inner_->status(); }
 
  private:
@@ -40,8 +54,10 @@ class StatsIterator : public storage::RowIterator {
 class CountingIterator : public storage::RowIterator {
  public:
   CountingIterator(std::unique_ptr<storage::RowIterator> inner,
-                   uint64_t* counter)
-      : inner_(std::move(inner)), counter_(counter) {}
+                   uint64_t* counter, uint64_t* batch_counter)
+      : inner_(std::move(inner)),
+        counter_(counter),
+        batch_counter_(batch_counter) {}
 
   bool Next(Row* row) override {
     const bool ok = inner_->Next(row);
@@ -49,11 +65,23 @@ class CountingIterator : public storage::RowIterator {
     return ok;
   }
 
+  bool NextBatch(RowBatch* batch) override {
+    const bool ok = inner_->NextBatch(batch);
+    if (ok) {
+      *counter_ += batch->ActiveRows();
+      if (batch_counter_ != nullptr) ++*batch_counter_;
+    }
+    return ok;
+  }
+
+  bool BatchNative() const override { return inner_->BatchNative(); }
+
   Status status() const override { return inner_->status(); }
 
  private:
   std::unique_ptr<storage::RowIterator> inner_;
   uint64_t* counter_;
+  uint64_t* batch_counter_;
 };
 
 void ExplainRec(const Operator& op, int depth, std::string* out) {
@@ -73,6 +101,7 @@ void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
   const uint64_t opens = s.open_calls.load(std::memory_order_relaxed);
   if (opens > 0) {
     const uint64_t rows = s.rows_out.load(std::memory_order_relaxed);
+    const uint64_t batches = s.batches_out.load(std::memory_order_relaxed);
     const int64_t est = op.EstimateRows();
     const double total_ms =
         static_cast<double>(s.open_ns.load(std::memory_order_relaxed) +
@@ -88,15 +117,31 @@ void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
                                            .c_str(),
                              static_cast<unsigned long long>(opens),
                              total_ms));
+    if (batches > 0) {
+      out->append(StringPrintf(
+          " (batches=%llu, rows/batch=%.1f)",
+          static_cast<unsigned long long>(batches),
+          static_cast<double>(rows) / static_cast<double>(batches)));
+    }
   }
   out->push_back('\n');
   for (size_t w = 0; w < s.worker_rows.size(); ++w) {
     out->append(indent + 2, ' ');
+    const uint64_t wbatches =
+        w < s.worker_batches.size() ? s.worker_batches[w] : 0;
     out->append(StringPrintf(
-        "[worker %zu] morsels=%llu rows=%llu\n", w,
+        "[worker %zu] morsels=%llu rows=%llu", w,
         static_cast<unsigned long long>(
             w < s.worker_morsels.size() ? s.worker_morsels[w] : 0),
         static_cast<unsigned long long>(s.worker_rows[w])));
+    if (wbatches > 0) {
+      out->append(StringPrintf(
+          " batches=%llu rows/batch=%.1f",
+          static_cast<unsigned long long>(wbatches),
+          static_cast<double>(s.worker_rows[w]) /
+              static_cast<double>(wbatches)));
+    }
+    out->push_back('\n');
   }
   for (const Operator* child : op.children()) {
     ExplainAnalyzeRec(*child, depth + 1, out);
@@ -130,17 +175,40 @@ std::string ExplainAnalyzePlan(const Operator& root) {
 }
 
 Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows) {
-  Row row;
-  while (iter->Next(&row)) {
-    rows->push_back(std::move(row));
-    row.clear();
+  if (!iter->BatchNative()) {
+    // Row-only producer: pulling batches through the adapter would move
+    // every value into columns and straight back out. Drain rows as rows.
+    Row row;
+    while (iter->Next(&row)) {
+      rows->push_back(std::move(row));
+      row.clear();
+    }
+    return iter->status();
+  }
+  RowBatch batch;
+  while (iter->NextBatch(&batch)) {
+    const size_t n = batch.ActiveRows();
+    rows->reserve(rows->size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = batch.ActiveIndex(i);
+      Row row;
+      row.reserve(batch.num_columns());
+      // Selection vectors never repeat a physical row, so moving the
+      // values out of the batch (about to be cleared) is safe.
+      for (size_t c = 0; c < batch.num_columns(); ++c) {
+        row.push_back(std::move(batch.column(c)[r]));
+      }
+      rows->push_back(std::move(row));
+    }
   }
   return iter->status();
 }
 
 std::unique_ptr<storage::RowIterator> WrapCounting(
-    std::unique_ptr<storage::RowIterator> inner, uint64_t* counter) {
-  return std::make_unique<CountingIterator>(std::move(inner), counter);
+    std::unique_ptr<storage::RowIterator> inner, uint64_t* counter,
+    uint64_t* batch_counter) {
+  return std::make_unique<CountingIterator>(std::move(inner), counter,
+                                            batch_counter);
 }
 
 }  // namespace htg::exec

@@ -23,14 +23,22 @@ struct ExecContext {
   // EXPLAIN ANALYZE: time Open/Next/close and count rows per operator.
   // Off by default so normal queries pay nothing for the stats machinery.
   bool collect_stats = false;
+  // Rows per RowBatch on the vectorized pull path; 1 forces the legacy
+  // row-at-a-time iterators (parity testing, bisecting regressions).
+  size_t batch_rows = RowBatch::kDefaultRows;
   udf::EvalContext eval;
+
+  bool UseBatches() const { return batch_rows > 1; }
 
   static ExecContext For(Database* db) {
     ExecContext ctx;
     ctx.db = db;
     ctx.pool = &ThreadPool::Default();
     ctx.dop = db != nullptr ? db->options().max_dop : 1;
-    if (db != nullptr) ctx.eval = db->MakeEvalContext();
+    if (db != nullptr) {
+      ctx.batch_rows = db->options().ResolvedBatchRows();
+      ctx.eval = db->MakeEvalContext();
+    }
     return ctx;
   }
 };
@@ -42,6 +50,7 @@ struct ExecContext {
 struct OperatorStats {
   std::atomic<uint64_t> open_calls{0};  // streams opened (morsel replays)
   std::atomic<uint64_t> rows_out{0};
+  std::atomic<uint64_t> batches_out{0};  // NextBatch calls that produced rows
   std::atomic<uint64_t> open_ns{0};
   std::atomic<uint64_t> next_ns{0};   // cumulative time inside Next
   std::atomic<uint64_t> close_ns{0};  // iterator teardown
@@ -49,6 +58,7 @@ struct OperatorStats {
   // Each slot is written by exactly one worker thread.
   std::vector<uint64_t> worker_rows;
   std::vector<uint64_t> worker_morsels;
+  std::vector<uint64_t> worker_batches;
 };
 
 // A physical plan node. Open() builds the pull-based row stream; the tree
@@ -107,12 +117,17 @@ std::string ExplainPlan(const Operator& root);
 //     Filter [...] (actual rows=600, est rows=333, time=0.8 ms)
 std::string ExplainAnalyzePlan(const Operator& root);
 
-// Drains `iter`, appending every row to `rows`.
+// Drains `iter`, appending every row to `rows`. Pulls batches and moves
+// rows out of them, so batch-native pipelines stay vectorized up to the
+// final materialization.
 Status DrainIterator(storage::RowIterator* iter, std::vector<Row>* rows);
 
 // Wraps an iterator so rows passed through are counted into *counter
-// (single-writer; exchange operators use one slot per worker).
+// (single-writer; exchange operators use one slot per worker). When
+// `batch_counter` is non-null, NextBatch calls that produce rows are
+// counted into it too (worker batch-skew diagnosis).
 std::unique_ptr<storage::RowIterator> WrapCounting(
-    std::unique_ptr<storage::RowIterator> inner, uint64_t* counter);
+    std::unique_ptr<storage::RowIterator> inner, uint64_t* counter,
+    uint64_t* batch_counter = nullptr);
 
 }  // namespace htg::exec

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "exec/apply_ops.h"
 #include "exec/basic_ops.h"
+#include "exec/batch.h"
 #include "exec/join_ops.h"
 #include "storage/heap_table.h"
 
@@ -190,21 +191,6 @@ OperatorPtr ApplyStages(OperatorPtr op,
   return op;
 }
 
-class RowsIterator : public storage::RowIterator {
- public:
-  explicit RowsIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
-
-  bool Next(Row* row) override {
-    if (next_ >= rows_.size()) return false;
-    *row = std::move(rows_[next_++]);
-    return true;
-  }
-
- private:
-  std::vector<Row> rows_;
-  size_t next_ = 0;
-};
-
 }  // namespace
 
 OperatorPtr BuildMorselPipeline(catalog::TableDef* table, const Morsel& morsel,
@@ -327,12 +313,21 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
   if (ctx->collect_stats) {
     stats->worker_rows.assign(dop, 0);
     stats->worker_morsels.assign(dop, 0);
+    stats->worker_batches.assign(dop, 0);
   }
 
   // Workers drain morsels into per-morsel buffers; each worker evaluates
-  // expressions through its own EvalContext copy.
+  // expressions through its own EvalContext copy. Batch-native pipelines
+  // (scan, scan+filter, ...) buffer RowBatches, so rows cross the
+  // exchange without ever converting to row-at-a-time form; row-only
+  // pipelines (CROSS APPLY and friends) buffer plain rows instead of
+  // paying a round trip through columns. The stages are identical across
+  // morsels, so nativeness is uniform and the gather side picks one
+  // replay shape for the whole exchange.
   std::vector<ExecContext> worker_ctx(dop, *ctx);
-  std::vector<std::vector<Row>> buffers(morsels.size());
+  std::vector<std::vector<RowBatch>> buffers(morsels.size());
+  std::vector<std::vector<Row>> row_buffers(morsels.size());
+  std::atomic<bool> batch_exchange{false};
   std::vector<size_t> done_order;  // completion order of morsel indexes
   std::mutex done_mu;
   done_order.reserve(morsels.size());
@@ -345,9 +340,19 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
         }
         HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                              pipeline->Open(&worker_ctx[worker]));
-        HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &buffers[m]));
+        uint64_t morsel_rows = 0;
+        const bool batchy = ctx->UseBatches() && iter->BatchNative();
+        if (batchy) {
+          batch_exchange.store(true, std::memory_order_relaxed);
+          HTG_RETURN_IF_ERROR(DrainBatches(iter.get(), ctx->batch_rows,
+                                           &buffers[m], &morsel_rows));
+        } else {
+          HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &row_buffers[m]));
+          morsel_rows = row_buffers[m].size();
+        }
         if (ctx->collect_stats) {
-          stats->worker_rows[worker] += buffers[m].size();
+          stats->worker_rows[worker] += morsel_rows;
+          stats->worker_batches[worker] += buffers[m].size();
           ++stats->worker_morsels[worker];
         }
         if (!preserve_order_) {
@@ -357,23 +362,43 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
         return Status::OK();
       }));
 
+  if (!batch_exchange.load(std::memory_order_relaxed)) {
+    size_t total = 0;
+    for (const std::vector<Row>& b : row_buffers) total += b.size();
+    std::vector<Row> rows;
+    rows.reserve(total);
+    if (preserve_order_) {
+      for (std::vector<Row>& b : row_buffers) {
+        for (Row& row : b) rows.push_back(std::move(row));
+        b.clear();
+      }
+    } else {
+      for (size_t m : done_order) {
+        for (Row& row : row_buffers[m]) rows.push_back(std::move(row));
+        row_buffers[m].clear();
+      }
+    }
+    return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
+  }
+
   size_t total = 0;
-  for (const std::vector<Row>& b : buffers) total += b.size();
-  std::vector<Row> rows;
-  rows.reserve(total);
+  for (const std::vector<RowBatch>& b : buffers) total += b.size();
+  std::vector<RowBatch> batches;
+  batches.reserve(total);
   if (preserve_order_) {
     // Gather in morsel order: output matches the serial heap scan order.
-    for (std::vector<Row>& b : buffers) {
-      for (Row& r : b) rows.push_back(std::move(r));
+    for (std::vector<RowBatch>& b : buffers) {
+      for (RowBatch& batch : b) batches.push_back(std::move(batch));
       b.clear();
     }
   } else {
     for (size_t m : done_order) {
-      for (Row& r : buffers[m]) rows.push_back(std::move(r));
+      for (RowBatch& batch : buffers[m]) batches.push_back(std::move(batch));
       buffers[m].clear();
     }
   }
-  return {std::make_unique<RowsIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedBatchesIterator>(std::move(batches),
+                                                        ctx->batch_rows)};
 }
 
 std::string ParallelMapOp::Describe() const {

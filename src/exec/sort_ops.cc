@@ -3,26 +3,12 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "exec/batch.h"
 #include "exec/parallel.h"
 
 namespace htg::exec {
 
 namespace {
-
-class RowsIterator : public storage::RowIterator {
- public:
-  explicit RowsIterator(std::vector<Row> rows) : rows_(std::move(rows)) {}
-
-  bool Next(Row* row) override {
-    if (next_ >= rows_.size()) return false;
-    *row = std::move(rows_[next_++]);
-    return true;
-  }
-
- private:
-  std::vector<Row> rows_;
-  size_t next_ = 0;
-};
 
 std::string DescribeKeys(const std::vector<SortKey>& keys) {
   std::string out = "[";
@@ -51,17 +37,56 @@ Result<std::vector<Row>> DrainAndSort(Operator* child,
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                        child->Open(ctx));
   std::vector<Row> rows;
-  HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &rows));
+  std::vector<Row> sort_keys;
+  bool have_keys = false;
+  if (ctx->UseBatches() && iter->BatchNative()) {
+    // Batch path: extract sort keys with vectorized kernels while the
+    // input drains, materializing rows by moving values out of each
+    // batch. The index sort below then runs against precomputed keys.
+    RowBatch batch(ctx->batch_rows);
+    std::vector<std::vector<Value>> key_cols(keys.size());
+    while (iter->NextBatch(&batch)) {
+      const size_t n = batch.ActiveRows();
+      const uint32_t* sel = batch.selection_data();
+      for (size_t k = 0; k < keys.size(); ++k) {
+        HTG_RETURN_IF_ERROR(
+            keys[k].expr->EvalBatch(&ctx->eval, batch, sel, n, &key_cols[k]));
+      }
+      rows.reserve(rows.size() + n);
+      sort_keys.reserve(sort_keys.size() + n);
+      for (size_t j = 0; j < n; ++j) {
+        Row key;
+        key.reserve(keys.size());
+        for (size_t k = 0; k < keys.size(); ++k) {
+          key.push_back(std::move(key_cols[k][j]));
+        }
+        sort_keys.push_back(std::move(key));
+        const size_t r = batch.ActiveIndex(j);
+        Row row;
+        row.reserve(batch.num_columns());
+        for (size_t c = 0; c < batch.num_columns(); ++c) {
+          row.push_back(std::move(batch.column(c)[r]));
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    HTG_RETURN_IF_ERROR(iter->status());
+    have_keys = true;
+  } else {
+    HTG_RETURN_IF_ERROR(DrainIterator(iter.get(), &rows));
+    sort_keys.resize(rows.size());
+  }
 
   const int dop =
-      ctx->pool != nullptr && ctx->dop > 1 && rows.size() >= kParallelSortMinRows
+      !have_keys && ctx->pool != nullptr && ctx->dop > 1 &&
+              rows.size() >= kParallelSortMinRows
           ? std::min<int>(ctx->dop, static_cast<int>(rows.size() / 1024))
           : 1;
 
-  // Precompute sort keys once per row (exprs may be arbitrarily costly);
-  // with DOP > 1 the evaluation is chunked across workers, each with its
-  // own EvalContext copy.
-  std::vector<Row> sort_keys(rows.size());
+  // Row path: precompute sort keys once per row (exprs may be arbitrarily
+  // costly); with DOP > 1 the evaluation is chunked across workers, each
+  // with its own EvalContext copy. The batch path already filled
+  // sort_keys above.
   const auto eval_chunk = [&](udf::EvalContext* eval, size_t lo,
                               size_t hi) -> Status {
     for (size_t r = lo; r < hi; ++r) {
@@ -90,7 +115,9 @@ Result<std::vector<Row>> DrainAndSort(Operator* child,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   if (dop <= 1) {
-    HTG_RETURN_IF_ERROR(eval_chunk(&ctx->eval, 0, rows.size()));
+    if (!have_keys) {
+      HTG_RETURN_IF_ERROR(eval_chunk(&ctx->eval, 0, rows.size()));
+    }
     std::sort(order.begin(), order.end(), less);
   } else {
     // Parallel sort: per-worker chunk sort, then a k-way merge.
@@ -133,7 +160,7 @@ Result<std::vector<Row>> DrainAndSort(Operator* child,
 Result<std::unique_ptr<storage::RowIterator>> SortOp::OpenImpl(ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::vector<Row> rows,
                        DrainAndSort(child_.get(), keys_, ctx));
-  return {std::make_unique<RowsIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
 }
 
 std::string SortOp::Describe() const { return "Sort " + DescribeKeys(keys_); }
@@ -155,7 +182,7 @@ Result<std::unique_ptr<storage::RowIterator>> RowNumberOp::OpenImpl(
   for (size_t i = 0; i < rows.size(); ++i) {
     rows[i].push_back(Value::Int64(static_cast<int64_t>(i + 1)));
   }
-  return {std::make_unique<RowsIterator>(std::move(rows))};
+  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
 }
 
 std::string RowNumberOp::Describe() const {

@@ -82,6 +82,29 @@ class ClusteredTable::ScanIterator : public RowIterator {
     return true;
   }
 
+  // Batch-native fill: one cursor walk decodes a whole batch, reusing the
+  // leaf-page pin across the run of rows that share a page.
+  bool NextBatch(RowBatch* batch) override {
+    batch->Clear();
+    Row row;
+    while (!batch->full() && cursor_.Valid()) {
+      const std::string& payload = cursor_.payload();
+      if (table_->backing_ == nullptr) {
+        status_ = DecodePayload(table_->schema_, table_->row_mode_,
+                                Slice(payload), &row);
+      } else {
+        status_ = ResolveAndDecode(payload, &row);
+      }
+      if (!status_.ok()) return false;
+      batch->AppendRow(std::move(row));
+      row.clear();
+      cursor_.Advance();
+    }
+    return batch->num_rows() > 0;
+  }
+
+  bool BatchNative() const override { return true; }
+
   Status status() const override { return status_; }
 
  private:

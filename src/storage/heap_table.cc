@@ -16,35 +16,67 @@ class HeapTable::ScanIterator : public RowIterator {
         status_ = reader_->status();
         if (!status_.ok()) return false;
       }
-      if (page_index_ >= end_page_ ||
-          page_index_ >= table_->page_rows_.size()) {
-        return false;
-      }
-      Slice page;
-      if (table_->backing_ != nullptr) {
-        auto pinned = table_->backing_->ReadPage(page_index_);
-        if (!pinned.ok()) {
-          status_ = std::move(pinned).status();
-          return false;
-        }
-        // Drop the reader into the old page before unpinning it.
-        reader_.reset();
-        guard_ = std::move(pinned).value();
-        page = guard_.data();
-      } else {
-        page = Slice(table_->pages_[page_index_]);
-      }
-      ++page_index_;
-      HTG_METRIC_COUNTER("heap.page.reads")->Add(1);
-      reader_ = std::make_unique<PageReader>(&table_->schema_, page);
-      status_ = reader_->Init();
-      if (!status_.ok()) return false;
+      if (!AdvancePage()) return false;
     }
   }
+
+  // Batch-native fill: decodes page rows straight into the batch while
+  // the page pin is held, so the per-row virtual Next() dispatch of the
+  // Volcano path disappears from the scan entirely.
+  bool NextBatch(RowBatch* batch) override {
+    batch->Clear();
+    Row row;
+    for (;;) {
+      if (reader_ != nullptr) {
+        while (!batch->full() && reader_->Next(&row)) {
+          batch->AppendRow(std::move(row));
+          row.clear();
+        }
+        if (batch->full()) return true;
+        status_ = reader_->status();
+        if (!status_.ok()) return false;
+      }
+      if (!AdvancePage()) return status_.ok() && batch->num_rows() > 0;
+    }
+  }
+
+  bool BatchNative() const override { return true; }
 
   Status status() const override { return status_; }
 
  private:
+  // Positions reader_ on the next page of the range. Returns false at the
+  // end of the range or on error (status_ distinguishes).
+  bool AdvancePage() {
+    if (page_index_ >= end_page_ ||
+        page_index_ >= table_->page_rows_.size()) {
+      return false;
+    }
+    Slice page;
+    if (table_->backing_ != nullptr) {
+      auto pinned = table_->backing_->ReadPage(page_index_);
+      if (!pinned.ok()) {
+        status_ = std::move(pinned).status();
+        return false;
+      }
+      // Drop the reader into the old page before unpinning it.
+      reader_.reset();
+      guard_ = std::move(pinned).value();
+      page = guard_.data();
+    } else {
+      page = Slice(table_->pages_[page_index_]);
+    }
+    ++page_index_;
+    HTG_METRIC_COUNTER("heap.page.reads")->Add(1);
+    reader_ = std::make_unique<PageReader>(&table_->schema_, page);
+    status_ = reader_->Init();
+    if (!status_.ok()) {
+      reader_.reset();
+      return false;
+    }
+    return true;
+  }
+
   HeapTable* table_;
   size_t page_index_;
   size_t end_page_;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "storage/row_codec.h"
+#include "types/row_batch.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -20,6 +21,28 @@ class RowIterator {
   // Produces the next row. Returns false at end of stream or on error
   // (check status() to distinguish).
   virtual bool Next(Row* row) = 0;
+
+  // Produces the next batch of rows: clears `batch` and fills it up to
+  // its capacity. Returns true iff at least one row was produced; false
+  // means end of stream or error (check status()). The default adapter
+  // loops Next() so every row-only iterator participates in the batch
+  // pull path; hot storage scans override this with a page-native fill.
+  virtual bool NextBatch(RowBatch* batch) {
+    batch->Clear();
+    Row row;
+    while (!batch->full() && Next(&row)) {
+      batch->AppendRow(std::move(row));
+      row.clear();
+    }
+    return batch->num_rows() > 0;
+  }
+
+  // True when NextBatch() is a native columnar fill rather than the
+  // row-loop adapter above. Batch consumers check this to decide whether
+  // a vectorized kernel pays: pulling batches from a row-only producer
+  // moves every value into a batch and straight back out again, so those
+  // pipelines stay row-at-a-time end to end.
+  virtual bool BatchNative() const { return false; }
 
   virtual Status status() const { return Status::OK(); }
 };

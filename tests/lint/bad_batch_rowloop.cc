@@ -1,0 +1,40 @@
+// Fixture: a src/exec batch kernel that secretly degrades to per-row
+// pulls. Both detection paths must fire on the same pattern: a class
+// deriving BatchIterator, and a free function whose name contains Batch.
+// expect-lint: exec-batch-rowloop
+
+#include "exec/batch.h"
+
+namespace htg::exec {
+
+class LeakyBatchScan : public BatchIterator {
+ public:
+  explicit LeakyBatchScan(storage::RowIterator* child)
+      : BatchIterator(0), child_(child) {}
+
+ protected:
+  bool ProduceBatch(RowBatch* batch) override {
+    batch->Clear();
+    Row row;
+    while (!batch->full() && child_->Next(&row)) {
+      batch->AppendRow(std::move(row));
+      row.clear();
+    }
+    return batch->num_rows() > 0;
+  }
+
+ private:
+  storage::RowIterator* child_;
+};
+
+inline Status DrainOneBatch(storage::RowIterator* iter, RowBatch* batch) {
+  batch->Clear();
+  Row row;
+  while (!batch->full() && iter->Next(&row)) {
+    batch->AppendRow(std::move(row));
+    row.clear();
+  }
+  return iter->status();
+}
+
+}  // namespace htg::exec

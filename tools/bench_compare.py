@@ -17,6 +17,21 @@ configs are flagged as a warning since the numbers may not be
 comparable. Under --strict, any added, removed, or missing bench or
 result is a failure too — the mode CI uses against checked-in baselines,
 where a silently dropped measurement would otherwise disable its gate.
+
+A baseline report may additionally carry an "assertions" list; each
+assertion is checked against the CURRENT run's metrics (not the
+baseline's), so shape invariants survive baseline refreshes. Supported
+kinds:
+
+    {"kind": "monotone", "results": ["query1_dop1", ..., "query1_dop8"],
+     "direction": "non-increasing", "tolerance": 1.10}
+
+asserts adjacent-pair ordering over the named results in listed order:
+each next median must be <= previous * tolerance ("non-decreasing"
+flips the comparison). A listed result missing from the current run is
+a failure — an absent point would otherwise vacuously pass the gate.
+This is how CI pins the fig. 9 DOP sweep: query1 medians must not climb
+as DOP grows, i.e. parallelism must actually pay.
 """
 
 import argparse
@@ -56,6 +71,58 @@ def result_metric(result):
     if "median" in result:
         return float(result["median"])
     return None
+
+
+def check_assertions(bench, base, cur, failures, warnings):
+    """Evaluates the baseline's "assertions" list against the current run's
+    metrics. Unknown kinds warn rather than fail so older tools keep
+    working against newer baselines."""
+    checked = 0
+    cur_results = {r["name"]: r for r in cur["results"]}
+    for assertion in base.get("assertions", []):
+        kind = assertion.get("kind")
+        if kind != "monotone":
+            warnings.append(
+                f"{bench}: unknown assertion kind {kind!r} skipped")
+            continue
+        names = assertion.get("results", [])
+        direction = assertion.get("direction", "non-increasing")
+        tolerance = float(assertion.get("tolerance", 1.0))
+        if direction not in ("non-increasing", "non-decreasing"):
+            failures.append(
+                f"{bench}: monotone assertion has bad direction "
+                f"{direction!r}")
+            continue
+        if len(names) < 2 or tolerance <= 0:
+            failures.append(
+                f"{bench}: monotone assertion needs >= 2 results and a "
+                "positive tolerance")
+            continue
+        values = []
+        missing = False
+        for name in names:
+            result = cur_results.get(name)
+            value = result_metric(result) if result is not None else None
+            if value is None:
+                failures.append(
+                    f"{bench}/{name}: named by monotone assertion but "
+                    "missing from current run")
+                missing = True
+                continue
+            values.append((name, value))
+        if missing:
+            continue
+        checked += 1
+        for (prev_name, prev), (name, value) in zip(values, values[1:]):
+            ok = (value <= prev * tolerance if direction == "non-increasing"
+                  else value * tolerance >= prev)
+            line = (f"{bench}: monotone[{direction}] {prev_name} -> {name}: "
+                    f"{prev:.6g} -> {value:.6g} (tolerance {tolerance:.2f}x)")
+            if ok:
+                print(f"  ok {line}")
+            else:
+                failures.append(f"MONOTONICITY {line} violated")
+    return checked
 
 
 def compare(baseline, current, threshold, schema_version, strict=False):
@@ -107,6 +174,7 @@ def compare(baseline, current, threshold, schema_version, strict=False):
                 print(f"  ok {line}")
         for name in base_results:
             one_sided.append(f"{bench}/{name}: dropped from current run")
+        compared += check_assertions(bench, base, cur, failures, warnings)
 
     for bench in sorted(set(baseline) - set(current)):
         one_sided.append(f"{bench}: missing from current run")

@@ -35,6 +35,14 @@ Rules (ids usable in NOLINT suppressions):
                     or bench/ must appear in docs/OPERATIONS.md -- one
                     table holds every runtime knob, so a knob that exists
                     only in code is undocumented by definition.
+  exec-batch-rowloop
+                    No per-row `Next()` pulls inside src/exec batch
+                    kernels (functions named *Batch* or classes deriving
+                    BatchIterator): a row loop there silently degrades the
+                    vectorized path back to tuple-at-a-time. Pull whole
+                    batches with NextBatch(). Row-at-a-time iteration is
+                    sanctioned only at the UDF/TVF apply seam
+                    (src/exec/apply_ops.cc is exempt wholesale).
 
 Suppression: append `// NOLINT(htg-<rule>)` to the offending line (or a
 bare NOLINT comment, honoured for compatibility with clang-tidy). Lint
@@ -359,6 +367,78 @@ def check_exec_raw_timing(path, text, rel):
     ]
 
 
+ROW_NEXT_RE = re.compile(r"(?:->|\.)\s*Next\s*\(")
+BATCH_FN_RE = re.compile(r"\b[\w:~]*Batch[\w:]*\s*\(")
+BATCH_CLASS_RE = re.compile(
+    r"\bclass\s+\w+\s*(?:final\s*)?:\s*(?:public\s+)?[\w:]*\bBatchIterator\b"
+)
+BATCH_ROWLOOP_EXEMPT = {"src/exec/apply_ops.cc"}
+
+
+def _batch_kernel_bodies(text):
+    """(start, end) offset ranges of batch-kernel code: bodies of functions
+    whose name contains `Batch`, and bodies of classes deriving
+    BatchIterator."""
+    bodies = []
+    for m in BATCH_FN_RE.finditer(text):
+        # Find the close of the parameter list, then decide definition vs
+        # call/declaration by what follows: qualifiers then `{` = definition.
+        depth, i = 0, m.end() - 1
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(text):
+            tail = text[j:]
+            qm = re.match(r"\s*(const|override|final|noexcept)\b", tail)
+            if qm:
+                j += qm.end()
+                continue
+            break
+        rest = text[j:].lstrip()
+        if rest.startswith("{"):
+            open_idx = text.index("{", j)
+            bodies.append((open_idx, matching_brace(text, open_idx)))
+    for m in BATCH_CLASS_RE.finditer(text):
+        open_idx = text.find("{", m.end())
+        if open_idx >= 0:
+            bodies.append((open_idx, matching_brace(text, open_idx)))
+    return bodies
+
+
+def check_exec_batch_rowloop(path, text, rel):
+    # Only the executor's batch kernels are restricted; the storage layer's
+    # default NextBatch adapter legitimately loops Next(). apply_ops.cc is
+    # the deliberate row seam (UDF/TVF/CROSS APPLY, paper Sec. 5.2) and is
+    # exempt wholesale. Selftest fixtures arrive with a bare filename, which
+    # must still trip the rule.
+    norm = rel.replace(os.sep, "/")
+    if "/" in norm and not norm.startswith("src/exec/"):
+        return []
+    if norm in BATCH_ROWLOOP_EXEMPT:
+        return []
+    bodies = _batch_kernel_bodies(text)
+    seen = set()
+    findings = []
+    for m in ROW_NEXT_RE.finditer(text):
+        if m.start() in seen:
+            continue
+        if any(lo <= m.start() < hi for lo, hi in bodies):
+            seen.add(m.start())
+            findings.append(Finding(
+                path, line_of(text, m.start()), "exec-batch-rowloop",
+                "per-row Next() inside a batch kernel degrades the "
+                "vectorized path to tuple-at-a-time; pull whole batches "
+                "with NextBatch() (row pulls are sanctioned only at the "
+                "UDF/TVF apply seam, src/exec/apply_ops.cc)"))
+    return findings
+
+
 OPERATIONS_DOC = os.path.join("docs", "OPERATIONS.md")
 # String literals naming an environment knob ("HTG_SCALE" etc). Project
 # macros (HTG_RETURN_IF_ERROR, HTG_METRIC_*) are identifiers, not quoted,
@@ -410,6 +490,7 @@ RULES = {
     "status-ok-drop":
         (check_status_ok_drop, ("src", "bench", "tests"), False),
     "exec-raw-timing": (check_exec_raw_timing, ("src",), False),
+    "exec-batch-rowloop": (check_exec_batch_rowloop, ("src",), False),
     # env-doc matches quoted knob names, so it needs unstripped text.
     "env-doc": (check_env_doc, ("src", "bench"), True),
 }
