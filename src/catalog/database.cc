@@ -20,6 +20,26 @@ size_t DatabaseOptions::ResolvedBatchRows() const {
   return RowBatch::kDefaultRows;
 }
 
+size_t DatabaseOptions::ResolvedQueryMemBytes() const {
+  if (query_mem_bytes >= 0) return static_cast<size_t>(query_mem_bytes);
+  if (const char* env = std::getenv("HTG_QUERY_MEM_MB")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 0) {
+      return static_cast<size_t>(parsed) << 20;
+    }
+  }
+  return size_t{256} << 20;
+}
+
+bool DatabaseOptions::ResolvedSpillEnabled() const {
+  if (!enable_spill) return false;
+  if (const char* env = std::getenv("HTG_SPILL")) {
+    if (env[0] == '0' && env[1] == '\0') return false;
+  }
+  return true;
+}
+
 Database::Database(std::string name, DatabaseOptions options)
     : name_(std::move(name)), options_(std::move(options)) {}
 

@@ -42,9 +42,27 @@ struct DatabaseOptions {
   //   1  = force the legacy row-at-a-time iterators (parity testing)
   //   ≥2 = that many rows per batch
   size_t batch_rows = 0;
+  // Per-query memory budget for materializing operators (sort, hash
+  // aggregate, hash join, DISTINCT).
+  //   -1 = use HTG_QUERY_MEM_MB (default 256 MiB)
+  //    0 = unlimited
+  //   >0 = that many bytes
+  int64_t query_mem_bytes = -1;
+  // Let over-budget operators degrade to disk spill runs through the
+  // tablespace instead of failing. Off (or no buffer pool/tablespace):
+  // over-budget statements fail with kResourceExhausted. HTG_SPILL=0
+  // disables it from the environment.
+  bool enable_spill = true;
+  // Fan-out of one partition-spill pass in hash aggregate / hash join.
+  size_t spill_partitions = 16;
 
   // batch_rows with the 0 = environment default applied.
   size_t ResolvedBatchRows() const;
+  // query_mem_bytes with the -1 = environment default applied; 0 means
+  // unlimited.
+  size_t ResolvedQueryMemBytes() const;
+  // enable_spill combined with the HTG_SPILL environment override.
+  bool ResolvedSpillEnabled() const;
 };
 
 // The top-level engine object: catalog of tables, the function registry
@@ -65,6 +83,10 @@ class Database {
   storage::FileStreamStore* filestream() { return filestream_.get(); }
   // Null when options.enable_buffer_pool is false.
   storage::BufferPool* buffer_pool() { return buffer_pool_.get(); }
+  // Spill-file space for out-of-core operators; null when the buffer
+  // pool is disabled (no tablespace -> no spilling, budget errors
+  // instead).
+  storage::TableSpace* tablespace() { return tablespace_.get(); }
 
   // DDL -----------------------------------------------------------------
 

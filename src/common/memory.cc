@@ -1,0 +1,108 @@
+#include "common/memory.h"
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace htg {
+
+namespace {
+
+// Lock-free fetch-max on an atomic peak.
+void UpdatePeak(std::atomic<size_t>* peak, size_t value) {
+  size_t prev = peak->load(std::memory_order_relaxed);
+  while (value > prev &&
+         !peak->compare_exchange_weak(prev, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MemoryTracker& MemoryTracker::Process() {
+  // Leaky singleton: never destroyed, so charges racing with shutdown
+  // can't touch a dead tracker.
+  static MemoryTracker& tracker = *new MemoryTracker();
+  return tracker;
+}
+
+void MemoryTracker::Add(size_t bytes) {
+  const size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const size_t prev = peak_.load(std::memory_order_relaxed);
+  if (now > prev) {
+    UpdatePeak(&peak_, now);
+    HTG_METRIC_GAUGE("mem.process.peak")
+        ->Set(static_cast<int64_t>(peak_.load(std::memory_order_relaxed)));
+  }
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+MemoryContext::MemoryContext(size_t budget_bytes, bool spill_enabled,
+                             MemoryTracker* tracker)
+    : budget_(budget_bytes), spill_enabled_(spill_enabled),
+      tracker_(tracker) {}
+
+MemoryContext::~MemoryContext() {
+  // Outstanding charges (operators destroyed without releasing) leave
+  // the query context with the statement; give the bytes back to the
+  // process tracker so it never drifts.
+  const size_t left = used_.load(std::memory_order_relaxed);
+  if (left > 0 && tracker_ != nullptr) tracker_->Release(left);
+}
+
+Status MemoryContext::Charge(size_t bytes, const char* what) {
+  const size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(&peak_, now);
+  if (tracker_ != nullptr) tracker_->Add(bytes);
+  if (budget_ != 0 && now > budget_) {
+    return Status::ResourceExhausted(StringPrintf(
+        "%s: query memory budget exceeded (%zu bytes used, budget %zu)",
+        what, now, budget_));
+  }
+  return Status::OK();
+}
+
+void MemoryContext::ChargeUnchecked(size_t bytes) {
+  const size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(&peak_, now);
+  if (tracker_ != nullptr) tracker_->Add(bytes);
+}
+
+void MemoryContext::Release(size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (tracker_ != nullptr) tracker_->Release(bytes);
+}
+
+Status MemoryCharge::Add(size_t bytes) {
+  Bump(bytes);
+  if (ctx_ == nullptr) return Status::OK();
+  return ctx_->Charge(bytes, what_);
+}
+
+void MemoryCharge::AddUnchecked(size_t bytes) {
+  Bump(bytes);
+  if (ctx_ != nullptr) ctx_->ChargeUnchecked(bytes);
+}
+
+void MemoryCharge::Bump(size_t bytes) {
+  const size_t now = held_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryCharge::Release(size_t bytes) {
+  held_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (ctx_ != nullptr) ctx_->Release(bytes);
+}
+
+void MemoryCharge::ReleaseAll() {
+  const size_t held = held_.exchange(0, std::memory_order_relaxed);
+  if (held > 0 && ctx_ != nullptr) ctx_->Release(held);
+}
+
+}  // namespace htg

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace htg {
+
+// Process-wide accounting of executor working-set memory. All per-query
+// MemoryContexts forward their charges here, so `mem.process.peak`
+// reflects the aggregate high-water mark across concurrent statements.
+// Lock-free: charges come from morsel workers on the hot insert path.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Process();
+
+  void Add(size_t bytes);
+  void Release(size_t bytes);
+
+  size_t current() const { return current_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+// Per-query memory budget. Created once per statement (ExecContext::For)
+// and shared by every operator (and morsel-worker ExecContext copy) of
+// that statement via shared_ptr. Charges are *accounting estimates* of
+// materialized working sets (hash tables, sort buffers, join sides), not
+// malloc interception: the budget governs graceful degradation, it is
+// not a hard allocator cap.
+//
+// Charge() always records the bytes (so peak() stays honest) and returns
+// kResourceExhausted once usage exceeds the budget; the caller decides
+// whether to degrade (spill) or surface the error. A budget of 0 means
+// unlimited. Default-constructed contexts are unlimited with spilling
+// enabled, so bare ExecContext{} uses in tests behave as before.
+class MemoryContext {
+ public:
+  MemoryContext() : MemoryContext(0, true) {}
+  MemoryContext(size_t budget_bytes, bool spill_enabled,
+                MemoryTracker* tracker = &MemoryTracker::Process());
+  ~MemoryContext();
+
+  MemoryContext(const MemoryContext&) = delete;
+  MemoryContext& operator=(const MemoryContext&) = delete;
+
+  // Records `bytes` against the query (and process) totals. Returns
+  // kResourceExhausted if the post-charge usage exceeds the budget; the
+  // bytes remain charged either way (callers release what they do not
+  // keep).
+  Status Charge(size_t bytes, const char* what);
+
+  // Records bytes without budget enforcement (state that must be built
+  // regardless; peaks stay honest without re-triggering degradation).
+  void ChargeUnchecked(size_t bytes);
+
+  void Release(size_t bytes);
+
+  // Cheap sticky check for parallel workers: true once usage crossed the
+  // budget. Usage only grows while operators build state, so a true
+  // result stays true for the rest of the build phase.
+  bool over_budget() const {
+    const size_t budget = budget_;
+    return budget != 0 && used_.load(std::memory_order_relaxed) > budget;
+  }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  size_t budget() const { return budget_; }
+  bool unlimited() const { return budget_ == 0; }
+  bool spill_enabled() const { return spill_enabled_; }
+
+ private:
+  const size_t budget_;  // 0 = unlimited
+  const bool spill_enabled_;
+  MemoryTracker* tracker_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+// RAII charge ledger for one operator (or one spill pass inside an
+// operator). Thread-safe: morsel workers of a parallel operator share
+// one ledger. Whatever is still held at destruction is released back to
+// the MemoryContext, so error paths cannot leak accounting.
+class MemoryCharge {
+ public:
+  explicit MemoryCharge(MemoryContext* ctx, const char* what = "operator")
+      : ctx_(ctx), what_(what) {}
+  ~MemoryCharge() { ReleaseAll(); }
+
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : ctx_(other.ctx_),
+        what_(other.what_),
+        held_(other.held_.load(std::memory_order_relaxed)),
+        peak_(other.peak_.load(std::memory_order_relaxed)) {
+    other.ctx_ = nullptr;
+    other.held_.store(0, std::memory_order_relaxed);
+  }
+  MemoryCharge& operator=(MemoryCharge&&) = delete;
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+
+  // Charges `bytes`; on kResourceExhausted the bytes are already
+  // recorded — callers that bail out release them, callers that spill
+  // release once the state is written out.
+  Status Add(size_t bytes);
+
+  // Charges without budget enforcement. Used for state that must be
+  // built regardless (e.g. the final merge map of a spilled parallel
+  // aggregate) so peaks stay honest without re-triggering degradation.
+  void AddUnchecked(size_t bytes);
+
+  void Release(size_t bytes);
+  void ReleaseAll();
+
+  size_t held() const { return held_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  void Bump(size_t bytes);
+
+  MemoryContext* ctx_;
+  const char* what_;
+  std::atomic<size_t> held_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace htg

@@ -32,6 +32,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kTransient:
       return "Transient";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

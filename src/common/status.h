@@ -19,6 +19,10 @@ enum class StatusCode {
   // A fault that may clear on retry (injected EIO, interrupted syscall);
   // storage::RunWithRetries retries only this code.
   kTransient,
+  // A query exceeded its memory budget and could not degrade (spilling
+  // disabled or no tablespace). Statement-level: the engine reports it
+  // and keeps serving subsequent queries.
+  kResourceExhausted,
   kNotImplemented,
   kInternal,
   kAborted,
@@ -59,6 +63,9 @@ class [[nodiscard]] Status {
   static Status Transient(std::string msg) {
     return Status(StatusCode::kTransient, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
@@ -89,6 +96,9 @@ class [[nodiscard]] Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsTransient() const { return code_ == StatusCode::kTransient; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   // Human-readable "CODE: message" form for logs and test failures.
   std::string ToString() const;

@@ -7,7 +7,9 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/batch.h"
+#include "exec/spill_util.h"
 #include "storage/heap_table.h"
+#include "storage/spill.h"
 
 namespace htg::exec {
 
@@ -38,43 +40,146 @@ using GroupMap =
     std::unordered_map<Row, std::vector<std::unique_ptr<udf::AggregateInstance>>,
                        RowHash, RowEq>;
 
-// Accumulates one input row into its group's aggregate instances.
-Status AccumulateRow(const Row& input, const std::vector<ExprPtr>& group_exprs,
-                     const std::vector<AggSpec>& aggs, udf::EvalContext* eval,
-                     GroupMap* groups) {
-  Row key;
-  key.reserve(group_exprs.size());
-  for (const ExprPtr& g : group_exprs) {
-    HTG_ASSIGN_OR_RETURN(Value v, g->Eval(eval, input));
-    key.push_back(std::move(v));
-  }
-  auto it = groups->find(key);
-  if (it == groups->end()) {
-    std::vector<std::unique_ptr<udf::AggregateInstance>> instances;
-    instances.reserve(aggs.size());
-    for (const AggSpec& a : aggs) instances.push_back(a.NewInstance());
-    it = groups->emplace(std::move(key), std::move(instances)).first;
-  }
-  for (size_t i = 0; i < aggs.size(); ++i) {
-    std::vector<Value> args;
-    args.reserve(aggs[i].args.size());
-    for (const ExprPtr& a : aggs[i].args) {
-      HTG_ASSIGN_OR_RETURN(Value v, a->Eval(eval, input));
-      args.push_back(std::move(v));
+// Rough per-group accounting overheads (hash node + instance vector +
+// instance footprints) on top of the key's own bytes.
+constexpr size_t kGroupOverheadBytes = 96;
+constexpr size_t kInstanceOverheadBytes = 64;
+
+// Thread-safe partition-spill sink for input rows whose group key did
+// not fit in memory. Rows are hashed (salted by recursion level) into
+// spill_partitions runs on one shared spill file; a later pass re-
+// aggregates each partition with a fresh budget. The file and writers
+// materialize lazily on the first spilled row, so the happy path costs
+// one atomic load.
+class AggSpill {
+ public:
+  AggSpill(storage::TableSpace* space, size_t nparts, int level,
+           OperatorStats* stats)
+      : space_(space),
+        nparts_(nparts == 0 ? 1 : nparts),
+        level_(level),
+        stats_(stats) {}
+
+  bool engaged() const { return engaged_.load(std::memory_order_acquire); }
+  int level() const { return level_; }
+  storage::SpillFile* file() { return file_.get(); }
+
+  Status Add(const Row& key, const Row& input) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr) {
+      HTG_ASSIGN_OR_RETURN(file_, storage::SpillFile::Create(space_, "agg"));
+      writers_.reserve(nparts_);
+      for (size_t p = 0; p < nparts_; ++p) {
+        writers_.push_back(
+            std::make_unique<storage::SpillRunWriter>(file_.get()));
+      }
+      engaged_.store(true, std::memory_order_release);
     }
-    HTG_RETURN_IF_ERROR(it->second[i]->Accumulate(args));
+    return writers_[SpillRowHash(key, level_) % nparts_]->Add(input);
   }
-  return Status::OK();
+
+  // Seals every nonempty partition and flushes the file, so injected
+  // write faults surface inside the statement. Returns the runs.
+  Result<std::vector<storage::SpillRun>> Finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<storage::SpillRun> runs;
+    for (auto& writer : writers_) {
+      if (writer->rows() == 0) continue;
+      HTG_ASSIGN_OR_RETURN(storage::SpillRun run, writer->Finish());
+      if (stats_ != nullptr) {
+        stats_->spill_runs.fetch_add(1, std::memory_order_relaxed);
+        stats_->spill_bytes.fetch_add(run.bytes, std::memory_order_relaxed);
+      }
+      runs.push_back(std::move(run));
+    }
+    writers_.clear();
+    if (file_ != nullptr) HTG_RETURN_IF_ERROR(file_->Flush());
+    return runs;
+  }
+
+ private:
+  storage::TableSpace* space_;
+  size_t nparts_;
+  int level_;
+  OperatorStats* stats_;
+  std::mutex mu_;
+  std::atomic<bool> engaged_{false};
+  std::unique_ptr<storage::SpillFile> file_;
+  std::vector<std::unique_ptr<storage::SpillRunWriter>> writers_;
+};
+
+// Memory governance handles threaded into the group-build loops. All
+// fields are shared by every morsel worker of a parallel build: the
+// charge and spill sink are thread-safe, the rest is read-only.
+struct AggGovernance {
+  MemoryCharge* charge = nullptr;
+  ExecContext* ctx = nullptr;
+  AggSpill* spill = nullptr;
+  const char* op_name = "Hash Match (Aggregate)";
+};
+
+// Looks up (or creates) the group for `key`. Group creation is charged
+// against the query budget; once the budget rejects a new group, rows of
+// unseen keys are routed to the spill partitions instead — keys already
+// resident keep accumulating, so every in-map group is complete and
+// disjoint from the spilled keys. Returns end() when the row was routed
+// (caller skips it); `make_input` materializes the input row only on
+// that path.
+template <typename InputFn>
+Result<GroupMap::iterator> FindOrCreateGroup(GroupMap* groups, Row key,
+                                             const std::vector<AggSpec>& aggs,
+                                             AggGovernance* gov,
+                                             InputFn&& make_input) {
+  auto it = groups->find(key);
+  if (it != groups->end()) return it;
+  if (gov != nullptr && gov->charge != nullptr) {
+    const size_t bytes = ApproxRowBytes(key) + kGroupOverheadBytes +
+                         aggs.size() * kInstanceOverheadBytes;
+    Status charged = gov->charge->Add(bytes);
+    if (!charged.ok()) {
+      gov->charge->Release(bytes);  // the group is not being created
+      if (!charged.IsResourceExhausted()) return charged;
+      if (!gov->ctx->CanSpill()) {
+        return SpillUnavailableError(gov->op_name, *gov->ctx->mem);
+      }
+      HTG_RETURN_IF_ERROR(gov->spill->Add(key, make_input()));
+      return groups->end();
+    }
+  }
+  std::vector<std::unique_ptr<udf::AggregateInstance>> instances;
+  instances.reserve(aggs.size());
+  for (const AggSpec& a : aggs) instances.push_back(a.NewInstance());
+  return groups->emplace(std::move(key), std::move(instances)).first;
 }
 
-// Drains a child fully into a group map.
+// Drains a child fully into a group map (spilling over-budget keys when
+// `gov` is armed).
 Status BuildGroups(storage::RowIterator* iter,
                    const std::vector<ExprPtr>& group_exprs,
                    const std::vector<AggSpec>& aggs, udf::EvalContext* eval,
-                   GroupMap* groups) {
+                   GroupMap* groups, AggGovernance* gov) {
   Row row;
   while (iter->Next(&row)) {
-    HTG_RETURN_IF_ERROR(AccumulateRow(row, group_exprs, aggs, eval, groups));
+    Row key;
+    key.reserve(group_exprs.size());
+    for (const ExprPtr& g : group_exprs) {
+      HTG_ASSIGN_OR_RETURN(Value v, g->Eval(eval, row));
+      key.push_back(std::move(v));
+    }
+    HTG_ASSIGN_OR_RETURN(
+        GroupMap::iterator it,
+        FindOrCreateGroup(groups, std::move(key), aggs, gov,
+                          [&]() -> const Row& { return row; }));
+    if (it == groups->end()) continue;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      std::vector<Value> args;
+      args.reserve(aggs[i].args.size());
+      for (const ExprPtr& a : aggs[i].args) {
+        HTG_ASSIGN_OR_RETURN(Value v, a->Eval(eval, row));
+        args.push_back(std::move(v));
+      }
+      HTG_RETURN_IF_ERROR(it->second[i]->Accumulate(args));
+    }
   }
   return iter->status();
 }
@@ -82,11 +187,13 @@ Status BuildGroups(storage::RowIterator* iter,
 // Vectorized BuildGroups: group keys and aggregate arguments evaluate as
 // batch kernels, so only the hash probe and the UDA Accumulate call (the
 // per-row seam — udf.uda instances accumulate row-at-a-time by contract)
-// remain per-row work.
+// remain per-row work. Spilled rows are reassembled from the (untouched)
+// batch columns.
 Status BuildGroupsBatch(storage::RowIterator* iter, size_t batch_rows,
                         const std::vector<ExprPtr>& group_exprs,
                         const std::vector<AggSpec>& aggs,
-                        udf::EvalContext* eval, GroupMap* groups) {
+                        udf::EvalContext* eval, GroupMap* groups,
+                        AggGovernance* gov) {
   RowBatch batch(batch_rows);
   std::vector<std::vector<Value>> key_cols(group_exprs.size());
   std::vector<std::vector<std::vector<Value>>> agg_cols(aggs.size());
@@ -113,13 +220,18 @@ Status BuildGroupsBatch(storage::RowIterator* iter, size_t batch_rows,
       for (size_t g = 0; g < group_exprs.size(); ++g) {
         key.push_back(std::move(key_cols[g][j]));
       }
-      auto it = groups->find(key);
-      if (it == groups->end()) {
-        std::vector<std::unique_ptr<udf::AggregateInstance>> instances;
-        instances.reserve(aggs.size());
-        for (const AggSpec& a : aggs) instances.push_back(a.NewInstance());
-        it = groups->emplace(std::move(key), std::move(instances)).first;
-      }
+      HTG_ASSIGN_OR_RETURN(
+          GroupMap::iterator it,
+          FindOrCreateGroup(groups, std::move(key), aggs, gov, [&]() {
+            const size_t r = batch.ActiveIndex(j);
+            Row input;
+            input.reserve(batch.num_columns());
+            for (size_t c = 0; c < batch.num_columns(); ++c) {
+              input.push_back(batch.column(c)[r]);
+            }
+            return input;
+          }));
+      if (it == groups->end()) continue;
       for (size_t i = 0; i < aggs.size(); ++i) {
         args.clear();
         args.reserve(agg_cols[i].size());
@@ -138,7 +250,9 @@ Result<std::vector<Row>> FinalizeGroups(GroupMap* groups, size_t num_aggs,
                                         bool global_aggregate,
                                         const std::vector<AggSpec>& aggs) {
   std::vector<Row> out;
-  out.reserve(groups->size());
+  // Output rows replace the group map 1:1; callers hold the charge that
+  // already covers the map.
+  out.reserve(groups->size());  // NOLINT(htg-exec-untracked-reserve)
   if (groups->empty() && global_aggregate) {
     // SELECT COUNT(*) over an empty input still yields one row.
     Row row;
@@ -180,6 +294,105 @@ std::string DescribeAggs(const std::vector<ExprPtr>& group_exprs,
   out += "]";
   return out;
 }
+
+// One spill partition awaiting re-aggregation. `level` is the recursion
+// depth of the pass that will process it (its sub-spills salt their hash
+// with this level).
+struct AggSpillWork {
+  storage::SpillFile* file;
+  storage::SpillRun run;
+  int level;
+};
+
+// Streams the aggregate's output when the build spilled: emits the
+// finalized in-memory groups first, then lazily re-aggregates one spill
+// partition at a time (each under a fresh budget charge; partitions that
+// still blow the budget sub-partition recursively with a new hash salt).
+// Owns every spill file involved, so the data is deleted with the
+// iterator.
+class SpilledAggIterator : public storage::RowIterator {
+ public:
+  SpilledAggIterator(std::vector<Row> ready, MemoryCharge charge,
+                     std::unique_ptr<AggSpill> spill,
+                     std::vector<storage::SpillRun> runs,
+                     const std::vector<ExprPtr>* group_exprs,
+                     const std::vector<AggSpec>* aggs, ExecContext* ctx,
+                     OperatorStats* stats)
+      : ready_(std::move(ready)),
+        charge_(std::move(charge)),
+        group_exprs_(group_exprs),
+        aggs_(aggs),
+        ctx_(ctx),
+        stats_(stats) {
+    for (storage::SpillRun& run : runs) {
+      worklist_.push_back(
+          AggSpillWork{spill->file(), std::move(run), spill->level() + 1});
+    }
+    spills_.push_back(std::move(spill));
+  }
+
+  bool Next(Row* out) override {
+    if (!status_.ok()) return false;
+    for (;;) {
+      if (next_ready_ < ready_.size()) {
+        *out = std::move(ready_[next_ready_++]);
+        return true;
+      }
+      if (worklist_.empty()) return false;
+      const Status s = ProcessNextPartition();
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  Status ProcessNextPartition() {
+    AggSpillWork work = std::move(worklist_.back());
+    worklist_.pop_back();
+    if (work.level > kMaxSpillDepth) {
+      return SpillDepthError("Hash Match (Aggregate)");
+    }
+    ready_.clear();
+    next_ready_ = 0;
+    charge_.ReleaseAll();  // the previous partition's rows are consumed
+    auto sub = std::make_unique<AggSpill>(
+        ctx_->tablespace, ctx_->spill_partitions, work.level, stats_);
+    AggGovernance gov{&charge_, ctx_, sub.get(), "Hash Match (Aggregate)"};
+    GroupMap groups;
+    storage::SpillRunReader reader(work.file, std::move(work.run));
+    HTG_RETURN_IF_ERROR(BuildGroups(&reader, *group_exprs_, *aggs_,
+                                    &ctx_->eval, &groups, &gov));
+    if (stats_ != nullptr) RecordPeakMem(stats_, charge_.peak());
+    HTG_ASSIGN_OR_RETURN(ready_,
+                         FinalizeGroups(&groups, aggs_->size(), false,
+                                        *aggs_));
+    if (sub->engaged()) {
+      HTG_ASSIGN_OR_RETURN(std::vector<storage::SpillRun> runs,
+                           sub->Finish());
+      for (storage::SpillRun& run : runs) {
+        worklist_.push_back(
+            AggSpillWork{sub->file(), std::move(run), work.level + 1});
+      }
+      spills_.push_back(std::move(sub));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Row> ready_;
+  size_t next_ready_ = 0;
+  MemoryCharge charge_;
+  const std::vector<ExprPtr>* group_exprs_;
+  const std::vector<AggSpec>* aggs_;
+  ExecContext* ctx_;
+  OperatorStats* stats_;
+  std::vector<std::unique_ptr<AggSpill>> spills_;  // keeps files alive
+  std::vector<AggSpillWork> worklist_;
+  Status status_;
+};
 
 }  // namespace
 
@@ -284,19 +497,32 @@ Result<std::unique_ptr<storage::RowIterator>> HashAggregateOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
+  OperatorStats* stats = mutable_stats();
+  MemoryCharge charge(ctx->mem.get(), "Hash Match (Aggregate)");
+  auto spill = std::make_unique<AggSpill>(
+      ctx->tablespace, ctx->spill_partitions, 0, stats);
+  AggGovernance gov{&charge, ctx, spill.get(), "Hash Match (Aggregate)"};
   GroupMap groups;
   if (ctx->UseBatches() && child->BatchNative()) {
     HTG_RETURN_IF_ERROR(BuildGroupsBatch(child.get(), ctx->batch_rows,
                                          group_exprs_, aggs_, &ctx->eval,
-                                         &groups));
+                                         &groups, &gov));
   } else {
-    HTG_RETURN_IF_ERROR(
-        BuildGroups(child.get(), group_exprs_, aggs_, &ctx->eval, &groups));
+    HTG_RETURN_IF_ERROR(BuildGroups(child.get(), group_exprs_, aggs_,
+                                    &ctx->eval, &groups, &gov));
   }
+  RecordPeakMem(stats, charge.peak());
   HTG_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
       FinalizeGroups(&groups, aggs_.size(), group_exprs_.empty(), aggs_));
-  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
+  if (!spill->engaged()) {
+    return {std::make_unique<ChargedRowsIterator>(std::move(rows),
+                                                  std::move(charge))};
+  }
+  HTG_ASSIGN_OR_RETURN(std::vector<storage::SpillRun> runs, spill->Finish());
+  return {std::make_unique<SpilledAggIterator>(
+      std::move(rows), std::move(charge), std::move(spill), std::move(runs),
+      &group_exprs_, &aggs_, ctx, stats)};
 }
 
 std::string HashAggregateOp::Describe() const {
@@ -471,6 +697,18 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
     stats->worker_batches.assign(dop, 0);
   }
 
+  // Shared governance: one charge ledger and one partition-spill sink
+  // for all workers. A worker that cannot create a new group (budget
+  // crossed) spills its input rows; keys resident in *its* partial map
+  // keep accumulating. The same key may then live in one worker's map
+  // and in the spill partitions, so the spill path below merges
+  // everything (maps and re-aggregated partitions) into one final map.
+  MemoryCharge charge(ctx->mem.get(), "Parallel Hash Match (Aggregate)");
+  auto spill = std::make_unique<AggSpill>(
+      ctx->tablespace, ctx->spill_partitions, 0, stats);
+  AggGovernance gov{&charge, ctx, spill.get(),
+                    "Parallel Hash Match (Aggregate)"};
+
   // Partial phase: workers steal morsels off the shared counter, replay
   // the stage pipeline over each page range, and accumulate into
   // thread-local partial maps. Expression trees are immutable and shared;
@@ -497,21 +735,105 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
         if (ctx->UseBatches() && iter->BatchNative()) {
           return BuildGroupsBatch(iter.get(), ctx->batch_rows, group_exprs_,
                                   aggs_, &worker_ctx[worker].eval,
-                                  &partials[worker]);
+                                  &partials[worker], &gov);
         }
         return BuildGroups(iter.get(), group_exprs_, aggs_,
-                           &worker_ctx[worker].eval, &partials[worker]);
+                           &worker_ctx[worker].eval, &partials[worker], &gov);
       }));
+  RecordPeakMem(stats, charge.peak());
 
   size_t total_groups = 0;
   for (const GroupMap& p : partials) total_groups += p.size();
-  if (total_groups == 0) {
+  if (total_groups == 0 && !spill->engaged()) {
     // SELECT COUNT(*) over an empty input still yields one row.
     HTG_ASSIGN_OR_RETURN(
         std::vector<Row> rows,
         FinalizeGroups(&partials[0], aggs_.size(), group_exprs_.empty(),
                        aggs_));
     return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
+  }
+
+  if (spill->engaged()) {
+    // Degraded path: fold every partial map into one final map, then
+    // re-aggregate each spill partition (recursively, fresh budget per
+    // pass) and merge its groups in too — the only ordering that is
+    // correct when a key sits in one worker's map and in the spill.
+    GroupMap merged;
+    const auto merge_in = [&](GroupMap* from) -> Status {
+      for (auto& [key, instances] : *from) {
+        auto it = merged.find(key);
+        if (it == merged.end()) {
+          merged.emplace(key, std::move(instances));
+          continue;
+        }
+        for (size_t a = 0; a < instances.size(); ++a) {
+          HTG_RETURN_IF_ERROR(it->second[a]->Merge(*instances[a]));
+        }
+      }
+      from->clear();
+      return Status::OK();
+    };
+    for (GroupMap& partial : partials) {
+      HTG_RETURN_IF_ERROR(merge_in(&partial));
+    }
+    // The resident merged map was sized by the budget during the build;
+    // release its charges so each partition pass below gets the full
+    // budget — otherwise a pass could never admit a group and rows would
+    // re-spill until the depth limit. The map is re-accounted (and the
+    // peak recorded) once the passes are done.
+    charge.ReleaseAll();
+    HTG_ASSIGN_OR_RETURN(std::vector<storage::SpillRun> runs,
+                         spill->Finish());
+    std::vector<AggSpillWork> worklist;
+    std::vector<std::unique_ptr<AggSpill>> spill_files;
+    for (storage::SpillRun& run : runs) {
+      worklist.push_back(
+          AggSpillWork{spill->file(), std::move(run), spill->level() + 1});
+    }
+    spill_files.push_back(std::move(spill));
+    while (!worklist.empty()) {
+      AggSpillWork work = std::move(worklist.back());
+      worklist.pop_back();
+      if (work.level > kMaxSpillDepth) {
+        return SpillDepthError("Parallel Hash Match (Aggregate)");
+      }
+      MemoryCharge pass_charge(ctx->mem.get(),
+                               "Parallel Hash Match (Aggregate)");
+      auto sub = std::make_unique<AggSpill>(
+          ctx->tablespace, ctx->spill_partitions, work.level, stats);
+      AggGovernance pass_gov{&pass_charge, ctx, sub.get(),
+                             "Parallel Hash Match (Aggregate)"};
+      storage::SpillRunReader reader(work.file, std::move(work.run));
+      GroupMap part_groups;
+      HTG_RETURN_IF_ERROR(BuildGroups(&reader, group_exprs_, aggs_,
+                                      &ctx->eval, &part_groups, &pass_gov));
+      RecordPeakMem(stats, pass_charge.peak());
+      // Keys are owned by exactly one partition per level, so a pass's
+      // groups can only collide with build-time residents, never with
+      // another pass.
+      HTG_RETURN_IF_ERROR(merge_in(&part_groups));
+      if (sub->engaged()) {
+        HTG_ASSIGN_OR_RETURN(std::vector<storage::SpillRun> sub_runs,
+                             sub->Finish());
+        for (storage::SpillRun& run : sub_runs) {
+          worklist.push_back(
+              AggSpillWork{sub->file(), std::move(run), work.level + 1});
+        }
+        spill_files.push_back(std::move(sub));
+      }
+    }
+    size_t merged_bytes = 0;
+    for (const auto& [key, instances] : merged) {
+      merged_bytes += ApproxRowBytes(key) + kGroupOverheadBytes +
+                      aggs_.size() * kInstanceOverheadBytes;
+    }
+    charge.AddUnchecked(merged_bytes);
+    RecordPeakMem(stats, charge.peak());
+    HTG_ASSIGN_OR_RETURN(
+        std::vector<Row> rows,
+        FinalizeGroups(&merged, aggs_.size(), group_exprs_.empty(), aggs_));
+    return {std::make_unique<ChargedRowsIterator>(std::move(rows),
+                                                  std::move(charge))};
   }
 
   // Final phase: a parallel partitioned merge instead of a serial fold.
@@ -549,7 +871,9 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelAggregateOp::OpenImpl(
     for (Row& r : part) rows.push_back(std::move(r));
     part.clear();
   }
-  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
+  RecordPeakMem(stats, charge.peak());
+  return {std::make_unique<ChargedRowsIterator>(std::move(rows),
+                                                std::move(charge))};
 }
 
 std::string ParallelAggregateOp::Describe() const {

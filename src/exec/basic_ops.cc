@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "exec/batch.h"
+#include "exec/spill_util.h"
 #include "storage/heap_table.h"
 
 namespace htg::exec {
@@ -72,12 +73,22 @@ class ProjectIterator : public storage::RowIterator {
   Status status_;
 };
 
+// Rough accounting overhead of one std::unordered_set<std::string> node
+// beyond the string payload itself.
+constexpr size_t kDistinctEntryOverheadBytes = 64;
+
 class DistinctIterator : public storage::RowIterator {
  public:
-  explicit DistinctIterator(std::unique_ptr<storage::RowIterator> child)
-      : child_(std::move(child)) {}
+  DistinctIterator(std::unique_ptr<storage::RowIterator> child,
+                   MemoryContext* mem, OperatorStats* stats)
+      : child_(std::move(child)), charge_(mem, "Distinct"), stats_(stats) {}
+
+  ~DistinctIterator() override {
+    if (stats_ != nullptr) RecordPeakMem(stats_, charge_.peak());
+  }
 
   bool Next(Row* row) override {
+    if (!status_.ok()) return false;
     while (child_->Next(row)) {
       std::string key;
       for (const Value& v : *row) {
@@ -88,16 +99,27 @@ class DistinctIterator : public storage::RowIterator {
           key += v.ToString();
         }
       }
-      if (seen_.insert(std::move(key)).second) return true;
+      // The dedup set grows without bound with the key cardinality;
+      // charge each retained key so a runaway DISTINCT fails cleanly
+      // instead of exhausting the process.
+      const size_t bytes = key.size() + kDistinctEntryOverheadBytes;
+      if (!seen_.insert(std::move(key)).second) continue;
+      status_ = charge_.Add(bytes);
+      if (!status_.ok()) return false;
+      return true;
     }
+    status_ = child_->status();
     return false;
   }
 
-  Status status() const override { return child_->status(); }
+  Status status() const override { return status_; }
 
  private:
   std::unique_ptr<storage::RowIterator> child_;
+  MemoryCharge charge_;
+  OperatorStats* stats_;
   std::unordered_set<std::string> seen_;
+  Status status_;
 };
 
 class TopIterator : public storage::RowIterator {
@@ -200,9 +222,13 @@ class ProjectBatchIterator : public BatchIterator {
 class TopBatchIterator : public BatchIterator {
  public:
   TopBatchIterator(std::unique_ptr<storage::RowIterator> child, int64_t limit,
-                   size_t batch_rows)
+                   size_t batch_rows, MemoryContext* mem)
       : BatchIterator(batch_rows), child_(std::move(child)),
-        remaining_(limit) {}
+        remaining_(limit), charge_(mem, "Top") {
+    // The pass-through batch is bounded scratch (one batch of values);
+    // account it for an honest peak without gating the statement on it.
+    charge_.AddUnchecked(batch_rows * sizeof(Value));
+  }
 
  protected:
   bool ProduceBatch(RowBatch* batch) override {
@@ -230,6 +256,7 @@ class TopBatchIterator : public BatchIterator {
  private:
   std::unique_ptr<storage::RowIterator> child_;
   int64_t remaining_;
+  MemoryCharge charge_;
 };
 
 }  // namespace
@@ -287,6 +314,7 @@ std::string TableScanOp::Describe() const {
 
 Result<std::unique_ptr<storage::RowIterator>> ValuesOp::OpenImpl(
     ExecContext* ctx) {
+  MemoryCharge charge(ctx->mem.get(), "Constant Scan");
   std::vector<Row> rows;
   rows.reserve(rows_.size());
   for (const auto& exprs : rows_) {
@@ -296,9 +324,12 @@ Result<std::unique_ptr<storage::RowIterator>> ValuesOp::OpenImpl(
       HTG_ASSIGN_OR_RETURN(Value v, e->Eval(&ctx->eval, Row{}));
       row.push_back(std::move(v));
     }
+    HTG_RETURN_IF_ERROR(charge.Add(ApproxRowBytes(row)));
     rows.push_back(std::move(row));
   }
-  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
+  RecordPeakMem(mutable_stats(), charge.peak());
+  return {std::make_unique<ChargedRowsIterator>(std::move(rows),
+                                                std::move(charge))};
 }
 
 std::string ValuesOp::Describe() const {
@@ -327,7 +358,12 @@ Result<std::unique_ptr<storage::RowIterator>> OpenRowsetOp::OpenImpl(
   std::string bytes = std::move(*read);
   std::vector<Row> rows;
   rows.push_back(Row{Value::Blob(std::move(bytes))});
-  return {std::make_unique<MaterializedRowsIterator>(std::move(rows))};
+  // The whole import is held in memory as one blob row; charge it.
+  MemoryCharge charge(ctx->mem.get(), "Bulk Import");
+  HTG_RETURN_IF_ERROR(charge.Add(ApproxRowBytes(rows[0])));
+  RecordPeakMem(mutable_stats(), charge.peak());
+  return {std::make_unique<ChargedRowsIterator>(std::move(rows),
+                                                std::move(charge))};
 }
 
 std::string OpenRowsetOp::Describe() const {
@@ -388,7 +424,8 @@ Result<std::unique_ptr<storage::RowIterator>> DistinctOp::OpenImpl(
     ExecContext* ctx) {
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> child,
                        child_->Open(ctx));
-  return {std::make_unique<DistinctIterator>(std::move(child))};
+  return {std::make_unique<DistinctIterator>(std::move(child), ctx->mem.get(),
+                                             mutable_stats())};
 }
 
 Result<std::unique_ptr<storage::RowIterator>> TopOp::OpenImpl(ExecContext* ctx) {
@@ -396,7 +433,8 @@ Result<std::unique_ptr<storage::RowIterator>> TopOp::OpenImpl(ExecContext* ctx) 
                        child_->Open(ctx));
   if (ctx->UseBatches() && child->BatchNative()) {
     return {std::make_unique<TopBatchIterator>(std::move(child), limit_,
-                                               ctx->batch_rows)};
+                                               ctx->batch_rows,
+                                               ctx->mem.get())};
   }
   return {std::make_unique<TopIterator>(std::move(child), limit_)};
 }

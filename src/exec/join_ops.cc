@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "exec/spill_util.h"
+#include "storage/spill.h"
 
 namespace htg::exec {
 
@@ -28,6 +30,12 @@ struct RowEq {
     return true;
   }
 };
+
+using BuildMap = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
+
+// Rough accounting overhead per build-table entry (hash node + bucket
+// vector slot) on top of the key's and row's own bytes.
+constexpr size_t kJoinEntryOverheadBytes = 96;
 
 Result<Row> EvalKeys(const std::vector<ExprPtr>& keys, udf::EvalContext* eval,
                      const Row& row) {
@@ -61,17 +69,17 @@ std::string DescribeJoinKeys(const std::vector<ExprPtr>& l,
 
 class HashJoinIterator : public storage::RowIterator {
  public:
-  HashJoinIterator(std::unique_ptr<storage::RowIterator> left,
-                   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>
-                       build,
+  HashJoinIterator(std::unique_ptr<storage::RowIterator> left, BuildMap build,
                    const std::vector<ExprPtr>* left_keys,
-                   udf::EvalContext* eval, bool left_outer, int right_width)
+                   udf::EvalContext* eval, bool left_outer, int right_width,
+                   MemoryCharge charge)
       : left_(std::move(left)),
         build_(std::move(build)),
         left_keys_(left_keys),
         eval_(eval),
         left_outer_(left_outer),
-        right_width_(right_width) {}
+        right_width_(right_width),
+        charge_(std::move(charge)) {}
 
   bool Next(Row* row) override {
     for (;;) {
@@ -111,31 +119,300 @@ class HashJoinIterator : public storage::RowIterator {
 
  private:
   std::unique_ptr<storage::RowIterator> left_;
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build_;
+  BuildMap build_;
   const std::vector<ExprPtr>* left_keys_;
   udf::EvalContext* eval_;
   bool left_outer_;
   int right_width_;
+  MemoryCharge charge_;  // keeps the build table accounted while live
   Row left_row_;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_index_ = 0;
   Status status_;
 };
 
+// One spilled join partition: a build run and a probe run on the same
+// spill file, paired by partition index. `level` is the recursion depth
+// of the pass that will process it.
+struct JoinSpillWork {
+  storage::SpillFile* file;
+  storage::SpillRun build;
+  storage::SpillRun probe;
+  int level;
+};
+
+// Partitioned spill sink for a grace hash join (build rows and probe
+// rows hashed into paired runs, plus an optional run for NULL-keyed
+// probe rows that a left-outer join must still pad and emit).
+class JoinSpill {
+ public:
+  JoinSpill(storage::TableSpace* space, size_t nparts, int level,
+            OperatorStats* stats, bool with_null_run)
+      : space_(space),
+        nparts_(nparts == 0 ? 1 : nparts),
+        level_(level),
+        stats_(stats),
+        with_null_run_(with_null_run) {}
+
+  Status Open() {
+    HTG_ASSIGN_OR_RETURN(file_, storage::SpillFile::Create(space_, "join"));
+    build_writers_.reserve(nparts_);
+    probe_writers_.reserve(nparts_);
+    for (size_t p = 0; p < nparts_; ++p) {
+      build_writers_.push_back(
+          std::make_unique<storage::SpillRunWriter>(file_.get()));
+      probe_writers_.push_back(
+          std::make_unique<storage::SpillRunWriter>(file_.get()));
+    }
+    if (with_null_run_) {
+      null_writer_ = std::make_unique<storage::SpillRunWriter>(file_.get());
+    }
+    return Status::OK();
+  }
+
+  int level() const { return level_; }
+  storage::SpillFile* file() { return file_.get(); }
+  std::unique_ptr<storage::SpillFile> TakeFile() { return std::move(file_); }
+  storage::SpillRun TakeNullRun() { return std::move(null_run_); }
+
+  Status AddBuild(const Row& key, const Row& row) {
+    return build_writers_[SpillRowHash(key, level_) % nparts_]->Add(row);
+  }
+  Status AddProbe(const Row& key, const Row& row) {
+    return probe_writers_[SpillRowHash(key, level_) % nparts_]->Add(row);
+  }
+  Status AddNullProbe(const Row& row) { return null_writer_->Add(row); }
+
+  // Seals all partitions and flushes the file, so injected write faults
+  // surface inside the statement. A partition with no probe rows can
+  // never produce output and is dropped here.
+  Result<std::vector<JoinSpillWork>> Finish() {
+    std::vector<JoinSpillWork> work;
+    for (size_t p = 0; p < nparts_; ++p) {
+      storage::SpillRun build;
+      storage::SpillRun probe;
+      if (build_writers_[p]->rows() > 0) {
+        HTG_ASSIGN_OR_RETURN(build, FinishOne(build_writers_[p].get()));
+      }
+      if (probe_writers_[p]->rows() > 0) {
+        HTG_ASSIGN_OR_RETURN(probe, FinishOne(probe_writers_[p].get()));
+      }
+      if (probe.rows == 0) continue;
+      work.push_back(JoinSpillWork{file_.get(), std::move(build),
+                                   std::move(probe), level_ + 1});
+    }
+    build_writers_.clear();
+    probe_writers_.clear();
+    if (null_writer_ != nullptr && null_writer_->rows() > 0) {
+      HTG_ASSIGN_OR_RETURN(null_run_, FinishOne(null_writer_.get()));
+    }
+    null_writer_.reset();
+    HTG_RETURN_IF_ERROR(file_->Flush());
+    return work;
+  }
+
+ private:
+  Result<storage::SpillRun> FinishOne(storage::SpillRunWriter* writer) {
+    HTG_ASSIGN_OR_RETURN(storage::SpillRun run, writer->Finish());
+    if (stats_ != nullptr) {
+      stats_->spill_runs.fetch_add(1, std::memory_order_relaxed);
+      stats_->spill_bytes.fetch_add(run.bytes, std::memory_order_relaxed);
+    }
+    return run;
+  }
+
+  storage::TableSpace* space_;
+  size_t nparts_;
+  int level_;
+  OperatorStats* stats_;
+  bool with_null_run_;
+  std::unique_ptr<storage::SpillFile> file_;
+  std::vector<std::unique_ptr<storage::SpillRunWriter>> build_writers_;
+  std::vector<std::unique_ptr<storage::SpillRunWriter>> probe_writers_;
+  std::unique_ptr<storage::SpillRunWriter> null_writer_;
+  storage::SpillRun null_run_;
+};
+
+// Streams a spilled (grace) hash join: per partition, the build run is
+// loaded into an in-memory table under the budget charge and the probe
+// run streamed against it; partitions whose build side still exceeds the
+// budget re-partition both runs with a deeper hash salt and re-queue.
+// Output order differs from the in-memory join. Owns every spill file,
+// so the data is deleted with the iterator.
+class GraceHashJoinIterator : public storage::RowIterator {
+ public:
+  GraceHashJoinIterator(std::vector<std::unique_ptr<storage::SpillFile>> files,
+                        std::vector<JoinSpillWork> work,
+                        storage::SpillRun null_run,
+                        const std::vector<ExprPtr>* left_keys,
+                        const std::vector<ExprPtr>* right_keys,
+                        ExecContext* ctx, OperatorStats* stats,
+                        bool left_outer, int right_width, const char* op_name,
+                        MemoryCharge charge)
+      : files_(std::move(files)),
+        worklist_(std::move(work)),
+        left_keys_(left_keys),
+        right_keys_(right_keys),
+        ctx_(ctx),
+        stats_(stats),
+        left_outer_(left_outer),
+        right_width_(right_width),
+        op_name_(op_name),
+        charge_(std::move(charge)) {
+    if (left_outer_ && null_run.rows > 0 && !files_.empty()) {
+      null_reader_ = std::make_unique<storage::SpillRunReader>(
+          files_.front().get(), std::move(null_run));
+    }
+  }
+
+  bool Next(Row* out) override {
+    if (!status_.ok()) return false;
+    for (;;) {
+      if (matches_ != nullptr && match_index_ < matches_->size()) {
+        *out = ConcatRows(probe_row_, (*matches_)[match_index_++]);
+        return true;
+      }
+      matches_ = nullptr;
+      if (probe_ != nullptr) {
+        if (probe_->Next(&probe_row_)) {
+          Result<Row> key = EvalKeys(*left_keys_, &ctx_->eval, probe_row_);
+          if (!key.ok()) {
+            status_ = key.status();
+            return false;
+          }
+          auto it = build_.find(*key);
+          if (it == build_.end()) {
+            if (left_outer_) {
+              *out = ConcatRows(probe_row_, Row(right_width_, Value::Null()));
+              return true;
+            }
+            continue;
+          }
+          matches_ = &it->second;
+          match_index_ = 0;
+          continue;
+        }
+        status_ = probe_->status();
+        if (!status_.ok()) return false;
+        probe_.reset();
+        build_.clear();
+        charge_.ReleaseAll();
+      }
+      if (null_reader_ != nullptr) {
+        if (null_reader_->Next(&probe_row_)) {
+          *out = ConcatRows(probe_row_, Row(right_width_, Value::Null()));
+          return true;
+        }
+        status_ = null_reader_->status();
+        if (!status_.ok()) return false;
+        null_reader_.reset();
+      }
+      if (worklist_.empty()) return false;
+      const Status s = LoadNextPartition();
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+    }
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  Status LoadNextPartition() {
+    JoinSpillWork work = std::move(worklist_.back());
+    worklist_.pop_back();
+    if (work.level > kMaxSpillDepth) return SpillDepthError(op_name_);
+    build_.clear();
+    charge_.ReleaseAll();
+    storage::SpillRunReader build_reader(work.file, std::move(work.build));
+    std::unique_ptr<JoinSpill> sub;
+    Row row;
+    while (build_reader.Next(&row)) {
+      HTG_ASSIGN_OR_RETURN(Row key, EvalKeys(*right_keys_, &ctx_->eval, row));
+      if (sub != nullptr) {
+        HTG_RETURN_IF_ERROR(sub->AddBuild(key, row));
+        continue;
+      }
+      const size_t bytes =
+          ApproxRowBytes(key) + ApproxRowBytes(row) + kJoinEntryOverheadBytes;
+      const Status charged = charge_.Add(bytes);
+      if (charged.ok()) {
+        build_[std::move(key)].push_back(std::move(row));
+        continue;
+      }
+      charge_.Release(bytes);
+      if (!charged.IsResourceExhausted()) return charged;
+      // This partition's build side alone busts the budget: push the
+      // resident table (and everything still unread) one level deeper.
+      sub = std::make_unique<JoinSpill>(ctx_->tablespace,
+                                        ctx_->spill_partitions, work.level,
+                                        stats_, /*with_null_run=*/false);
+      HTG_RETURN_IF_ERROR(sub->Open());
+      for (auto& [bkey, brows] : build_) {
+        for (const Row& brow : brows) {
+          HTG_RETURN_IF_ERROR(sub->AddBuild(bkey, brow));
+        }
+      }
+      build_.clear();
+      charge_.ReleaseAll();
+      HTG_RETURN_IF_ERROR(sub->AddBuild(key, row));
+    }
+    HTG_RETURN_IF_ERROR(build_reader.status());
+    if (sub == nullptr) {
+      if (stats_ != nullptr) RecordPeakMem(stats_, charge_.peak());
+      probe_ = std::make_unique<storage::SpillRunReader>(work.file,
+                                                         std::move(work.probe));
+      return Status::OK();
+    }
+    storage::SpillRunReader probe_reader(work.file, std::move(work.probe));
+    while (probe_reader.Next(&row)) {
+      HTG_ASSIGN_OR_RETURN(Row key, EvalKeys(*left_keys_, &ctx_->eval, row));
+      HTG_RETURN_IF_ERROR(sub->AddProbe(key, row));
+    }
+    HTG_RETURN_IF_ERROR(probe_reader.status());
+    HTG_ASSIGN_OR_RETURN(std::vector<JoinSpillWork> sub_work, sub->Finish());
+    for (JoinSpillWork& w : sub_work) worklist_.push_back(std::move(w));
+    files_.push_back(sub->TakeFile());
+    return Status::OK();
+  }
+
+  // Files outlive the readers below (destruction is reverse order).
+  std::vector<std::unique_ptr<storage::SpillFile>> files_;
+  std::vector<JoinSpillWork> worklist_;
+  const std::vector<ExprPtr>* left_keys_;
+  const std::vector<ExprPtr>* right_keys_;
+  ExecContext* ctx_;
+  OperatorStats* stats_;
+  bool left_outer_;
+  int right_width_;
+  const char* op_name_;
+  MemoryCharge charge_;
+  BuildMap build_;
+  std::unique_ptr<storage::SpillRunReader> probe_;
+  std::unique_ptr<storage::SpillRunReader> null_reader_;
+  Row probe_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_index_ = 0;
+  Status status_;
+};
+
 // Streaming merge join. Both inputs ascend on their keys; buffers the
-// right-side group matching the current key.
+// right-side group matching the current key (charged against the query
+// budget — a pathological key group can be arbitrarily wide).
 class MergeJoinIterator : public storage::RowIterator {
  public:
   MergeJoinIterator(std::unique_ptr<storage::RowIterator> left,
                     std::unique_ptr<storage::RowIterator> right,
                     const std::vector<ExprPtr>* left_keys,
                     const std::vector<ExprPtr>* right_keys,
-                    udf::EvalContext* eval)
+                    udf::EvalContext* eval, MemoryContext* mem)
       : left_(std::move(left)),
         right_(std::move(right)),
         left_keys_(left_keys),
         right_keys_(right_keys),
-        eval_(eval) {}
+        eval_(eval),
+        charge_(mem, "Merge Join") {}
 
   bool Next(Row* row) override {
     if (!status_.ok()) return false;
@@ -195,9 +472,20 @@ class MergeJoinIterator : public storage::RowIterator {
     return true;
   }
 
+  bool BufferRightRow(Row row) {
+    const Status charged = charge_.Add(ApproxRowBytes(row));
+    if (!charged.ok()) {
+      status_ = charged;
+      return false;
+    }
+    right_group_.push_back(std::move(row));
+    return true;
+  }
+
   // Reads the next run of equal-keyed rows from the right input.
   bool LoadNextRightGroup() {
     right_group_.clear();
+    charge_.ReleaseAll();
     if (!pending_valid_) {
       if (!right_->Next(&pending_row_)) {
         status_ = right_->status();
@@ -213,7 +501,7 @@ class MergeJoinIterator : public storage::RowIterator {
       pending_valid_ = true;
     }
     right_group_key_ = pending_key_;
-    right_group_.push_back(std::move(pending_row_));
+    if (!BufferRightRow(std::move(pending_row_))) return false;
     pending_valid_ = false;
     // Pull until the key changes.
     for (;;) {
@@ -227,7 +515,7 @@ class MergeJoinIterator : public storage::RowIterator {
         return false;
       }
       if (CompareKeys(*key, right_group_key_) == 0) {
-        right_group_.push_back(std::move(pending_row_));
+        if (!BufferRightRow(std::move(pending_row_))) return false;
         continue;
       }
       pending_key_ = std::move(*key);
@@ -243,6 +531,7 @@ class MergeJoinIterator : public storage::RowIterator {
   const std::vector<ExprPtr>* left_keys_;
   const std::vector<ExprPtr>* right_keys_;
   udf::EvalContext* eval_;
+  MemoryCharge charge_;
 
   Row left_row_;
   Row left_key_;
@@ -261,11 +550,12 @@ class NestedLoopIterator : public storage::RowIterator {
  public:
   NestedLoopIterator(std::unique_ptr<storage::RowIterator> left,
                      std::vector<Row> right, const Expr* predicate,
-                     udf::EvalContext* eval)
+                     udf::EvalContext* eval, MemoryCharge charge)
       : left_(std::move(left)),
         right_(std::move(right)),
         predicate_(predicate),
-        eval_(eval) {}
+        eval_(eval),
+        charge_(std::move(charge)) {}
 
   bool Next(Row* row) override {
     for (;;) {
@@ -300,6 +590,7 @@ class NestedLoopIterator : public storage::RowIterator {
   std::vector<Row> right_;
   const Expr* predicate_;
   udf::EvalContext* eval_;
+  MemoryCharge charge_;  // keeps the inner table accounted while live
   Row left_row_;
   size_t right_index_ = static_cast<size_t>(-1);
   Status status_;
@@ -335,24 +626,86 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
 
 Result<std::unique_ptr<storage::RowIterator>> HashJoinOp::OpenImpl(
     ExecContext* ctx) {
+  const char* op_name = left_outer_ ? "Hash Match (Left Outer Join)"
+                                    : "Hash Match (Inner Join)";
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> right,
                        right_->Open(ctx));
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> build;
+  OperatorStats* stats = mutable_stats();
+  MemoryCharge charge(ctx->mem.get(), op_name);
+  BuildMap build;
+  std::unique_ptr<JoinSpill> spill;  // engaged when the build overflows
   Row row;
   while (right->Next(&row)) {
     HTG_ASSIGN_OR_RETURN(Row key, EvalKeys(right_keys_, &ctx->eval, row));
+    // NULL build keys never match; drop them here.
     bool has_null = false;
     for (const Value& v : key) has_null = has_null || v.is_null();
     if (has_null) continue;
-    build[std::move(key)].push_back(std::move(row));
+    if (spill != nullptr) {
+      HTG_RETURN_IF_ERROR(spill->AddBuild(key, row));
+      row.clear();
+      continue;
+    }
+    const size_t bytes =
+        ApproxRowBytes(key) + ApproxRowBytes(row) + kJoinEntryOverheadBytes;
+    const Status charged = charge.Add(bytes);
+    if (charged.ok()) {
+      build[std::move(key)].push_back(std::move(row));
+      row.clear();
+      continue;
+    }
+    charge.Release(bytes);
+    if (!charged.IsResourceExhausted()) return charged;
+    if (!ctx->CanSpill()) return SpillUnavailableError(op_name, *ctx->mem);
+    // Degrade to a grace hash join: dump the resident build table into
+    // hash partitions and keep routing the rest of both inputs there.
+    spill = std::make_unique<JoinSpill>(ctx->tablespace, ctx->spill_partitions,
+                                        /*level=*/0, stats,
+                                        /*with_null_run=*/left_outer_);
+    HTG_RETURN_IF_ERROR(spill->Open());
+    for (auto& [bkey, brows] : build) {
+      for (const Row& brow : brows) {
+        HTG_RETURN_IF_ERROR(spill->AddBuild(bkey, brow));
+      }
+    }
+    build.clear();
+    charge.ReleaseAll();
+    HTG_RETURN_IF_ERROR(spill->AddBuild(key, row));
     row.clear();
   }
   HTG_RETURN_IF_ERROR(right->status());
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> left,
                        left_->Open(ctx));
-  return {std::make_unique<HashJoinIterator>(
-      std::move(left), std::move(build), &left_keys_, &ctx->eval, left_outer_,
-      right_->output_schema().num_columns())};
+  if (spill == nullptr) {
+    RecordPeakMem(stats, charge.peak());
+    return {std::make_unique<HashJoinIterator>(
+        std::move(left), std::move(build), &left_keys_, &ctx->eval,
+        left_outer_, right_->output_schema().num_columns(),
+        std::move(charge))};
+  }
+  // Route the probe side into the matching partitions. NULL-keyed probe
+  // rows match nothing: an inner join drops them, a left-outer join
+  // parks them in a dedicated run to pad later.
+  while (left->Next(&row)) {
+    HTG_ASSIGN_OR_RETURN(Row key, EvalKeys(left_keys_, &ctx->eval, row));
+    bool has_null = false;
+    for (const Value& v : key) has_null = has_null || v.is_null();
+    if (has_null) {
+      if (left_outer_) HTG_RETURN_IF_ERROR(spill->AddNullProbe(row));
+      continue;
+    }
+    HTG_RETURN_IF_ERROR(spill->AddProbe(key, row));
+  }
+  HTG_RETURN_IF_ERROR(left->status());
+  HTG_ASSIGN_OR_RETURN(std::vector<JoinSpillWork> work, spill->Finish());
+  storage::SpillRun null_run = spill->TakeNullRun();
+  std::vector<std::unique_ptr<storage::SpillFile>> files;
+  files.push_back(spill->TakeFile());
+  RecordPeakMem(stats, charge.peak());
+  return {std::make_unique<GraceHashJoinIterator>(
+      std::move(files), std::move(work), std::move(null_run), &left_keys_,
+      &right_keys_, ctx, stats, left_outer_,
+      right_->output_schema().num_columns(), op_name, std::move(charge))};
 }
 
 std::string HashJoinOp::Describe() const {
@@ -378,7 +731,7 @@ Result<std::unique_ptr<storage::RowIterator>> MergeJoinOp::OpenImpl(
                        right_->Open(ctx));
   return {std::make_unique<MergeJoinIterator>(std::move(left), std::move(right),
                                               &left_keys_, &right_keys_,
-                                              &ctx->eval)};
+                                              &ctx->eval, ctx->mem.get())};
 }
 
 std::string MergeJoinOp::Describe() const {
@@ -399,10 +752,19 @@ Result<std::unique_ptr<storage::RowIterator>> NestedLoopJoinOp::OpenImpl(
                        right_->Open(ctx));
   std::vector<Row> right_rows;
   HTG_RETURN_IF_ERROR(DrainIterator(right.get(), &right_rows));
+  // The inner table has no out-of-core fallback; over budget is a typed
+  // statement error.
+  MemoryCharge charge(ctx->mem.get(), "Nested Loops (Inner Join)");
+  size_t total = 0;
+  for (const Row& r : right_rows) total += ApproxRowBytes(r);
+  const Status charged = charge.Add(total);
+  if (!charged.ok()) return charged;
+  RecordPeakMem(mutable_stats(), charge.peak());
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> left,
                        left_->Open(ctx));
   return {std::make_unique<NestedLoopIterator>(
-      std::move(left), std::move(right_rows), predicate_.get(), &ctx->eval)};
+      std::move(left), std::move(right_rows), predicate_.get(), &ctx->eval,
+      std::move(charge))};
 }
 
 std::string NestedLoopJoinOp::Describe() const {

@@ -123,6 +123,21 @@ void ExplainAnalyzeRec(const Operator& op, int depth, std::string* out) {
           static_cast<unsigned long long>(batches),
           static_cast<double>(rows) / static_cast<double>(batches)));
     }
+    const uint64_t peak_mem =
+        s.peak_mem_bytes.load(std::memory_order_relaxed);
+    const uint64_t spill_runs = s.spill_runs.load(std::memory_order_relaxed);
+    if (peak_mem > 0 || spill_runs > 0) {
+      out->append(StringPrintf(" (peak-mem=%.1f KiB",
+                               static_cast<double>(peak_mem) / 1024.0));
+      if (spill_runs > 0) {
+        out->append(StringPrintf(
+            ", spill runs=%llu, spill bytes=%llu",
+            static_cast<unsigned long long>(spill_runs),
+            static_cast<unsigned long long>(
+                s.spill_bytes.load(std::memory_order_relaxed))));
+      }
+      out->push_back(')');
+    }
   }
   out->push_back('\n');
   for (size_t w = 0; w < s.worker_rows.size(); ++w) {

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/memory.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "exec/expression.h"
 #include "storage/table.h"
+#include "storage/tablespace.h"
 #include "types/schema.h"
 
 namespace htg::exec {
@@ -26,9 +28,23 @@ struct ExecContext {
   // Rows per RowBatch on the vectorized pull path; 1 forces the legacy
   // row-at-a-time iterators (parity testing, bisecting regressions).
   size_t batch_rows = RowBatch::kDefaultRows;
+  // Query-scoped memory budget shared by every operator (and every
+  // morsel-worker copy of this context). Default: unlimited.
+  std::shared_ptr<MemoryContext> mem = std::make_shared<MemoryContext>();
+  // Where over-budget operators write spill runs; null disables spilling
+  // (over-budget statements fail with kResourceExhausted instead).
+  storage::TableSpace* tablespace = nullptr;
+  // Fan-out of one partition-spill pass (hash aggregate / hash join).
+  size_t spill_partitions = 16;
   udf::EvalContext eval;
 
   bool UseBatches() const { return batch_rows > 1; }
+
+  // True when an over-budget operator may degrade to disk instead of
+  // failing the statement.
+  bool CanSpill() const {
+    return mem->spill_enabled() && tablespace != nullptr;
+  }
 
   static ExecContext For(Database* db) {
     ExecContext ctx;
@@ -37,6 +53,11 @@ struct ExecContext {
     ctx.dop = db != nullptr ? db->options().max_dop : 1;
     if (db != nullptr) {
       ctx.batch_rows = db->options().ResolvedBatchRows();
+      ctx.mem = std::make_shared<MemoryContext>(
+          db->options().ResolvedQueryMemBytes(),
+          db->options().ResolvedSpillEnabled());
+      ctx.tablespace = db->tablespace();
+      ctx.spill_partitions = db->options().spill_partitions;
       ctx.eval = db->MakeEvalContext();
     }
     return ctx;
@@ -54,12 +75,28 @@ struct OperatorStats {
   std::atomic<uint64_t> open_ns{0};
   std::atomic<uint64_t> next_ns{0};   // cumulative time inside Next
   std::atomic<uint64_t> close_ns{0};  // iterator teardown
+  // Memory governance: high-water of bytes this operator had charged
+  // against the query's MemoryContext, and its spill activity. Written
+  // unconditionally (rare events, atomics) so EXPLAIN ANALYZE is honest
+  // even when only some stats collection ran.
+  std::atomic<uint64_t> peak_mem_bytes{0};
+  std::atomic<uint64_t> spill_runs{0};
+  std::atomic<uint64_t> spill_bytes{0};
   // Indexed by dense worker id; sized by the exchange operator at Open.
   // Each slot is written by exactly one worker thread.
   std::vector<uint64_t> worker_rows;
   std::vector<uint64_t> worker_morsels;
   std::vector<uint64_t> worker_batches;
 };
+
+// Fetch-max into an operator's peak-mem counter (several charges per
+// operator, possibly from concurrent workers).
+inline void RecordPeakMem(OperatorStats* stats, uint64_t bytes) {
+  uint64_t prev = stats->peak_mem_bytes.load(std::memory_order_relaxed);
+  while (bytes > prev && !stats->peak_mem_bytes.compare_exchange_weak(
+                             prev, bytes, std::memory_order_relaxed)) {
+  }
+}
 
 // A physical plan node. Open() builds the pull-based row stream; the tree
 // structure is also what EXPLAIN prints.

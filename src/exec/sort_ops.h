@@ -55,10 +55,14 @@ class RowNumberOp : public Operator {
   Schema schema_;
 };
 
-// Shared helper: drains `child`, sorts rows by `keys`.
-Result<std::vector<Row>> DrainAndSort(Operator* child,
-                                      const std::vector<SortKey>& keys,
-                                      ExecContext* ctx);
+// Shared helper: drains `child` and returns its rows sorted by `keys`.
+// Charges the buffered working set against ctx->mem and degrades to an
+// external merge sort (runs through the tablespace) when the budget is
+// exceeded; with spilling unavailable it fails with kResourceExhausted.
+// Peak memory and spill activity are recorded into `stats`.
+Result<std::unique_ptr<storage::RowIterator>> OpenSorted(
+    Operator* child, const std::vector<SortKey>& keys, ExecContext* ctx,
+    OperatorStats* stats);
 
 }  // namespace htg::exec
 

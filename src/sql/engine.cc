@@ -147,6 +147,22 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
             static_cast<unsigned long long>(counter("bufferpool.evict")),
             static_cast<unsigned long long>(counter("bufferpool.writeback")));
       }
+      // Per-statement memory governance summary: the query context's peak
+      // charge, its budget, and any graceful-degradation spilling.
+      const size_t peak = ctx.mem->peak();
+      HTG_METRIC_GAUGE("mem.query.peak")->Set(static_cast<int64_t>(peak));
+      std::string budget_text =
+          ctx.mem->unlimited()
+              ? std::string("unlimited")
+              : StringPrintf("%.1f MiB",
+                             static_cast<double>(ctx.mem->budget()) /
+                                 (1024.0 * 1024.0));
+      result.message += StringPrintf(
+          "memory: peak=%.1f KiB (budget %s), spill runs=%llu, "
+          "spill bytes=%llu\n",
+          static_cast<double>(peak) / 1024.0, budget_text.c_str(),
+          static_cast<unsigned long long>(counter("exec.spill.runs")),
+          static_cast<unsigned long long>(counter("exec.spill.bytes")));
       return result;
     }
     case Statement::Kind::kCreateTable:
@@ -180,6 +196,9 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt) {
   QueryResult result;
   result.schema = plan->output_schema();
   HTG_RETURN_IF_ERROR(exec::DrainIterator(iter.get(), &result.rows));
+  iter.reset();  // operators release their charges before we read the peak
+  HTG_METRIC_GAUGE("mem.query.peak")
+      ->Set(static_cast<int64_t>(ctx.mem->peak()));
   result.rows_affected = result.rows.size();
   return result;
 }

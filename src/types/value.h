@@ -65,6 +65,16 @@ class Value {
   // Stable hash for hash-based operators (FNV over kind + bytes).
   size_t Hash() const;
 
+  // Approximate resident bytes of this value, used by the executor's
+  // memory accounting (MemoryContext charges). Counts the inline Value
+  // footprint plus heap capacity of string payloads; deliberately cheap
+  // rather than exact.
+  size_t ApproxBytes() const {
+    size_t bytes = sizeof(Value);
+    if (IsStringKind()) bytes += std::get<std::string>(data_).capacity();
+    return bytes;
+  }
+
   // Display form (used by result printing and CSV export).
   std::string ToString() const;
 
@@ -85,6 +95,14 @@ using Row = std::vector<Value>;
 
 // Lexicographic comparison of two rows on the given column indexes.
 int CompareRowsOn(const Row& a, const Row& b, const std::vector<int>& cols);
+
+// Approximate resident bytes of a row (vector overhead + per-value
+// footprint); the unit the executor charges against query budgets.
+inline size_t ApproxRowBytes(const Row& row) {
+  size_t bytes = sizeof(Row) + (row.capacity() - row.size()) * sizeof(Value);
+  for (const Value& v : row) bytes += v.ApproxBytes();
+  return bytes;
+}
 
 }  // namespace htg
 

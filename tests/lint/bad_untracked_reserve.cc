@@ -1,0 +1,31 @@
+// Lint fixture: a materializing exec operator reserving a row buffer of
+// data-proportional size with no memory charge in scope — the buffer is
+// invisible to the query budget and can neither fail typed nor spill.
+// expect-lint: exec-untracked-reserve
+
+#include <utility>
+#include <vector>
+
+namespace htg::exec {
+
+using Value = int;
+using Row = std::vector<Value>;
+
+// Buffers its whole input without ever touching a MemoryCharge: the
+// reserve below must trip the rule.
+void BufferEverything(const std::vector<Row>& input, std::vector<Row>* out) {
+  out->reserve(input.size());
+  for (const Row& r : input) out->push_back(r);
+}
+
+// A fixed-size literal reservation is bounded scratch and stays clean.
+void BoundedScratch(std::vector<Row>* out) { out->reserve(64); }
+
+// Arity-sized scratch on a non-row-buffer container stays clean too.
+void KeyScratch(const std::vector<int>& exprs) {
+  std::vector<int> key;
+  key.reserve(exprs.size());
+  for (int e : exprs) key.push_back(e);
+}
+
+}  // namespace htg::exec

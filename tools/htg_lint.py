@@ -43,6 +43,16 @@ Rules (ids usable in NOLINT suppressions):
                     batches with NextBatch(). Row-at-a-time iteration is
                     sanctioned only at the UDF/TVF apply seam
                     (src/exec/apply_ops.cc is exempt wholesale).
+  exec-untracked-reserve
+                    In the materializing operator files (sort_ops,
+                    aggregate_ops, join_ops, basic_ops under src/exec), a
+                    row buffer (`std::vector<Row>`) reserved or resized
+                    to a non-literal size must be in scope of the
+                    memory-governance plumbing: the enclosing function or
+                    class has to hold a charge (MemoryCharge /
+                    MemoryContext) so the bytes count against the query
+                    budget and can trigger spilling. Fixed-size literal
+                    reservations and arity-sized scratch are exempt.
 
 Suppression: append `// NOLINT(htg-<rule>)` to the offending line (or a
 bare NOLINT comment, honoured for compatibility with clang-tidy). Lint
@@ -439,6 +449,83 @@ def check_exec_batch_rowloop(path, text, rel):
     return findings
 
 
+RESERVE_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(reserve|resize)\s*\(")
+# The operators that materialize data-proportional state; scan/filter/
+# project files hold per-batch scratch only.
+EXEC_RESERVE_FILES = {
+    "src/exec/sort_ops.cc",
+    "src/exec/aggregate_ops.cc",
+    "src/exec/join_ops.cc",
+    "src/exec/basic_ops.cc",
+}
+CHARGE_RE = re.compile(r"\b(charge_?|Charge|MemoryCharge|MemoryContext)\b")
+ROW_VECTOR_DECL_RE = re.compile(
+    r"\bstd::vector<\s*Row\s*>\s*[*&]?\s*(\w+)")
+
+
+def _charge_scopes(text):
+    """(start, end) offset ranges that put a reserve under memory
+    governance when they mention a charge: `) ... {` bodies (functions and
+    the control-flow blocks inside them) plus class/struct bodies (a
+    MemoryCharge member governs every method)."""
+    bodies = []
+    for m in re.finditer(
+            r"\)\s*(?:const\s*|override\s*|final\s*|noexcept\s*)*\{", text):
+        open_idx = text.index("{", m.start())
+        bodies.append((open_idx, matching_brace(text, open_idx)))
+    for m in re.finditer(r"\b(?:class|struct)\s+\w+[^;{]*\{", text):
+        open_idx = text.index("{", m.end() - 1)
+        bodies.append((open_idx, matching_brace(text, open_idx)))
+    return bodies
+
+
+def check_exec_untracked_reserve(path, text, rel):
+    """A row buffer (`std::vector<Row>`) reserved/resized to a non-literal
+    size in a materializing operator file, with no memory charge in any
+    enclosing function or class, grows with the data but is invisible to
+    the query budget — it can neither trip the typed kResourceExhausted
+    error nor trigger spilling. Arity-sized scratch (keys, argument
+    vectors, partition writer arrays) is out of scope by construction.
+    Selftest fixtures arrive with a bare filename, which must still trip
+    the rule."""
+    norm = rel.replace(os.sep, "/")
+    if "/" in norm and norm not in EXEC_RESERVE_FILES:
+        return []
+    row_vectors = set(ROW_VECTOR_DECL_RE.findall(text))
+    if not row_vectors:
+        return []
+    scopes = _charge_scopes(text)
+    findings = []
+    for m in RESERVE_RE.finditer(text):
+        if m.group(1) not in row_vectors:
+            continue
+        # Extract the argument list; a pure integer literal is bounded
+        # scratch, not data-proportional growth.
+        depth, i = 0, text.index("(", m.end() - 1)
+        start_arg = i + 1
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        arg = text[start_arg:i]
+        if re.fullmatch(r"\s*\d+\s*", arg):
+            continue
+        enclosing = [b for b in scopes if b[0] <= m.start() < b[1]]
+        if any(CHARGE_RE.search(text[lo:hi]) for lo, hi in enclosing):
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "exec-untracked-reserve",
+            f"row buffer `{m.group(1)}.{m.group(2)}({arg.strip()})` with "
+            "no memory charge in the enclosing function or class; account "
+            "the bytes through MemoryCharge so the query budget (and "
+            "spilling) sees them"))
+    return findings
+
+
 OPERATIONS_DOC = os.path.join("docs", "OPERATIONS.md")
 # String literals naming an environment knob ("HTG_SCALE" etc). Project
 # macros (HTG_RETURN_IF_ERROR, HTG_METRIC_*) are identifiers, not quoted,
@@ -491,6 +578,8 @@ RULES = {
         (check_status_ok_drop, ("src", "bench", "tests"), False),
     "exec-raw-timing": (check_exec_raw_timing, ("src",), False),
     "exec-batch-rowloop": (check_exec_batch_rowloop, ("src",), False),
+    "exec-untracked-reserve":
+        (check_exec_untracked_reserve, ("src",), False),
     # env-doc matches quoted knob names, so it needs unstripped text.
     "env-doc": (check_env_doc, ("src", "bench"), True),
 }
