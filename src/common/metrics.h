@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace htg::obs {
 
@@ -149,10 +150,13 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_{"MetricsRegistry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HTG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HTG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HTG_GUARDED_BY(mu_);
 };
 
 // Escapes a string for embedding in a JSON string literal (no quotes).

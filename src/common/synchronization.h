@@ -1,0 +1,210 @@
+#pragma once
+
+// Annotated synchronization primitives: the only sanctioned mutex types
+// in htgdb (the sync-raw-mutex lint rule bans raw std::mutex et al.
+// everywhere else). The wrappers carry Clang thread-safety capability
+// attributes, so a Clang build with -Wthread-safety (on by default via
+// HTG_THREAD_SAFETY) statically checks that every HTG_GUARDED_BY field
+// is touched only with its mutex held and every HTG_REQUIRES method is
+// called only under the right lock. On GCC the attributes compile away
+// to nothing and the wrappers are zero-cost shims over <mutex>.
+//
+// On top of the same seam sits a runtime lock-order detector (see
+// synchronization.cc): when HTG_DEADLOCK_DETECT=1, every blocking
+// acquisition feeds a per-thread held-lock stack into a global
+// acquisition-order graph, and a would-be cycle (an A->B acquisition
+// after a B->A one was recorded) aborts with both stacks printed —
+// catching potential deadlocks on paths where no thread ever actually
+// blocks. When the variable is unset the per-acquire cost is one
+// relaxed atomic load.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------
+// Thread-safety annotation macros. Clang implements these as the
+// capability attributes behind -Wthread-safety; GCC accepts the code
+// with the macros expanding to nothing.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HTG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HTG_THREAD_ANNOTATION
+#define HTG_THREAD_ANNOTATION(x)
+#endif
+
+// On a type: instances are lockable capabilities.
+#define HTG_CAPABILITY(x) HTG_THREAD_ANNOTATION(capability(x))
+// On a type: RAII object that holds a capability for its lifetime.
+#define HTG_SCOPED_CAPABILITY HTG_THREAD_ANNOTATION(scoped_lockable)
+// On a data member: may only be read/written with the mutex held.
+#define HTG_GUARDED_BY(x) HTG_THREAD_ANNOTATION(guarded_by(x))
+// On a pointer member: the pointee (not the pointer) is guarded.
+#define HTG_PT_GUARDED_BY(x) HTG_THREAD_ANNOTATION(pt_guarded_by(x))
+// On a function: caller must hold the capability (exclusive / shared).
+#define HTG_REQUIRES(...) \
+  HTG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HTG_REQUIRES_SHARED(...) \
+  HTG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+// On a function: acquires / releases the capability.
+#define HTG_ACQUIRE(...) \
+  HTG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HTG_ACQUIRE_SHARED(...) \
+  HTG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define HTG_RELEASE(...) \
+  HTG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HTG_RELEASE_SHARED(...) \
+  HTG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+// Releases however the capability was acquired (shared or exclusive);
+// the right spelling for scoped-guard destructors over shared locks.
+#define HTG_RELEASE_GENERIC(...) \
+  HTG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+// On a bool-returning function: acquires the capability iff it returns
+// the given value.
+#define HTG_TRY_ACQUIRE(...) \
+  HTG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HTG_TRY_ACQUIRE_SHARED(...) \
+  HTG_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+// On a function: caller must NOT hold the capability (deadlock guard).
+#define HTG_EXCLUDES(...) HTG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On a function: asserts the capability is held without acquiring it.
+#define HTG_ASSERT_CAPABILITY(x) \
+  HTG_THREAD_ANNOTATION(assert_capability(x))
+// On a function returning a mutex reference.
+#define HTG_RETURN_CAPABILITY(x) HTG_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch. Only for documented analysis blind spots (cond-var
+// adopt/release plumbing, locals shared across worker lambdas); every
+// use must carry a comment saying why the code is actually safe.
+#define HTG_NO_THREAD_SAFETY_ANALYSIS \
+  HTG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace htg {
+
+// ---------------------------------------------------------------------
+// Mutex: exclusive lock. Prefer the MutexLock RAII guard over manual
+// Lock()/Unlock() pairs. The optional name is used by the lock-order
+// detector's diagnostics; name mutexes that outlive a function scope.
+class HTG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HTG_ACQUIRE();
+  void Unlock() HTG_RELEASE();
+  bool TryLock() HTG_TRY_ACQUIRE(true);
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_ = "Mutex";
+};
+
+// ---------------------------------------------------------------------
+// SharedMutex: writer-exclusive / reader-shared lock. Writers use
+// Lock()/MutexLock, readers ReaderLock()/ReaderMutexLock.
+class HTG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  ~SharedMutex();
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HTG_ACQUIRE();
+  void Unlock() HTG_RELEASE();
+  bool TryLock() HTG_TRY_ACQUIRE(true);
+
+  void ReaderLock() HTG_ACQUIRE_SHARED();
+  void ReaderUnlock() HTG_RELEASE_SHARED();
+  bool ReaderTryLock() HTG_TRY_ACQUIRE_SHARED(true);
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_ = "SharedMutex";
+};
+
+// ---------------------------------------------------------------------
+// MutexLock: RAII exclusive guard over either mutex type.
+class HTG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HTG_ACQUIRE(mu) : mu_(mu) { mu->Lock(); }
+  explicit MutexLock(SharedMutex* mu) HTG_ACQUIRE(mu) : smu_(mu) {
+    mu->Lock();
+  }
+  ~MutexLock() HTG_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+    if (smu_ != nullptr) smu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_ = nullptr;
+  SharedMutex* smu_ = nullptr;
+};
+
+// ReaderMutexLock: RAII shared guard.
+class HTG_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) HTG_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu->ReaderLock();
+  }
+  ~ReaderMutexLock() HTG_RELEASE_GENERIC() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// ---------------------------------------------------------------------
+// CondVar: condition variable bound to Mutex. Wait() atomically
+// releases the mutex, blocks, and reacquires before returning; callers
+// therefore keep the capability across the call, and the analysis sees
+// the lock as continuously held (which is the invariant that matters
+// for guarded data: it is never touched while unlocked). Always wait
+// in a loop re-checking the predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) HTG_REQUIRES(mu);
+  // Returns false on timeout, true if notified (predicate may still be
+  // false either way; re-check in a loop).
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) HTG_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// ---------------------------------------------------------------------
+// Lock-order detector controls. Detection defaults to the value of the
+// HTG_DEADLOCK_DETECT env var (read once, lazily); tests flip it
+// explicitly so death tests are deterministic regardless of the
+// environment the runner inherited.
+void SetDeadlockDetectionEnabled(bool enabled);
+bool DeadlockDetectionEnabled();
+
+}  // namespace htg

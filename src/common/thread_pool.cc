@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -28,18 +28,18 @@ void ThreadPool::Submit(std::function<void()> task) {
   HTG_METRIC_COUNTER("threadpool.tasks.submitted")->Add(1);
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
   HTG_METRIC_GAUGE("threadpool.queue.depth")
       ->Set(static_cast<int64_t>(depth));
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && active_ == 0)) idle_cv_.Wait(&mu_);
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
@@ -59,9 +59,9 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     std::atomic<int> next{0};
     int n = 0;
     std::function<void(int)> fn;
-    std::mutex mu;
-    std::condition_variable cv;
-    int completed = 0;
+    Mutex mu{"ThreadPool::ParallelFor::mu"};
+    CondVar cv;
+    int completed HTG_GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<State>();
   state->n = n;
@@ -71,10 +71,10 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
       s->fn(i);
       bool all_done = false;
       {
-        std::lock_guard<std::mutex> lock(s->mu);
+        MutexLock lock(&s->mu);
         all_done = ++s->completed == s->n;
       }
-      if (all_done) s->cv.notify_all();
+      if (all_done) s->cv.NotifyAll();
     }
   };
   const int helpers = std::min<int>(n, num_threads() + 1) - 1;
@@ -82,16 +82,16 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     Submit([state, drain] { drain(state); });
   }
   drain(state);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->completed == state->n; });
+  MutexLock lock(&state->mu);
+  while (state->completed != state->n) state->cv.Wait(&state->mu);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -100,9 +100,9 @@ void ThreadPool::WorkerLoop() {
     HTG_METRIC_COUNTER("threadpool.tasks.executed")->Add(1);
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -1,11 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace htg {
 
@@ -42,14 +42,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ HTG_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ HTG_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HTG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace htg
-

@@ -1,11 +1,11 @@
 #include "exec/aggregate_ops.h"
 
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/synchronization.h"
 #include "exec/batch.h"
 #include "exec/spill_util.h"
 #include "storage/heap_table.h"
@@ -65,7 +65,7 @@ class AggSpill {
   storage::SpillFile* file() { return file_.get(); }
 
   Status Add(const Row& key, const Row& input) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (file_ == nullptr) {
       HTG_ASSIGN_OR_RETURN(file_, storage::SpillFile::Create(space_, "agg"));
       writers_.reserve(nparts_);
@@ -81,7 +81,7 @@ class AggSpill {
   // Seals every nonempty partition and flushes the file, so injected
   // write faults surface inside the statement. Returns the runs.
   Result<std::vector<storage::SpillRun>> Finish() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<storage::SpillRun> runs;
     for (auto& writer : writers_) {
       if (writer->rows() == 0) continue;
@@ -102,10 +102,15 @@ class AggSpill {
   size_t nparts_;
   int level_;
   OperatorStats* stats_;
-  std::mutex mu_;
+  Mutex mu_{"AggSpill::mu_"};
   std::atomic<bool> engaged_{false};
+  // file_ is written once under mu_ and published by the engaged_
+  // release store; the unlocked file() accessor is only used after an
+  // acquire load observes engaged() == true (or after Finish), so it
+  // stays unannotated by design.
   std::unique_ptr<storage::SpillFile> file_;
-  std::vector<std::unique_ptr<storage::SpillRunWriter>> writers_;
+  std::vector<std::unique_ptr<storage::SpillRunWriter>> writers_
+      HTG_GUARDED_BY(mu_);
 };
 
 // Memory governance handles threaded into the group-build loops. All

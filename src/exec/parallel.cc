@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/synchronization.h"
 #include "exec/apply_ops.h"
 #include "exec/basic_ops.h"
 #include "exec/batch.h"
@@ -60,10 +59,13 @@ Status ParallelDrainMorsels(ThreadPool* pool, int dop, size_t num_morsels,
     size_t n = 0;
     int dop = 0;
     std::function<Status(int, size_t)> fn;
+    // Per-worker slots: worker w writes statuses[w] only; the caller
+    // reads them after the completion barrier below (the cv handshake
+    // publishes the writes).
     std::vector<Status> statuses;
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t completed = 0;
+    Mutex mu{"ParallelDrainMorsels::mu"};
+    CondVar cv;
+    size_t completed HTG_GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<State>();
   state->n = num_morsels;
@@ -85,10 +87,10 @@ Status ParallelDrainMorsels(ThreadPool* pool, int dop, size_t num_morsels,
       }
       bool all_done = false;
       {
-        std::lock_guard<std::mutex> lock(s->mu);
+        MutexLock lock(&s->mu);
         all_done = ++s->completed == s->n;
       }
-      if (all_done) s->cv.notify_all();
+      if (all_done) s->cv.NotifyAll();
     }
   };
   for (int w = 1; w < dop; ++w) {
@@ -99,8 +101,8 @@ Status ParallelDrainMorsels(ThreadPool* pool, int dop, size_t num_morsels,
   }
   drain(state, 0);
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->completed == state->n; });
+    MutexLock lock(&state->mu);
+    while (state->completed != state->n) state->cv.Wait(&state->mu);
   }
   for (Status& s : state->statuses) {
     HTG_RETURN_IF_ERROR(std::move(s));
@@ -329,7 +331,8 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
   std::vector<std::vector<Row>> row_buffers(morsels.size());
   std::atomic<bool> batch_exchange{false};
   std::vector<size_t> done_order;  // completion order of morsel indexes
-  std::mutex done_mu;
+  Mutex done_mu;  // guards done_order until the drain barrier; the
+                  // gather loops below read it quiescently afterwards
   done_order.reserve(morsels.size());
   HTG_RETURN_IF_ERROR(ParallelDrainMorsels(
       ctx->pool, dop, morsels.size(), [&](int worker, size_t m) -> Status {
@@ -356,7 +359,7 @@ Result<std::unique_ptr<storage::RowIterator>> ParallelMapOp::OpenImpl(
           ++stats->worker_morsels[worker];
         }
         if (!preserve_order_) {
-          std::lock_guard<std::mutex> lock(done_mu);
+          MutexLock lock(&done_mu);
           done_order.push_back(m);
         }
         return Status::OK();

@@ -1,9 +1,9 @@
 #include "genomics/align_tvf.h"
 
 #include <map>
-#include <mutex>
 
 #include "catalog/database.h"
+#include "common/synchronization.h"
 #include "genomics/aligner.h"
 #include "genomics/file_wrapper.h"
 
@@ -27,20 +27,21 @@ struct CachedReference {
 // immutable after GetOrBuild returns. Concurrent iterators then share one
 // Aligner through that pointer, which is safe because AlignRead() is
 // const over an index built once in the constructor.
-std::map<std::pair<std::string, int>, CachedReference>& Cache() {
+Mutex& CacheMutex() {
+  static Mutex& mu = *new Mutex("align_tvf::CacheMutex");
+  return mu;
+}
+
+std::map<std::pair<std::string, int>, CachedReference>& Cache()
+    HTG_REQUIRES(CacheMutex()) {
   static std::map<std::pair<std::string, int>, CachedReference>& cache =
       *new std::map<std::pair<std::string, int>, CachedReference>();
   return cache;
 }
 
-std::mutex& CacheMutex() {
-  static std::mutex& mu = *new std::mutex();
-  return mu;
-}
-
 Result<const CachedReference*> GetOrBuild(const std::string& path,
                                           int max_mismatches) {
-  std::lock_guard<std::mutex> lock(CacheMutex());
+  MutexLock lock(&CacheMutex());
   auto key = std::make_pair(path, max_mismatches);
   auto it = Cache().find(key);
   if (it != Cache().end()) return &it->second;

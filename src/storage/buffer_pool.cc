@@ -5,7 +5,6 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "common/crc32c.h"
 #include "common/metrics.h"
@@ -115,6 +114,8 @@ BufferPool::BufferPool(BufferPoolOptions options) : options_(options) {
 BufferPool::~BufferPool() {
   // Frames die with the pool; anything dirty belongs to tables that are
   // themselves being destroyed, so there is nothing left to write back.
+  // The lock is uncontended here but keeps the guarded reads honest.
+  MutexLock lock(&mu_);
   HTG_METRIC_GAUGE("bufferpool.bytes")->Add(-static_cast<int64_t>(bytes_cached_));
   HTG_METRIC_GAUGE("bufferpool.frames")
       ->Add(-static_cast<int64_t>(frames_.size()));
@@ -127,7 +128,7 @@ uint64_t BufferPool::Key(uint32_t file_id, uint64_t page_no) {
 
 uint32_t BufferPool::RegisterFile(std::unique_ptr<RandomAccessFile> file,
                                   PagedFileOptions options) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   const uint32_t id = next_file_id_++;
   auto info = std::make_unique<FileInfo>();
   info->file = std::move(file);
@@ -137,7 +138,7 @@ uint32_t BufferPool::RegisterFile(std::unique_ptr<RandomAccessFile> file,
 }
 
 void BufferPool::UnregisterFile(uint32_t file_id) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return;
   // Collect first: RemoveFrameLocked mutates clock_.
@@ -155,7 +156,7 @@ void BufferPool::UnregisterFile(uint32_t file_id) {
 
 void BufferPool::AddPageExtent(uint32_t file_id, uint64_t page_no,
                                uint64_t offset, uint32_t length) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(file_id);
   assert(it != files_.end());
   FileInfo& info = *it->second;
@@ -167,7 +168,7 @@ void BufferPool::AddPageExtent(uint32_t file_id, uint64_t page_no,
 Result<PageGuard> BufferPool::Fetch(uint32_t file_id, uint64_t page_no) {
   const uint64_t key = Key(file_id, page_no);
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = frames_.find(key);
     if (it != frames_.end()) {
       Frame* frame = it->second.get();
@@ -185,7 +186,7 @@ Result<PageGuard> BufferPool::Fetch(uint32_t file_id, uint64_t page_no) {
   // the insert race below adopts the winner's frame.
   ReadSpec spec;
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto fit = files_.find(file_id);
     if (fit == files_.end()) {
       return Status::InvalidArgument("buffer pool: unknown file id");
@@ -221,7 +222,7 @@ Result<PageGuard> BufferPool::Fetch(uint32_t file_id, uint64_t page_no) {
   std::string bytes;
   HTG_ASSIGN_OR_RETURN(bytes, LoadPage(spec, file_id, page_no));
 
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = frames_.find(key);
   if (it != frames_.end()) {
     // Lost the fill race; use the resident frame.
@@ -265,7 +266,7 @@ Result<std::string> BufferPool::LoadPage(const ReadSpec& spec,
 
 Status BufferPool::PutPage(uint32_t file_id, uint64_t page_no,
                            std::string bytes, bool dirty) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto fit = files_.find(file_id);
   if (fit == files_.end()) {
     return Status::InvalidArgument("buffer pool: unknown file id");
@@ -386,7 +387,7 @@ void BufferPool::RemoveFrameLocked(Frame* frame) {
 }
 
 void BufferPool::DropPage(uint32_t file_id, uint64_t page_no) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = frames_.find(Key(file_id, page_no));
   auto fit = files_.find(file_id);
   if (fit != files_.end()) {
@@ -412,7 +413,7 @@ void BufferPool::DropPage(uint32_t file_id, uint64_t page_no) {
 }
 
 Status BufferPool::FlushFile(uint32_t file_id) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto fit = files_.find(file_id);
   if (fit == files_.end()) {
     return Status::InvalidArgument("buffer pool: unknown file id");
@@ -422,7 +423,7 @@ Status BufferPool::FlushFile(uint32_t file_id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [file_id, info] : files_) {
     if (!info->has_dirty) continue;
     HTG_RETURN_IF_ERROR(WriteBackLocked(file_id, info->max_dirty_page));
@@ -431,7 +432,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [file_id, info] : files_) {
     if (!info->has_dirty) continue;
     HTG_RETURN_IF_ERROR(WriteBackLocked(file_id, info->max_dirty_page));
@@ -452,12 +453,12 @@ Status BufferPool::EvictAll() {
 }
 
 size_t BufferPool::bytes_cached() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return bytes_cached_;
 }
 
 size_t BufferPool::frames_cached() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return frames_.size();
 }
 

@@ -3,13 +3,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/slice.h"
+#include "common/synchronization.h"
 #include "storage/vfs.h"
 
 namespace htg::storage {
@@ -180,21 +180,25 @@ class BufferPool {
 
   // The following run under an exclusive lock on mu_.
   Status InsertFrameLocked(uint32_t file_id, uint64_t page_no,
-                           std::string bytes, bool dirty, Frame** out);
-  Status EvictForLocked(size_t incoming_bytes);
-  Status WriteBackLocked(uint32_t file_id, uint64_t up_to_page);
-  void RemoveFrameLocked(Frame* frame);
+                           std::string bytes, bool dirty, Frame** out)
+      HTG_REQUIRES(mu_);
+  Status EvictForLocked(size_t incoming_bytes) HTG_REQUIRES(mu_);
+  Status WriteBackLocked(uint32_t file_id, uint64_t up_to_page)
+      HTG_REQUIRES(mu_);
+  void RemoveFrameLocked(Frame* frame) HTG_REQUIRES(mu_);
 
   BufferPoolOptions options_;
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
-  std::unordered_map<uint32_t, std::unique_ptr<FileInfo>> files_;
+  mutable SharedMutex mu_{"BufferPool::mu_"};
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_
+      HTG_GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, std::unique_ptr<FileInfo>> files_
+      HTG_GUARDED_BY(mu_);
   // CLOCK order: frames in insertion order with a sweeping hand.
-  std::vector<Frame*> clock_;
-  size_t hand_ = 0;
-  size_t bytes_cached_ = 0;
-  uint32_t next_file_id_ = 1;
+  std::vector<Frame*> clock_ HTG_GUARDED_BY(mu_);
+  size_t hand_ HTG_GUARDED_BY(mu_) = 0;
+  size_t bytes_cached_ HTG_GUARDED_BY(mu_) = 0;
+  uint32_t next_file_id_ HTG_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace htg::storage

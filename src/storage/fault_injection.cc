@@ -14,17 +14,17 @@ uint64_t FaultPlan::SeedFromEnv() {
 }
 
 int64_t FaultInjectingVfs::ops_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ops_;
 }
 
 bool FaultInjectingVfs::fault_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fired_;
 }
 
 void FaultInjectingVfs::Reset(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   plan_ = plan;
   read_plan_ = ReadFaultPlan{};
   ops_ = 0;
@@ -35,12 +35,12 @@ void FaultInjectingVfs::Reset(FaultPlan plan) {
 }
 
 int64_t FaultInjectingVfs::reads_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return reads_;
 }
 
 void FaultInjectingVfs::SetReadFaults(ReadFaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   read_plan_ = plan;
   reads_ = 0;
 }
@@ -48,7 +48,7 @@ void FaultInjectingVfs::SetReadFaults(ReadFaultPlan plan) {
 Status FaultInjectingVfs::NextRead(const std::string& what,
                                    uint64_t* corrupt_seed) {
   *corrupt_seed = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int64_t index = reads_++;
   if (read_plan_.kind == ReadFaultPlan::Kind::kNone ||
       index != read_plan_.fail_read_at) {
@@ -66,7 +66,7 @@ Status FaultInjectingVfs::NextRead(const std::string& what,
 Status FaultInjectingVfs::NextOp(const std::string& what,
                                  int64_t* torn_prefix) {
   if (torn_prefix != nullptr) *torn_prefix = -1;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) {
     return Status::IOError("simulated crash: I/O after fault point (" + what +
                            ")");

@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/synchronization.h"
 #include "storage/vfs.h"
 
 namespace htg::storage {
@@ -128,14 +128,16 @@ class FaultInjectingVfs : public Vfs {
   Status NextRead(const std::string& what, uint64_t* corrupt_seed);
 
   Vfs* base_;
-  FaultPlan plan_;
-  ReadFaultPlan read_plan_;
-  mutable std::mutex mu_;
-  int64_t ops_ = 0;
-  int64_t reads_ = 0;
-  int transient_left_ = -1;  // -1 = fault not yet armed
-  bool crashed_ = false;
-  bool fired_ = false;
+  mutable Mutex mu_{"FaultInjectingVfs::mu_"};
+  // The plans are mutated by Reset/SetReadFaults while fault sweeps may
+  // still hold open file handles, so they are guarded like the counters.
+  FaultPlan plan_ HTG_GUARDED_BY(mu_);
+  ReadFaultPlan read_plan_ HTG_GUARDED_BY(mu_);
+  int64_t ops_ HTG_GUARDED_BY(mu_) = 0;
+  int64_t reads_ HTG_GUARDED_BY(mu_) = 0;
+  int transient_left_ HTG_GUARDED_BY(mu_) = -1;  // -1 = fault not yet armed
+  bool crashed_ HTG_GUARDED_BY(mu_) = false;
+  bool fired_ HTG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace htg::storage

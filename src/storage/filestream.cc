@@ -95,6 +95,10 @@ Status FileStreamStore::WriteManifestLocked() {
 }
 
 Status FileStreamStore::Recover() {
+  // Held across the whole replay: recovery runs before Open() returns,
+  // so there is no contention, and locking up front lets the analysis
+  // check the manifest_/wal_/next_id_ rebuild like any other mutation.
+  MutexLock lock(&mu_);
   HTG_RETURN_IF_ERROR(LoadManifest());
 
   std::vector<WalRecord> log;
@@ -180,7 +184,6 @@ Status FileStreamStore::Recover() {
 
   // Checkpoint: the manifest now holds the recovered truth; start a fresh
   // log so old intents are not replayed twice.
-  std::lock_guard<std::mutex> lock(mu_);
   HTG_RETURN_IF_ERROR(WriteManifestLocked());
   HTG_RETURN_IF_ERROR(wal_->Reset());
 
@@ -203,7 +206,7 @@ Result<std::string> FileStreamStore::CreateBlob(const std::string& name_hint,
             : '_');
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::string name =
       StringPrintf("%06llu_", static_cast<unsigned long long>(next_id_++)) +
       safe_hint;
@@ -255,7 +258,7 @@ Result<std::unique_ptr<FileStreamReader>> FileStreamStore::OpenStream(
     const std::string& path) const {
   BufferPool* pool = options_.buffer_pool;
   if (pool != nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = pooled_.find(path);
     if (it == pooled_.end()) {
       Result<std::unique_ptr<RandomAccessFile>> file =
@@ -289,7 +292,7 @@ Result<std::string> FileStreamStore::ReadAll(const std::string& path) const {
   if (options_.verify_on_read) {
     Result<std::string> name = NameForPath(path);
     if (name.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = manifest_.find(*name);
       if (it != manifest_.end() && (content.size() != it->second.size ||
                                     Crc32c(content) != it->second.crc)) {
@@ -303,7 +306,7 @@ Result<std::string> FileStreamStore::ReadAll(const std::string& path) const {
 
 Result<uint64_t> FileStreamStore::BlobSize(const std::string& path) const {
   HTG_ASSIGN_OR_RETURN(std::string name, NameForPath(path));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = manifest_.find(name);
   if (it == manifest_.end()) {
     return Status::NotFound("filestream blob missing: " + path);
@@ -315,7 +318,7 @@ Status FileStreamStore::VerifyBlob(const std::string& path) const {
   HTG_ASSIGN_OR_RETURN(std::string name, NameForPath(path));
   BlobMeta meta;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = manifest_.find(name);
     if (it == manifest_.end()) {
       return Status::NotFound("filestream blob missing: " + path);
@@ -330,7 +333,7 @@ Status FileStreamStore::VerifyBlob(const std::string& path) const {
 }
 
 std::vector<std::string> FileStreamStore::ListBlobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> paths;
   paths.reserve(manifest_.size());
   for (const auto& [name, meta] : manifest_) {
@@ -342,7 +345,7 @@ std::vector<std::string> FileStreamStore::ListBlobs() const {
 
 Status FileStreamStore::Delete(const std::string& path) {
   HTG_ASSIGN_OR_RETURN(std::string name, NameForPath(path));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (manifest_.count(name) == 0) {
     return Status::IOError("cannot delete filestream blob: " + path);
   }
@@ -365,7 +368,7 @@ Status FileStreamStore::Delete(const std::string& path) {
 }
 
 uint64_t FileStreamStore::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, meta] : manifest_) {
     (void)name;
@@ -375,7 +378,7 @@ uint64_t FileStreamStore::TotalBytes() const {
 }
 
 Status FileStreamStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Catalog first, files second: once the empty manifest is durable, a
   // crash mid-sweep leaves only orphans, which the next Open removes. The
   // reverse order would leave the catalog claiming vanished blobs.
@@ -401,7 +404,7 @@ Status FileStreamStore::Clear() {
 
 FileStreamStore::~FileStreamStore() {
   if (options_.buffer_pool == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [path, reg] : pooled_) {
     (void)path;
     options_.buffer_pool->UnregisterFile(reg.first);

@@ -3,11 +3,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "storage/buffer_pool.h"
 #include "storage/vfs.h"
 #include "storage/wal.h"
@@ -149,28 +149,31 @@ class FileStreamStore {
       : root_(std::move(root)), options_(options), vfs_(vfs) {}
 
   // Replays the WAL against filesystem reality, removes orphans, and
-  // checkpoints the manifest. Called once from Open().
+  // checkpoints the manifest. Called once from Open(); takes mu_ for its
+  // whole run (recovery is single-threaded, but the manifest/WAL state it
+  // rebuilds is guarded).
   Status Recover();
-  Status LoadManifest();
-  // Atomically rewrites MANIFEST from manifest_ (caller holds mu_).
-  Status WriteManifestLocked();
+  Status LoadManifest() HTG_REQUIRES(mu_);
+  // Atomically rewrites MANIFEST from manifest_.
+  Status WriteManifestLocked() HTG_REQUIRES(mu_);
   // Maps an absolute blob path back to its store-relative name.
   Result<std::string> NameForPath(const std::string& path) const;
-  // Drops the blob's chunk-cache registration, if any (caller holds mu_).
-  void UnpoolLocked(const std::string& path);
+  // Drops the blob's chunk-cache registration, if any.
+  void UnpoolLocked(const std::string& path) HTG_REQUIRES(mu_);
 
   std::string root_;
   FileStreamOptions options_;
   Vfs* vfs_;
   RecoveryStats recovery_stats_;
 
-  mutable std::mutex mu_;
-  std::unique_ptr<WriteAheadLog> wal_;
-  std::map<std::string, BlobMeta> manifest_;
+  mutable Mutex mu_{"FileStreamStore::mu_"};
+  std::unique_ptr<WriteAheadLog> wal_ HTG_GUARDED_BY(mu_);
+  std::map<std::string, BlobMeta> manifest_ HTG_GUARDED_BY(mu_);
   // Blobs registered for chunk caching: path -> (pool file id, size).
   // Registered lazily on first OpenStream, dropped on Delete/Clear.
-  mutable std::map<std::string, std::pair<uint32_t, uint64_t>> pooled_;
-  uint64_t next_id_ = 0;
+  mutable std::map<std::string, std::pair<uint32_t, uint64_t>> pooled_
+      HTG_GUARDED_BY(mu_);
+  uint64_t next_id_ HTG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace htg::storage

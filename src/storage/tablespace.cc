@@ -47,7 +47,7 @@ Result<std::unique_ptr<TableFile>> TableSpace::CreateTableFile(
     const std::string& name) {
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(wal_mu_);
+    MutexLock lock(&wal_mu_);
     seq = next_file_seq_++;
   }
   const std::string file_name =
@@ -75,7 +75,7 @@ Result<std::unique_ptr<TableFile>> TableSpace::CreateTableFile(
 
 Status TableSpace::LogPageWrite(const std::string& file_name,
                                 uint64_t page_no, std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(&wal_mu_);
   if (wal_ == nullptr) {
     std::vector<WalRecord> recovered;  // stale records; superseded by sweep
     HTG_ASSIGN_OR_RETURN(wal_,

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "storage/buffer_pool.h"
 #include "storage/vfs.h"
 #include "storage/wal.h"
@@ -62,9 +62,10 @@ class TableSpace {
   std::string root_;
   BufferPool* pool_;
 
-  std::mutex wal_mu_;
-  std::unique_ptr<WriteAheadLog> wal_;  // created on first write-back
-  uint64_t next_file_seq_ = 0;
+  Mutex wal_mu_{"TableSpace::wal_mu_"};
+  std::unique_ptr<WriteAheadLog> wal_
+      HTG_GUARDED_BY(wal_mu_);  // created on first write-back
+  uint64_t next_file_seq_ HTG_GUARDED_BY(wal_mu_) = 0;
 };
 
 // One table's append-only paged spill file. Pages are sealed serialized

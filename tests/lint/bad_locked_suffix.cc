@@ -1,0 +1,26 @@
+// Lint fixture: a *Locked() method declared without HTG_REQUIRES(...).
+// Must trip sync-locked-suffix -- the suffix is the repo convention for
+// "caller already holds the lock", and only the annotation lets Clang
+// actually enforce that at every call site.
+//
+// expect-lint: sync-locked-suffix
+
+#include "common/synchronization.h"
+
+namespace bad {
+
+class Ledger {
+ public:
+  void Add(long n) {
+    htg::MutexLock lock(&mu_);
+    AddLocked(n);
+  }
+
+ private:
+  void AddLocked(long n);  // should carry HTG_REQUIRES(mu_)
+
+  htg::Mutex mu_{"bad::Ledger::mu_"};
+  long total_ HTG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bad

@@ -1,0 +1,23 @@
+// Lint fixture: raw std:: synchronization primitives outside
+// src/common/synchronization.{h,cc}. Each use below must trip
+// sync-raw-mutex -- raw locks are invisible to the Clang thread-safety
+// analysis and to the HTG_DEADLOCK_DETECT lock-order detector.
+//
+// expect-lint: sync-raw-mutex
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace bad {
+
+void RawLockGuard() {
+  static std::mutex mu;  // declaration of the raw type trips too
+  std::lock_guard<std::mutex> lock(mu);
+}
+
+void RawUniqueLock() {
+  static std::shared_mutex smu;
+  std::unique_lock<std::shared_mutex> lock(smu);
+}
+
+}  // namespace bad

@@ -1,0 +1,24 @@
+// Lint fixture: a class declaring a Mutex member with no sibling
+// HTG_GUARDED_BY annotation. Must trip sync-unguarded-field -- a lock
+// the analysis cannot tie to any data is either dead weight or
+// protecting fields it is not declared to protect.
+//
+// expect-lint: sync-unguarded-field
+
+#include "common/synchronization.h"
+
+namespace bad {
+
+class Counter {
+ public:
+  void Add(long n) {
+    htg::MutexLock lock(&mu_);
+    total_ += n;
+  }
+
+ private:
+  htg::Mutex mu_{"bad::Counter::mu_"};
+  long total_ = 0;  // should be: long total_ HTG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bad

@@ -35,6 +35,27 @@ Rules (ids usable in NOLINT suppressions):
                     or bench/ must appear in docs/OPERATIONS.md -- one
                     table holds every runtime knob, so a knob that exists
                     only in code is undocumented by definition.
+  sync-raw-mutex    No raw std::mutex / std::shared_mutex / lock_guard /
+                    unique_lock / shared_lock / scoped_lock /
+                    condition_variable outside
+                    src/common/synchronization.{h,cc}: the annotated
+                    Mutex/SharedMutex/CondVar wrappers there carry the
+                    Clang thread-safety attributes and feed the
+                    HTG_DEADLOCK_DETECT lock-order detector; a raw
+                    primitive is invisible to both.
+  sync-unguarded-field
+                    A class that declares a Mutex/SharedMutex member must
+                    annotate at least one sibling field with
+                    HTG_GUARDED_BY -- a lock that guards nothing the
+                    analysis can see is either dead or protecting data it
+                    is not tied to. NOLINT the mutex declaration with a
+                    reason if the lock's protectorate genuinely cannot be
+                    expressed as fields (e.g. it orders external I/O).
+  sync-locked-suffix
+                    A method named *Locked() must carry HTG_REQUIRES(...)
+                    on its declaration: the suffix is the repo convention
+                    for "caller already holds the lock", and the
+                    annotation is what lets Clang enforce it.
   exec-batch-rowloop
                     No per-row `Next()` pulls inside src/exec batch
                     kernels (functions named *Batch* or classes deriving
@@ -64,6 +85,7 @@ Usage:
   htg_lint.py [ROOT]              lint ROOT/{src,bench,tests}  (default: cwd)
   htg_lint.py --rule NAME [ROOT]  run only the named rule (repeatable)
   htg_lint.py --selftest [ROOT]   run the fixture self-test
+  htg_lint.py --list-rules        print every rule with its one-line summary
 """
 
 import os
@@ -562,6 +584,116 @@ def check_env_doc(path, text, rel):
     ]
 
 
+# -------------------------------------------------------- sync rules ---
+
+# The one sanctioned home of raw std:: synchronization primitives.
+SYNC_FILES = {"src/common/synchronization.h",
+              "src/common/synchronization.cc"}
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|condition_variable(?:_any)?|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock)\b")
+
+
+def check_sync_raw_mutex(path, text, rel):
+    if rel.replace(os.sep, "/") in SYNC_FILES:
+        return []
+    return [
+        Finding(path, line_of(text, m.start()), "sync-raw-mutex",
+                f"raw `std::{m.group(1)}` outside "
+                "src/common/synchronization.{h,cc}; use the annotated "
+                "htg::Mutex/SharedMutex/CondVar wrappers so the Clang "
+                "thread-safety analysis and the HTG_DEADLOCK_DETECT "
+                "lock-order detector can see the acquisition")
+        for m in RAW_SYNC_RE.finditer(text)
+    ]
+
+
+# A by-value Mutex/SharedMutex member (pointer and reference members are
+# someone else's lock). Brace-init carries the detector name.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:htg\s*::\s*)?(Mutex|SharedMutex)\s+(\w+)\s*"
+    r"(?:\{[^{}]*\})?\s*;")
+CLASS_BODY_RE = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{()]*\{")
+
+
+def check_sync_unguarded_field(path, text, rel):
+    if rel.replace(os.sep, "/") in SYNC_FILES:
+        return []
+    findings = []
+    for cm in CLASS_BODY_RE.finditer(text):
+        open_idx = text.index("{", cm.end() - 1)
+        body = text[open_idx:matching_brace(text, open_idx)]
+        if "HTG_GUARDED_BY" in body or "HTG_PT_GUARDED_BY" in body:
+            continue
+        for mm in MUTEX_MEMBER_RE.finditer(body):
+            findings.append(Finding(
+                path, line_of(text, open_idx + mm.start()),
+                "sync-unguarded-field",
+                f"`{cm.group(1)}` declares {mm.group(1)} "
+                f"`{mm.group(2)}` but annotates no field with "
+                "HTG_GUARDED_BY; tie the protected data to its lock (or "
+                "NOLINT this line with a reason if the lock guards "
+                "something fields cannot express)"))
+    return findings
+
+
+LOCKED_NAME_RE = re.compile(r"\b(\w+Locked)\s*\(")
+LOCKED_PREFIX_KEYWORDS = {"return", "co_return", "co_await", "throw",
+                          "else", "do", "case", "goto", "new", "delete"}
+
+
+def check_sync_locked_suffix(path, text, rel):
+    """Flags *Locked() declarations missing HTG_REQUIRES(...). Call sites
+    are skipped: member/qualified calls by the character before the name,
+    unqualified calls by statement context (no declaration has an empty or
+    expression-shaped prefix)."""
+    if rel.replace(os.sep, "/") in SYNC_FILES:
+        return []
+    findings = []
+    for m in LOCKED_NAME_RE.finditer(text):
+        k = m.start() - 1
+        if k >= 0 and text[k] in ":.>":
+            continue  # Foo::BarLocked / obj.BarLocked / ptr->BarLocked
+        stmt_start = max(text.rfind(";", 0, m.start()),
+                         text.rfind("{", 0, m.start()),
+                         text.rfind("}", 0, m.start()))
+        prefix = text[stmt_start + 1:m.start()].strip()
+        if not prefix:
+            continue  # bare call in statement position
+        if prefix[-1] in "(,=!|?+-/%<)":
+            continue  # argument, condition, or operand of an expression
+        last_word = re.search(r"\w+$", prefix)
+        if last_word and last_word.group(0) in LOCKED_PREFIX_KEYWORDS:
+            continue
+        # Declaration: scan past the parameter list, then the trailer up
+        # to `;` (declaration) or `{` (inline definition) must hold a
+        # lock annotation.
+        depth, i = 0, text.index("(", m.end() - 1)
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(text) and text[j] not in ";{":
+            j += 1
+        trailer = text[i + 1:j]
+        if ("HTG_REQUIRES" in trailer
+                or "HTG_ASSERT_CAPABILITY" in trailer
+                or "HTG_NO_THREAD_SAFETY_ANALYSIS" in trailer):
+            continue
+        findings.append(Finding(
+            path, line_of(text, m.start()), "sync-locked-suffix",
+            f"`{m.group(1)}()` is declared without HTG_REQUIRES(...); "
+            "the *Locked suffix promises the caller already holds a "
+            "lock -- annotate the declaration so Clang enforces it"))
+    return findings
+
+
 # rule id -> (checker, directory scopes it applies to, wants_raw_text).
 # include-cc must see raw text: comment/string stripping blanks the quoted
 # include path it matches on.
@@ -582,7 +714,45 @@ RULES = {
         (check_exec_untracked_reserve, ("src",), False),
     # env-doc matches quoted knob names, so it needs unstripped text.
     "env-doc": (check_env_doc, ("src", "bench"), True),
+    "sync-raw-mutex": (check_sync_raw_mutex, ("src",), False),
+    "sync-unguarded-field": (check_sync_unguarded_field, ("src",), False),
+    "sync-locked-suffix": (check_sync_locked_suffix, ("src",), False),
 }
+
+# One-line summaries for --list-rules. The table in docs/OPERATIONS.md is
+# generated from this output; --selftest asserts every rule id appears
+# there so the two cannot drift apart.
+RULE_DESCRIPTIONS = {
+    "raw-io": "all file I/O goes through the storage::Vfs seam",
+    "naked-new": "no naked new/delete; ownership visible at the "
+                 "allocation site",
+    "statuscode-switch": "no `default:` in a switch over StatusCode",
+    "uda-merge": "every AggregateInstance subclass implements Merge()",
+    "include-cc": "never #include a .cc file",
+    "pragma-once": "every header starts with #pragma once",
+    "void-status": "no (void)-discard of a call result; use "
+                   "HTG_IGNORE_STATUS",
+    "status-ok-drop": "no `expr.ok();` in statement position",
+    "exec-raw-timing": "operator timing uses htg::Stopwatch, not raw "
+                       "clock reads",
+    "exec-batch-rowloop": "no per-row Next() pulls inside src/exec batch "
+                          "kernels",
+    "exec-untracked-reserve": "data-proportional row buffers hold a "
+                              "MemoryCharge",
+    "env-doc": "every HTG_* env knob is documented in docs/OPERATIONS.md",
+    "sync-raw-mutex": "raw std:: sync primitives live only in "
+                      "src/common/synchronization.{h,cc}",
+    "sync-unguarded-field": "a Mutex member needs a sibling "
+                            "HTG_GUARDED_BY field",
+    "sync-locked-suffix": "*Locked() declarations carry HTG_REQUIRES(...)",
+}
+
+
+def list_rules():
+    width = max(len(rule) for rule in RULES) + len("htg-")
+    for rule in RULES:
+        print(f"htg-{rule}".ljust(width + 2) + RULE_DESCRIPTIONS[rule])
+    return 0
 
 
 def nolint_lines(raw_text):
@@ -668,11 +838,13 @@ def run_selftest(root):
         print(f"htg_lint --selftest: no fixtures in {fixture_dir}")
         return 1
     failures = []
+    all_expected = set()
     for name in fixtures:
         path = os.path.join(fixture_dir, name)
         with open(path, encoding="utf-8") as f:
             raw = f.read()
         expected = set(EXPECT_RE.findall(raw))
+        all_expected |= expected
         fired = {f.rule for f in lint_file(path, name, all_scopes=True)}
         missing = expected - fired
         unexpected = fired - expected
@@ -682,6 +854,29 @@ def run_selftest(root):
         if unexpected:
             failures.append(f"{name}: unexpected rule(s) fired: "
                             f"{', '.join(sorted(unexpected))}")
+    # Every rule must be exercised by at least one fixture: a rule with no
+    # fixture can regress silently.
+    unfixtured = sorted(set(RULES) - all_expected)
+    if unfixtured:
+        failures.append("rule(s) with no fixture declaring them via "
+                        f"expect-lint: {', '.join(unfixtured)}")
+    # And described: --list-rules must cover the whole rule set.
+    undescribed = sorted(set(RULES) - set(RULE_DESCRIPTIONS))
+    if undescribed:
+        failures.append("rule(s) missing from RULE_DESCRIPTIONS: "
+                        f"{', '.join(undescribed)}")
+    # The OPERATIONS.md rule table is hand-maintained from --list-rules;
+    # assert it names every rule so docs and tool cannot drift.
+    try:
+        with open(os.path.join(root, OPERATIONS_DOC),
+                  encoding="utf-8") as f:
+            ops = f.read()
+    except OSError:
+        ops = ""
+    undocumented = sorted(r for r in RULES if f"htg-{r}" not in ops)
+    if undocumented:
+        failures.append(f"rule(s) not listed in {OPERATIONS_DOC}: "
+                        f"{', '.join(undocumented)}")
     for failure in failures:
         print("htg_lint --selftest FAIL:", failure)
     print(f"htg_lint --selftest: {len(fixtures)} fixtures, "
@@ -698,6 +893,8 @@ def main(argv):
     for arg in it:
         if arg == "--selftest":
             selftest = True
+        elif arg == "--list-rules":
+            return list_rules()
         elif arg == "--rule":
             name = next(it, None)
             if name is None or name not in RULES:
