@@ -1,0 +1,215 @@
+// Multi-client server sweep: the same fixed batch of read statements
+// pushed through htgdb-server by 1, 4, and 16 concurrent wire clients.
+// Per-statement execution is pinned to max_dop=1 so session concurrency
+// is the only scaling axis — the wall-clock ratio between arms is the
+// server's concurrency payoff, not the executor's. The checked-in
+// baseline carries monotone assertions over [wall_clients1,
+// wall_clients4, wall_clients16]; the 1 -> 16 edge at tolerance 0.5 is
+// the CI gate that 16 clients sustain at least 2x the single-client
+// throughput on mixed reads.
+//
+// A final informational arm mixes one token-carrying writer among three
+// readers — the table-lock interleave and dedupe-token path under load.
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace htg::bench {
+namespace {
+
+// Read statements rotated per op: full-table aggregate, filtered
+// aggregate, and a grouped min/max over a key prefix.
+const char* const kReadQueries[] = {
+    "SELECT k, COUNT(*), SUM(v) FROM reads GROUP BY k",
+    "SELECT COUNT(*), SUM(v) FROM reads WHERE v < 500000",
+    "SELECT k, MIN(tag), MAX(v) FROM reads WHERE k < 32 GROUP BY k",
+};
+constexpr int kNumReadQueries = 3;
+
+std::unique_ptr<server::Client> ConnectClient(uint16_t port) {
+  return CheckOk(server::Client::Connect(port, "bench-server"), "connect");
+}
+
+// One client's share of an arm: `ops` statements over a fresh
+// connection, query choice rotated by (client_id + op index).
+void RunReadClient(uint16_t port, int client_id, uint64_t ops) {
+  std::unique_ptr<server::Client> client = ConnectClient(port);
+  for (uint64_t i = 0; i < ops; ++i) {
+    const char* sql = kReadQueries[(client_id + i) % kNumReadQueries];
+    server::ClientResult result = CheckOk(client->Query(sql), "read op");
+    if (result.rows.empty()) {
+      fprintf(stderr, "FATAL read op returned no rows\n");
+      exit(1);
+    }
+  }
+  client->Goodbye();
+}
+
+// Whole arm: N clients splitting `total_ops` evenly, wall-clocked by
+// the caller (BenchReport::MeasureSeconds).
+void RunArm(uint16_t port, int clients, uint64_t total_ops) {
+  const uint64_t per_client = total_ops / clients;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(
+        [port, c, per_client] { RunReadClient(port, c, per_client); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void Run() {
+  const uint64_t rows = Scaled(200'000, 10'000);
+  // Total statements per arm, fixed across client counts and rounded to
+  // a multiple of 16 so every arm divides evenly.
+  const uint64_t total_ops = ((Scaled(960, 48) + 15) / 16) * 16;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  printf("== Multi-client server: session-concurrency sweep ==\n");
+  printf("HTG_SCALE=%.2f  rows=%llu  ops/arm=%llu  cores=%u\n\n", Scale(),
+         static_cast<unsigned long long>(rows),
+         static_cast<unsigned long long>(total_ops), cores);
+
+  DatabaseOptions options;
+  options.filestream_root = "/tmp/htgdb_bench_server";
+  std::filesystem::remove_all(options.filestream_root);
+  // Single-threaded statements: the sweep measures session concurrency,
+  // and intra-query morsel parallelism would hand the 1-client arm every
+  // core and flatten the curve.
+  options.max_dop = 1;
+  std::unique_ptr<Database> db =
+      CheckOk(Database::Open("bench_server", options), "open");
+
+  server::ServerOptions server_options;
+  server_options.threads = 16;
+  server::Server srv(db.get(), server_options);
+  CheckOk(srv.Start(), "server start");
+
+  {
+    sql::SqlEngine loader(db.get());
+    CheckOk(loader.Execute("CREATE TABLE reads (k INT, v BIGINT, tag "
+                           "VARCHAR(32))")
+                    .ok()
+                ? Status::OK()
+                : Status::Internal("ddl"),
+            "create reads");
+    catalog::TableDef* table = CheckOk(db->GetTable("reads"), "table reads");
+    uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t i = 0; i < rows; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      std::string tag(12, 'a');
+      for (char& c : tag) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        c = static_cast<char>('a' + (x >> 59) % 26);
+      }
+      CheckOk(db->InsertRow(
+                  table, Row{Value::Int32(static_cast<int32_t>(i % 256)),
+                             Value::Int64(static_cast<int64_t>(x % 1000000)),
+                             Value::String(std::move(tag))}),
+              "insert reads");
+    }
+  }
+
+  BenchReport report("server");
+  report.SetConfig("scale", Scale());
+  report.SetConfig("rows", static_cast<double>(rows));
+  report.SetConfig("ops_per_arm", static_cast<double>(total_ops));
+  report.SetConfig("server_threads", 16.0);
+
+  // Warm-up: every query once, outside any timed region.
+  {
+    std::unique_ptr<server::Client> warm = ConnectClient(srv.port());
+    for (const char* sql : kReadQueries) {
+      HTG_IGNORE_STATUS(warm->Query(sql).status());
+    }
+    warm->Goodbye();
+  }
+
+  TablePrinter table({"clients", "wall", "stmts/s", "speedup"});
+  const int kArms[] = {1, 4, 16};
+  double wall[3] = {0, 0, 0};
+  for (int a = 0; a < 3; ++a) {
+    const int clients = kArms[a];
+    wall[a] = report.MeasureSeconds(
+        StringPrintf("wall_clients%d", clients), 3,
+        [&] { RunArm(srv.port(), clients, total_ops); });
+    table.AddRow({StringPrintf("%d", clients),
+                  StringPrintf("%.3f s", wall[a]),
+                  StringPrintf("%.0f", static_cast<double>(total_ops) / wall[a]),
+                  StringPrintf("%.2fx", wall[0] / wall[a])});
+  }
+
+  // Informational arm: three readers plus one writer inserting with
+  // explicit dedupe tokens — readers queue on the table lock only for
+  // the writer's statement-length critical sections.
+  std::atomic<uint64_t> write_seq{0};
+  const double mixed = report.MeasureSeconds("wall_mixed_rw_clients4", 3, [&] {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 3; ++c) {
+      threads.emplace_back([&srv, c, total_ops] {
+        RunReadClient(srv.port(), c, total_ops / 16);
+      });
+    }
+    threads.emplace_back([&srv, &write_seq, total_ops] {
+      std::unique_ptr<server::Client> writer = ConnectClient(srv.port());
+      for (uint64_t i = 0; i < total_ops / 16; ++i) {
+        const uint64_t seq = write_seq.fetch_add(1);
+        CheckOk(writer->Query(
+                    StringPrintf("INSERT INTO reads VALUES (%llu, %llu, "
+                                 "'bench')",
+                                 static_cast<unsigned long long>(seq % 256),
+                                 static_cast<unsigned long long>(seq)),
+                    StringPrintf("bench-server:%llu",
+                                 static_cast<unsigned long long>(seq))),
+                "write op");
+      }
+      writer->Goodbye();
+    });
+    for (std::thread& t : threads) t.join();
+  });
+  table.AddRow({"3r+1w", StringPrintf("%.3f s", mixed), "-", "-"});
+
+  table.Print();
+
+  const double speedup16 = wall[0] / wall[2];
+  printf("\nShape: fixed work, rising client counts — wall clock should "
+         "fall until the cores run out. 16 clients sustain %.2fx the "
+         "single-client throughput.\n", speedup16);
+
+  if (srv.locks()->LockedTableCount() != 0) {
+    fprintf(stderr, "FATAL %zu table locks leaked after the sweep\n",
+            srv.locks()->LockedTableCount());
+    exit(1);
+  }
+  // The >= 2x concurrency gate, enforced in-process wherever the
+  // hardware can express it (CI runners have 4 vCPUs; the baseline's
+  // monotone assertion re-checks the same edge machine-independently).
+  if (cores >= 4 && speedup16 < 2.0) {
+    fprintf(stderr,
+            "FATAL 16-client throughput is %.2fx the 1-client arm on %u "
+            "cores (gate: >= 2x)\n",
+            speedup16, cores);
+    exit(1);
+  }
+
+  srv.Shutdown();
+  report.Write();
+}
+
+}  // namespace
+}  // namespace htg::bench
+
+int main() {
+  htg::bench::Run();
+  return 0;
+}

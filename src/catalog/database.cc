@@ -79,8 +79,11 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& name,
 
 Status Database::CreateTable(catalog::TableDef def) {
   const std::string key = ToUpper(def.name);
-  if (tables_.count(key) > 0) {
-    return Status::AlreadyExists("table exists: " + def.name);
+  {
+    ReaderMutexLock lock(&catalog_mu_);
+    if (tables_.count(key) > 0) {
+      return Status::AlreadyExists("table exists: " + def.name);
+    }
   }
   for (int c : def.clustered_key) {
     if (c < 0 || c >= def.schema.num_columns()) {
@@ -105,12 +108,20 @@ Status Database::CreateTable(catalog::TableDef def) {
       def.table = std::move(clustered);
     }
   }
-  tables_.emplace(key, std::make_unique<catalog::TableDef>(std::move(def)));
+  MutexLock lock(&catalog_mu_);
+  const auto [it, inserted] = tables_.emplace(
+      key, std::make_unique<catalog::TableDef>(std::move(def)));
+  (void)it;
+  if (!inserted) {
+    // Lost a create/create race since the pre-check above.
+    return Status::AlreadyExists("table exists: " + key);
+  }
   return Status::OK();
 }
 
 Status Database::DropTable(const std::string& name) {
   const std::string key = ToUpper(name);
+  MutexLock lock(&catalog_mu_);
   auto it = tables_.find(key);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   tables_.erase(it);
@@ -118,12 +129,14 @@ Status Database::DropTable(const std::string& name) {
 }
 
 Result<catalog::TableDef*> Database::GetTable(const std::string& name) {
+  ReaderMutexLock lock(&catalog_mu_);
   auto it = tables_.find(ToUpper(name));
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   return it->second.get();
 }
 
 std::vector<std::string> Database::ListTables() const {
+  ReaderMutexLock lock(&catalog_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, def] : tables_) names.push_back(def->name);

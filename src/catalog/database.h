@@ -7,6 +7,7 @@
 
 #include "catalog/table_def.h"
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "storage/buffer_pool.h"
 #include "storage/filestream.h"
 #include "storage/tablespace.h"
@@ -89,6 +90,11 @@ class Database {
   storage::TableSpace* tablespace() { return tablespace_.get(); }
 
   // DDL -----------------------------------------------------------------
+  // The catalog map itself is internally synchronized (SharedMutex), so
+  // concurrent sessions can resolve tables while one creates or drops.
+  // Pointer lifetime is the caller's concern: a TableDef* stays valid
+  // until DropTable, which the server's LockManager serializes against
+  // in-flight statements (exclusive table + catalog locks).
 
   // Creates a table; `def.table` is instantiated here (heap, or clustered
   // when def.clustered_key is non-empty).
@@ -120,7 +126,9 @@ class Database {
   // point into (members destruct in reverse declaration order).
   std::unique_ptr<storage::BufferPool> buffer_pool_;
   std::unique_ptr<storage::TableSpace> tablespace_;
-  std::map<std::string, std::unique_ptr<catalog::TableDef>> tables_;
+  mutable SharedMutex catalog_mu_{"Database::catalog_mu_"};
+  std::map<std::string, std::unique_ptr<catalog::TableDef>> tables_
+      HTG_GUARDED_BY(catalog_mu_);
   udf::FunctionRegistry functions_;
   std::unique_ptr<storage::FileStreamStore> filestream_;
 };

@@ -1,0 +1,149 @@
+#include "server/client.h"
+
+#include "common/string_util.h"
+
+namespace htg::server {
+
+Result<std::unique_ptr<Client>> Client::Connect(uint16_t port,
+                                                std::string client_name,
+                                                int recv_timeout_ms) {
+  HTG_ASSIGN_OR_RETURN(std::unique_ptr<Socket> socket,
+                       ConnectLoopback(port, recv_timeout_ms));
+  std::unique_ptr<Client> client(new Client(std::move(socket)));
+  HelloMsg hello;
+  hello.peer_name = std::move(client_name);
+  std::string payload;
+  EncodeHello(hello, &payload);
+  HTG_RETURN_IF_ERROR(WriteFrame(client->socket_.get(), MsgType::kHello,
+                                 payload));
+  Frame frame;
+  HTG_RETURN_IF_ERROR(ReadFrame(client->socket_.get(), &frame));
+  if (frame.type == MsgType::kError) {
+    ErrorMsg error;
+    HTG_RETURN_IF_ERROR(DecodeError(frame.payload, &error));
+    return Status(error.code, error.message);
+  }
+  if (frame.type != MsgType::kHelloAck) {
+    return Status::Corruption(StringPrintf(
+        "handshake: expected HelloAck, got frame type %u",
+        static_cast<unsigned>(frame.type)));
+  }
+  HelloAckMsg ack;
+  HTG_RETURN_IF_ERROR(DecodeHelloAck(frame.payload, &ack));
+  if (ack.version != kProtocolVersion) {
+    return Status::InvalidArgument(StringPrintf(
+        "protocol version mismatch: server %u, client %u", ack.version,
+        kProtocolVersion));
+  }
+  client->session_id_ = ack.session_id;
+  return client;
+}
+
+Result<ClientResult> Client::Query(const std::string& sql,
+                                   const std::string& token) {
+  QueryMsg msg;
+  msg.sql = sql;
+  msg.token = token;
+  std::string payload;
+  EncodeQuery(msg, &payload);
+  HTG_RETURN_IF_ERROR(WriteFrame(socket_.get(), MsgType::kQuery, payload));
+  return ReadResult();
+}
+
+Result<uint64_t> Client::Prepare(const std::string& sql) {
+  QueryMsg msg;
+  msg.sql = sql;
+  std::string payload;
+  EncodeQuery(msg, &payload);
+  HTG_RETURN_IF_ERROR(WriteFrame(socket_.get(), MsgType::kPrepare, payload));
+  Frame frame;
+  HTG_RETURN_IF_ERROR(ReadFrame(socket_.get(), &frame));
+  if (frame.type == MsgType::kError) {
+    ErrorMsg error;
+    HTG_RETURN_IF_ERROR(DecodeError(frame.payload, &error));
+    return Status(error.code, error.message);
+  }
+  if (frame.type != MsgType::kPrepareAck) {
+    return Status::Corruption(StringPrintf(
+        "expected PrepareAck, got frame type %u",
+        static_cast<unsigned>(frame.type)));
+  }
+  uint64_t statement_id = 0;
+  HTG_RETURN_IF_ERROR(DecodeU64(frame.payload, &statement_id));
+  return statement_id;
+}
+
+Result<ClientResult> Client::Execute(uint64_t statement_id,
+                                     const std::string& token) {
+  ExecuteMsg msg;
+  msg.statement_id = statement_id;
+  msg.token = token;
+  std::string payload;
+  EncodeExecute(msg, &payload);
+  HTG_RETURN_IF_ERROR(WriteFrame(socket_.get(), MsgType::kExecute, payload));
+  return ReadResult();
+}
+
+Status Client::CloseStatement(uint64_t statement_id) {
+  std::string payload;
+  EncodeU64(statement_id, &payload);
+  HTG_RETURN_IF_ERROR(
+      WriteFrame(socket_.get(), MsgType::kCloseStmt, payload));
+  Frame frame;
+  HTG_RETURN_IF_ERROR(ReadFrame(socket_.get(), &frame));
+  if (frame.type == MsgType::kError) {
+    ErrorMsg error;
+    HTG_RETURN_IF_ERROR(DecodeError(frame.payload, &error));
+    return Status(error.code, error.message);
+  }
+  if (frame.type != MsgType::kResultDone) {
+    return Status::Corruption("expected ResultDone for CloseStmt");
+  }
+  return Status::OK();
+}
+
+void Client::Goodbye() {
+  HTG_IGNORE_STATUS(WriteFrame(socket_.get(), MsgType::kGoodbye, {}));
+  socket_->Close();
+}
+
+Result<ClientResult> Client::ReadResult() {
+  ClientResult result;
+  bool have_header = false;
+  while (true) {
+    Frame frame;
+    HTG_RETURN_IF_ERROR(ReadFrame(socket_.get(), &frame));
+    switch (frame.type) {
+      case MsgType::kResultHeader:
+        HTG_RETURN_IF_ERROR(DecodeSchema(frame.payload, &result.schema));
+        have_header = true;
+        break;
+      case MsgType::kResultBatch:
+        if (!have_header) {
+          return Status::Corruption("ResultBatch before ResultHeader");
+        }
+        HTG_RETURN_IF_ERROR(DecodeRowBatch(frame.payload, &result.rows));
+        break;
+      case MsgType::kResultDone: {
+        ResultDoneMsg done;
+        HTG_RETURN_IF_ERROR(DecodeResultDone(frame.payload, &done));
+        result.rows_affected = done.rows_affected;
+        result.message = std::move(done.message);
+        return result;
+      }
+      case MsgType::kError: {
+        ErrorMsg error;
+        HTG_RETURN_IF_ERROR(DecodeError(frame.payload, &error));
+        return Status(error.code, error.message);
+      }
+      case MsgType::kGoodbye:
+        return Status::Aborted("server shut down");
+      default:
+        return Status::Corruption(StringPrintf(
+            "unexpected frame type %u in result stream",
+            static_cast<unsigned>(frame.type)));
+    }
+  }
+}
+
+}  // namespace htg::server

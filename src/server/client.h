@@ -1,0 +1,67 @@
+#pragma once
+
+// Client-side half of the wire protocol: one blocking connection to a
+// local htgdb-server. Statement failures come back as the same typed
+// Status the engine produced (the StatusCode crosses the wire), so
+// callers can distinguish a lock timeout (kAborted) from a budget
+// failure (kResourceExhausted) from a parse error — exactly as they
+// would in-process. Used by tools/htgdb_cli, tests, and bench_server.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/net_socket.h"
+#include "server/wire.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace htg::server {
+
+// A fully materialized statement result on the client side.
+struct ClientResult {
+  Schema schema;
+  std::vector<Row> rows;
+  uint64_t rows_affected = 0;
+  std::string message;
+};
+
+class Client {
+ public:
+  // Connects, handshakes, and returns a ready client. `recv_timeout_ms`
+  // bounds every wait for a server frame (generous by default: a slow
+  // analytical query is not a dead server).
+  static Result<std::unique_ptr<Client>> Connect(
+      uint16_t port, std::string client_name = "htgdb-client",
+      int recv_timeout_ms = 60000);
+
+  // Runs a SQL string; `token` is the statement dedupe token (empty lets
+  // the server pick one for mutating statements).
+  Result<ClientResult> Query(const std::string& sql,
+                             const std::string& token = "");
+
+  // Prepared statements: parse once server-side, execute by id.
+  Result<uint64_t> Prepare(const std::string& sql);
+  Result<ClientResult> Execute(uint64_t statement_id,
+                               const std::string& token = "");
+  Status CloseStatement(uint64_t statement_id);
+
+  // Polite hangup (server tears the session down without an error).
+  void Goodbye();
+
+  uint64_t session_id() const { return session_id_; }
+
+ private:
+  explicit Client(std::unique_ptr<Socket> socket)
+      : socket_(std::move(socket)) {}
+
+  // Reads the result conversation that follows Query/Execute.
+  Result<ClientResult> ReadResult();
+
+  std::unique_ptr<Socket> socket_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace htg::server

@@ -1,0 +1,150 @@
+#include "server/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace htg::server {
+
+void LockSet::Release() {
+  if (manager_ != nullptr) {
+    manager_->ReleaseSet(reads_, writes_);
+    manager_ = nullptr;
+  }
+  reads_.clear();
+  writes_.clear();
+}
+
+namespace {
+
+void SortUnique(std::vector<std::string>* names) {
+  std::sort(names->begin(), names->end());
+  names->erase(std::unique(names->begin(), names->end()), names->end());
+}
+
+}  // namespace
+
+Result<LockSet> LockManager::Acquire(std::vector<std::string> reads,
+                                     std::vector<std::string> writes,
+                                     int64_t timeout_ms) {
+  SortUnique(&writes);
+  SortUnique(&reads);
+  // A table in both sets needs the exclusive lock only.
+  reads.erase(std::remove_if(reads.begin(), reads.end(),
+                             [&writes](const std::string& name) {
+                               return std::binary_search(writes.begin(),
+                                                         writes.end(), name);
+                             }),
+              reads.end());
+
+  // One merged acquisition pass in global sorted order: the canonical
+  // order is what makes concurrent multi-table statements converge
+  // instead of waiting on each other's partial sets.
+  struct Want {
+    const std::string* table;
+    bool exclusive;
+  };
+  std::vector<Want> wants;
+  wants.reserve(reads.size() + writes.size());
+  for (const std::string& name : reads) wants.push_back({&name, false});
+  for (const std::string& name : writes) wants.push_back({&name, true});
+  std::sort(wants.begin(), wants.end(), [](const Want& a, const Want& b) {
+    return *a.table < *b.table;
+  });
+
+  LockSet set;
+  set.manager_ = this;
+  Stopwatch waited;
+  {
+    MutexLock lock(&mu_);
+    for (const Want& want : wants) {
+      bool announced = false;
+      while (!TryAcquireLocked(*want.table, want.exclusive)) {
+        if (want.exclusive && !announced) {
+          ++tables_[*want.table].waiting_writers;
+          announced = true;
+        }
+        const int64_t elapsed_ms =
+            static_cast<int64_t>(waited.ElapsedMillis());
+        const int64_t remaining = timeout_ms - elapsed_ms;
+        if (remaining <= 0 || !released_.WaitFor(&mu_, remaining)) {
+          if (announced) --tables_[*want.table].waiting_writers;
+          // Roll back the partial set under the lock we already hold,
+          // then fail typed: the statement dies, the session survives.
+          for (const std::string& name : set.writes_) {
+            tables_[name].writer = false;
+          }
+          for (const std::string& name : set.reads_) {
+            --tables_[name].readers;
+          }
+          set.manager_ = nullptr;
+          released_.NotifyAll();
+          HTG_METRIC_COUNTER("server.lock.timeouts")->Add();
+          return Status::Aborted(StringPrintf(
+              "lock timeout after %lld ms: table %s is held in a "
+              "conflicting mode",
+              static_cast<long long>(timeout_ms), want.table->c_str()));
+        }
+      }
+      if (announced) --tables_[*want.table].waiting_writers;
+      if (want.exclusive) {
+        set.writes_.push_back(*want.table);
+      } else {
+        set.reads_.push_back(*want.table);
+      }
+    }
+  }
+  set.wait_ns_ = static_cast<uint64_t>(waited.ElapsedSeconds() * 1e9);
+  HTG_METRIC_HISTOGRAM("server.lock.wait_ns")->Record(set.wait_ns_);
+  return set;
+}
+
+bool LockManager::TryAcquireLocked(const std::string& table, bool exclusive) {
+  TableLock& state = tables_[table];
+  if (exclusive) {
+    if (state.writer || state.readers > 0) return false;
+    state.writer = true;
+    return true;
+  }
+  // New readers queue behind waiting writers so a scan storm cannot
+  // starve a loader indefinitely.
+  if (state.writer || state.waiting_writers > 0) return false;
+  ++state.readers;
+  return true;
+}
+
+void LockManager::ReleaseSet(const std::vector<std::string>& reads,
+                             const std::vector<std::string>& writes) {
+  MutexLock lock(&mu_);
+  for (const std::string& name : writes) {
+    auto it = tables_.find(name);
+    if (it != tables_.end()) it->second.writer = false;
+  }
+  for (const std::string& name : reads) {
+    auto it = tables_.find(name);
+    if (it != tables_.end()) --it->second.readers;
+  }
+  // Drop idle entries so DROPped tables do not accumulate forever.
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    const TableLock& state = it->second;
+    if (!state.writer && state.readers == 0 && state.waiting_writers == 0) {
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  released_.NotifyAll();
+}
+
+size_t LockManager::LockedTableCount() const {
+  MutexLock lock(&mu_);
+  size_t locked = 0;
+  for (const auto& [name, state] : tables_) {
+    if (state.writer || state.readers > 0) ++locked;
+  }
+  return locked;
+}
+
+}  // namespace htg::server

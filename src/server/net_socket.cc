@@ -1,0 +1,189 @@
+#include "server/net_socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace htg::server {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return StringPrintf("%s: %s", what, strerror(errno));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Socket ---
+
+Socket::~Socket() { Close(); }
+
+Status Socket::ReadFull(char* buf, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd_, buf + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return Status::Aborted("connection closed");
+      return Status::IOError(StringPrintf(
+          "connection closed mid-frame (%zu of %zu bytes)", done, len));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Transient("recv timeout");
+    }
+    return Status::IOError(Errno("recv"));
+  }
+  return Status::OK();
+}
+
+Status Socket::WriteAll(std::string_view data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    // MSG_NOSIGNAL: a peer that disappeared mid-result must come back as
+    // a Status the handler can log, not a process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Status Socket::SetRecvTimeout(int64_t millis) {
+  struct timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ------------------------------------------------------- ListenSocket ---
+
+ListenSocket::~ListenSocket() { Close(); }
+
+Status ListenSocket::Listen(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError(Errno("socket"));
+  const int one = 1;
+  // Smoke tests and CI restart the server on the same port back to back;
+  // without SO_REUSEADDR the TIME_WAIT remnant of the previous run makes
+  // bind fail spuriously.
+  if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Status::IOError(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(Errno("bind"));
+  }
+  if (::listen(fd_, 128) != 0) return Status::IOError(Errno("listen"));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IOError(Errno("getsockname"));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Socket>> ListenSocket::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::Aborted("listen socket closed");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::Transient("poll interrupted");
+    return Status::IOError(Errno("poll"));
+  }
+  if (ready == 0) return Status::Transient("accept timeout");
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) {
+      return Status::Transient("accept interrupted");
+    }
+    return Status::IOError(Errno("accept"));
+  }
+  const int one = 1;
+  // Request/response frames are small; Nagle would add 40ms-class stalls
+  // to every round trip.
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return std::make_unique<Socket>(fd);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------- ConnectLoopback ---
+
+Result<std::unique_ptr<Socket>> ConnectLoopback(uint16_t port,
+                                                int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status status = Status::IOError(Errno("connect"));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    const Status status = Status::IOError(Errno("setsockopt(TCP_NODELAY)"));
+    ::close(fd);
+    return status;
+  }
+  auto socket = std::make_unique<Socket>(fd);
+  HTG_RETURN_IF_ERROR(socket->SetRecvTimeout(timeout_ms));
+  return socket;
+}
+
+}  // namespace htg::server

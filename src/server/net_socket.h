@@ -1,0 +1,86 @@
+#pragma once
+
+// The network I/O seam of htgdb-server: every socket syscall in the tree
+// lives behind these Status-returning wrappers (net_socket.cc is the one
+// place raw socket(2)/recv(2)/send(2) calls are sanctioned — the
+// server-raw-socket lint rule bans them everywhere else, mirroring how
+// storage::Vfs fences file I/O). Keeping one boundary gives the server
+// uniform typed errors (kIOError for hard transport failures, kTransient
+// for timeouts), EINTR retries, and MSG_NOSIGNAL on every send so a peer
+// that vanishes mid-result surfaces as a Status instead of SIGPIPE.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace htg::server {
+
+// A connected stream socket (one side of a client<->server connection).
+class Socket {
+ public:
+  // Takes ownership of a connected fd.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // Reads exactly `len` bytes. kIOError on EOF mid-buffer or a hard
+  // error; kAborted with "connection closed" when the peer closed
+  // cleanly before the first byte; kTransient on a recv timeout.
+  Status ReadFull(char* buf, size_t len);
+
+  // Writes all of `data` (retrying short writes and EINTR). A closed or
+  // reset peer returns kIOError — never SIGPIPE.
+  Status WriteAll(std::string_view data);
+
+  // Bounds every subsequent ReadFull wait; 0 restores blocking reads.
+  Status SetRecvTimeout(int64_t millis);
+
+  // Half-closes the read side: a handler blocked in ReadFull wakes with
+  // "connection closed". The write side stays open so a final goodbye
+  // frame can still be sent (graceful-shutdown drain).
+  void ShutdownRead();
+
+  void Close();
+  bool closed() const { return fd_ < 0; }
+
+ private:
+  int fd_;
+};
+
+// A listening TCP socket bound to 127.0.0.1.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // Binds and listens on `port` (0 = kernel-assigned ephemeral port;
+  // port() reports the actual one).
+  Status Listen(uint16_t port);
+
+  // Waits up to `timeout_ms` for a connection. Returns a connected
+  // socket, kTransient on timeout (callers loop and re-check their stop
+  // flag — this is what makes the accept loop interruptible), or
+  // kAborted once the socket is closed.
+  Result<std::unique_ptr<Socket>> Accept(int timeout_ms);
+
+  void Close();
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:`port` (the server binds loopback only).
+Result<std::unique_ptr<Socket>> ConnectLoopback(uint16_t port,
+                                                int timeout_ms = 10000);
+
+}  // namespace htg::server

@@ -1,0 +1,81 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace htg::server {
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db),
+      options_(options),
+      engine_(db),
+      pool_(std::max(1, options.threads)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  HTG_RETURN_IF_ERROR(listener_.Listen(options_.port));
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    // Bounded poll keeps the loop responsive to Shutdown without a
+    // self-pipe; transient results (timeout, EINTR) just re-check.
+    Result<std::unique_ptr<Socket>> accepted = listener_.Accept(200);
+    if (!accepted.ok()) {
+      if (accepted.status().IsTransient()) continue;
+      break;  // listener closed or hard I/O failure
+    }
+    HTG_METRIC_COUNTER("server.connections")->Add();
+    // shared_ptr because ThreadPool tasks are std::function (copyable).
+    std::shared_ptr<Socket> socket = std::move(*accepted);
+    {
+      MutexLock lock(&conns_mu_);
+      conns_.push_back(socket.get());
+    }
+    HTG_METRIC_GAUGE("server.connections.active")->Add(1);
+    pool_.Submit([this, socket] { ServeConnection(socket); });
+  }
+}
+
+void Server::ServeConnection(std::shared_ptr<Socket> socket) {
+  const uint64_t session_id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  SessionOptions session_options;
+  session_options.lock_timeout_ms = options_.lock_timeout_ms;
+  session_options.stmt_cache_capacity = options_.stmt_cache_capacity;
+  session_options.query_mem_bytes = options_.session_mem_bytes;
+  Session session(session_id, &engine_, &locks_, session_options);
+  session.Serve(socket.get(), &draining_);
+  {
+    MutexLock lock(&conns_mu_);
+    conns_.erase(std::find(conns_.begin(), conns_.end(), socket.get()));
+  }
+  HTG_METRIC_GAUGE("server.connections.active")->Add(-1);
+}
+
+void Server::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  {
+    // Unblock every handler parked in recv. A handler mid-statement is
+    // not parked — it finishes executing, fails its next read with EOF,
+    // sends Goodbye, and returns; nothing in flight is cut off.
+    MutexLock lock(&conns_mu_);
+    for (Socket* socket : conns_) socket->ShutdownRead();
+  }
+  pool_.Wait();
+}
+
+size_t Server::active_connections() const {
+  MutexLock lock(&conns_mu_);
+  return conns_.size();
+}
+
+}  // namespace htg::server

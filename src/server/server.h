@@ -1,0 +1,92 @@
+#pragma once
+
+// htgdb-server: the multi-client front end. One accept loop plus a
+// dedicated connection pool (NOT ThreadPool::Default() — handlers block on
+// socket reads, and parking them in the executor's pool would starve
+// morsel workers mid-query). Each connection gets a Session served
+// thread-per-connection on the bounded pool; connections beyond the pool
+// size queue until a handler frees up.
+//
+// Shutdown() is the graceful drain: stop accepting, shut down the read
+// side of every live connection (the in-flight statement finishes, the
+// next read sees EOF), let each session send Goodbye, then join the pool.
+// Signal wiring (SIGTERM/SIGINT -> Shutdown) lives in server_main.cc.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/thread_pool.h"
+#include "server/lock_manager.h"
+#include "server/net_socket.h"
+#include "server/session.h"
+#include "sql/engine.h"
+
+namespace htg::server {
+
+struct ServerOptions {
+  // TCP port on 127.0.0.1; 0 picks an ephemeral port (tests, benches).
+  // HTG_SERVER_PORT at the binary level.
+  uint16_t port = 0;
+  // Connection-handler threads (HTG_SERVER_THREADS). Also the cap on
+  // concurrently served clients.
+  int threads = 8;
+  // Per-statement lock wait bound (HTG_LOCK_TIMEOUT_MS).
+  int64_t lock_timeout_ms = LockManager::kDefaultTimeoutMs;
+  // Prepared statements cached per session (HTG_STMT_CACHE).
+  size_t stmt_cache_capacity = 32;
+  // Per-session query memory budget in bytes; 0 = database default.
+  size_t session_mem_bytes = 0;
+};
+
+class Server {
+ public:
+  Server(Database* db, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the listen socket and starts the accept loop. After a
+  // successful Start, port() is the live port (resolved if 0 was asked).
+  Status Start();
+
+  // Graceful drain; idempotent, safe from a signal-notified thread.
+  void Shutdown();
+
+  uint16_t port() const { return listener_.port(); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  size_t active_connections() const;
+  uint64_t sessions_served() const {
+    return next_session_id_.load(std::memory_order_relaxed) - 1;
+  }
+
+  sql::SqlEngine* engine() { return &engine_; }
+  LockManager* locks() { return &locks_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Socket> socket);
+
+  Database* const db_;
+  const ServerOptions options_;
+  sql::SqlEngine engine_;
+  LockManager locks_;
+
+  ListenSocket listener_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  ThreadPool pool_;
+  std::thread accept_thread_;
+
+  // Live connection sockets, so Shutdown can unblock their reads.
+  mutable Mutex conns_mu_{"Server::conns_mu_"};
+  std::vector<Socket*> conns_ HTG_GUARDED_BY(conns_mu_);
+};
+
+}  // namespace htg::server

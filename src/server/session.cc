@@ -1,0 +1,301 @@
+#include "server/session.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace htg::server {
+
+namespace {
+
+// The catalog pseudo-lock. The \x01 prefix cannot appear in a SQL
+// identifier, so it can never collide with a user table name.
+const char kCatalogLock[] =
+    "\x01"
+    "catalog";
+
+void CollectSelectReads(const sql::SelectStmt& stmt,
+                        std::vector<std::string>* reads);
+
+void CollectRefReads(const sql::TableRef& ref,
+                     std::vector<std::string>* reads) {
+  switch (ref.kind) {
+    case sql::TableRef::Kind::kTable:
+      reads->push_back(ToUpper(ref.name));
+      break;
+    case sql::TableRef::Kind::kSubquery:
+      if (ref.subquery != nullptr) CollectSelectReads(*ref.subquery, reads);
+      break;
+    case sql::TableRef::Kind::kTvf:
+    case sql::TableRef::Kind::kOpenRowset:
+    case sql::TableRef::Kind::kNone:
+      // TVFs and bulk rowsets read files, not catalog tables.
+      break;
+  }
+}
+
+void CollectSelectReads(const sql::SelectStmt& stmt,
+                        std::vector<std::string>* reads) {
+  CollectRefReads(stmt.from, reads);
+  for (const sql::JoinClause& join : stmt.joins) {
+    CollectRefReads(join.ref, reads);
+  }
+}
+
+}  // namespace
+
+LockFootprint DeriveLockFootprint(const std::vector<sql::Statement>& stmts) {
+  LockFootprint fp;
+  bool ddl = false;
+  for (const sql::Statement& stmt : stmts) {
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kSelect:
+      case sql::Statement::Kind::kExplain:
+        if (stmt.select != nullptr) CollectSelectReads(*stmt.select, &fp.reads);
+        break;
+      case sql::Statement::Kind::kInsert:
+        fp.writes.push_back(ToUpper(stmt.insert->table));
+        if (stmt.insert->select != nullptr) {
+          CollectSelectReads(*stmt.insert->select, &fp.reads);
+        }
+        fp.has_writes = true;
+        break;
+      case sql::Statement::Kind::kCreateTable:
+        fp.writes.push_back(ToUpper(stmt.create_table->name));
+        fp.has_writes = true;
+        ddl = true;
+        break;
+      case sql::Statement::Kind::kDropTable:
+        fp.writes.push_back(ToUpper(stmt.table_name));
+        fp.has_writes = true;
+        ddl = true;
+        break;
+      case sql::Statement::Kind::kTruncate:
+        fp.writes.push_back(ToUpper(stmt.table_name));
+        fp.has_writes = true;
+        break;
+    }
+  }
+  // Every statement participates in the catalog lock: DDL exclusively
+  // (changing the table map), everything else shared (resolving pointers
+  // into it). This is what keeps a TableDef* alive for a running scan.
+  if (ddl) {
+    fp.writes.push_back(kCatalogLock);
+  } else {
+    fp.reads.push_back(kCatalogLock);
+  }
+  return fp;
+}
+
+Session::Session(uint64_t id, sql::SqlEngine* engine, LockManager* locks,
+                 SessionOptions options)
+    : id_(id), engine_(engine), locks_(locks), options_(options) {}
+
+void Session::Serve(Socket* socket, const std::atomic<bool>* draining) {
+  // Handshake: versions must match exactly at protocol version 1.
+  Frame frame;
+  Status s = ReadFrame(socket, &frame);
+  if (!s.ok() || frame.type != MsgType::kHello) return;
+  HelloMsg hello;
+  if (!DecodeHello(frame.payload, &hello).ok()) return;
+  if (hello.version != kProtocolVersion) {
+    HTG_IGNORE_STATUS(SendError(
+        socket, Status::InvalidArgument(StringPrintf(
+                    "protocol version mismatch: client %u, server %u",
+                    hello.version, kProtocolVersion))));
+    return;
+  }
+  HelloAckMsg ack;
+  ack.server_name = "htgdb";
+  ack.session_id = id_;
+  std::string payload;
+  EncodeHelloAck(ack, &payload);
+  if (!WriteFrame(socket, MsgType::kHelloAck, payload).ok()) return;
+
+  while (true) {
+    s = ReadFrame(socket, &frame);
+    if (!s.ok()) {
+      // Peer hangup (or our own drain via ShutdownRead) surfaces as
+      // kAborted "connection closed"; during a drain we still owe the
+      // client a Goodbye so it can tell shutdown from a crash.
+      if (draining != nullptr && draining->load(std::memory_order_relaxed)) {
+        HTG_IGNORE_STATUS(WriteFrame(socket, MsgType::kGoodbye, {}));
+      }
+      return;
+    }
+    HTG_METRIC_COUNTER("server.requests")->Add();
+    switch (frame.type) {
+      case MsgType::kQuery:
+        s = HandleQuery(socket, frame);
+        break;
+      case MsgType::kPrepare:
+        s = HandlePrepare(socket, frame);
+        break;
+      case MsgType::kExecute:
+        s = HandleExecute(socket, frame);
+        break;
+      case MsgType::kCloseStmt:
+        s = HandleClose(socket, frame);
+        break;
+      case MsgType::kGoodbye:
+        return;
+      default:
+        // A frame type the server never expects is a protocol error, not
+        // a statement error: close rather than guess at framing.
+        HTG_IGNORE_STATUS(SendError(
+            socket, Status::InvalidArgument(StringPrintf(
+                        "unexpected frame type %u",
+                        static_cast<unsigned>(frame.type)))));
+        return;
+    }
+    // Handler errors are transport failures (the client vanished
+    // mid-result) or protocol corruption; either way the conversation is
+    // broken. Statement failures were already sent as Error frames and
+    // return OK here.
+    if (!s.ok()) return;
+  }
+}
+
+Result<sql::QueryResult> Session::Run(
+    const std::vector<sql::Statement>& stmts,
+    const std::string& client_token) {
+  LockFootprint fp = DeriveLockFootprint(stmts);
+
+  sql::StatementOptions opts;
+  opts.caller_owns_retries = true;
+  opts.query_mem_bytes = options_.query_mem_bytes;
+  opts.token = client_token;
+  if (opts.token.empty() && fp.has_writes) {
+    // The client sent no token but the batch mutates data: pin a
+    // session-local token so our own kTransient retries cannot re-run a
+    // load whose first attempt committed.
+    opts.token = StringPrintf("s%llu:%llu",
+                              static_cast<unsigned long long>(id_),
+                              static_cast<unsigned long long>(++token_seq_));
+  }
+
+  // Locks span the retry loop: a retry is the same statement, and letting
+  // the lock drop between attempts would let another writer interleave
+  // into what the client sees as one operation.
+  HTG_ASSIGN_OR_RETURN(LockSet locks,
+                       locks_->Acquire(std::move(fp.reads),
+                                       std::move(fp.writes),
+                                       options_.lock_timeout_ms));
+
+  Result<sql::QueryResult> r = engine_->ExecuteParsed(stmts, opts);
+  for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
+                        attempt < options_.statement_retries;
+       ++attempt) {
+    HTG_METRIC_COUNTER("server.statement.retries")->Add();
+    r = engine_->ExecuteParsed(stmts, opts);
+  }
+  statements_.fetch_add(1, std::memory_order_relaxed);
+  if (r.ok() && !stmts.empty() &&
+      stmts.back().kind == sql::Statement::Kind::kExplain &&
+      stmts.back().explain_analyze) {
+    // Surface the concurrency cost alongside the engine's plan stats.
+    r->message += StringPrintf(
+        "locks: wait=%.3f ms (timeout %lld ms)\n",
+        static_cast<double>(locks.wait_ns()) / 1e6,
+        static_cast<long long>(options_.lock_timeout_ms));
+  }
+  return r;
+}
+
+Status Session::HandleQuery(Socket* socket, const Frame& frame) {
+  QueryMsg msg;
+  HTG_RETURN_IF_ERROR(DecodeQuery(frame.payload, &msg));
+  Result<std::vector<sql::Statement>> parsed = sql::ParseSql(msg.sql);
+  if (!parsed.ok()) return SendError(socket, parsed.status());
+  Result<sql::QueryResult> r = Run(*parsed, msg.token);
+  if (!r.ok()) return SendError(socket, r.status());
+  return SendResult(socket, *r);
+}
+
+Status Session::HandlePrepare(Socket* socket, const Frame& frame) {
+  // Prepare reuses the Query payload shape (the token field is unused).
+  QueryMsg msg;
+  HTG_RETURN_IF_ERROR(DecodeQuery(frame.payload, &msg));
+  Result<std::vector<sql::Statement>> parsed = sql::ParseSql(msg.sql);
+  if (!parsed.ok()) return SendError(socket, parsed.status());
+  if (parsed->empty()) {
+    return SendError(socket, Status::ParseError("no statement to prepare"));
+  }
+  const uint64_t stmt_id = next_statement_id_++;
+  prepared_[stmt_id] = Prepared{msg.sql, std::move(*parsed)};
+  lru_.push_back(stmt_id);
+  while (prepared_.size() > options_.stmt_cache_capacity) {
+    prepared_.erase(lru_.front());
+    lru_.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    HTG_METRIC_COUNTER("server.stmt_cache.evictions")->Add();
+  }
+  std::string payload;
+  EncodeU64(stmt_id, &payload);
+  return WriteFrame(socket, MsgType::kPrepareAck, payload);
+}
+
+Status Session::HandleExecute(Socket* socket, const Frame& frame) {
+  ExecuteMsg msg;
+  HTG_RETURN_IF_ERROR(DecodeExecute(frame.payload, &msg));
+  const auto it = prepared_.find(msg.statement_id);
+  if (it == prepared_.end()) {
+    return SendError(
+        socket, Status::NotFound(StringPrintf(
+                    "prepared statement %llu not found (closed or evicted)",
+                    static_cast<unsigned long long>(msg.statement_id))));
+  }
+  // Touch the LRU: this id moves to the back of the eviction order.
+  lru_.erase(std::find(lru_.begin(), lru_.end(), msg.statement_id));
+  lru_.push_back(msg.statement_id);
+  Result<sql::QueryResult> r = Run(it->second.statements, msg.token);
+  if (!r.ok()) return SendError(socket, r.status());
+  return SendResult(socket, *r);
+}
+
+Status Session::HandleClose(Socket* socket, const Frame& frame) {
+  uint64_t stmt_id = 0;
+  HTG_RETURN_IF_ERROR(DecodeU64(frame.payload, &stmt_id));
+  const auto it = prepared_.find(stmt_id);
+  if (it != prepared_.end()) {
+    prepared_.erase(it);
+    lru_.erase(std::find(lru_.begin(), lru_.end(), stmt_id));
+  }
+  ResultDoneMsg done;
+  done.message = "closed";
+  std::string payload;
+  EncodeResultDone(done, &payload);
+  return WriteFrame(socket, MsgType::kResultDone, payload);
+}
+
+Status Session::SendResult(Socket* socket, const sql::QueryResult& result) {
+  if (result.schema.num_columns() > 0) {
+    std::string payload;
+    EncodeSchema(result.schema, &payload);
+    HTG_RETURN_IF_ERROR(WriteFrame(socket, MsgType::kResultHeader, payload));
+    for (size_t begin = 0; begin < result.rows.size();
+         begin += kResultBatchRows) {
+      const size_t end =
+          std::min(begin + kResultBatchRows, result.rows.size());
+      payload.clear();
+      EncodeRowBatch(result.rows, begin, end, &payload);
+      HTG_RETURN_IF_ERROR(WriteFrame(socket, MsgType::kResultBatch, payload));
+    }
+  }
+  ResultDoneMsg done;
+  done.rows_affected = result.rows_affected;
+  done.message = result.message;
+  std::string payload;
+  EncodeResultDone(done, &payload);
+  return WriteFrame(socket, MsgType::kResultDone, payload);
+}
+
+Status Session::SendError(Socket* socket, const Status& status) {
+  std::string payload;
+  EncodeError(status, &payload);
+  return WriteFrame(socket, MsgType::kError, payload);
+}
+
+}  // namespace htg::server

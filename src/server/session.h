@@ -1,0 +1,120 @@
+#pragma once
+
+// One connected client. A Session owns the request loop for its socket:
+// it parses each statement once, derives the table lock set from the AST
+// (reads shared, writes exclusive, DDL additionally serialized through a
+// catalog pseudo-lock), acquires the locks for the statement's duration,
+// and executes through the shared SqlEngine under the session's memory
+// budget. Statement failures cross the wire as typed Error frames and the
+// loop keeps serving; only protocol errors or a peer hangup end the
+// session.
+//
+// Retry discipline lives here, not in the engine: the session retries
+// kTransient statements itself, pinning a dedupe token so a load whose
+// first run committed is never executed twice (the engine's internal
+// retry loop is disabled via StatementOptions::caller_owns_retries).
+//
+// Prepared statements are a bounded per-session LRU of parsed ASTs:
+// Prepare parses once, Execute replans/reruns under fresh locks, and an
+// id evicted by capacity pressure (or Close) fails typed with kNotFound.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/lock_manager.h"
+#include "server/net_socket.h"
+#include "server/wire.h"
+#include "sql/ast.h"
+#include "sql/engine.h"
+
+namespace htg::server {
+
+struct SessionOptions {
+  // Bounded lock wait per statement (HTG_LOCK_TIMEOUT_MS).
+  int64_t lock_timeout_ms = LockManager::kDefaultTimeoutMs;
+  // Prepared statements cached per session before LRU eviction
+  // (HTG_STMT_CACHE).
+  size_t stmt_cache_capacity = 32;
+  // Per-session query memory budget in bytes; 0 = database default.
+  size_t query_mem_bytes = 0;
+  // Session-owned whole-statement retries on kTransient.
+  int statement_retries = sql::SqlEngine::kStatementRetries;
+};
+
+// The lock footprint of a parsed statement batch, in catalog-key
+// (uppercased) table names.
+struct LockFootprint {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+  // Any statement in the batch mutates data (needs a dedupe token).
+  bool has_writes = false;
+};
+
+// Derives the footprint by walking the AST: FROM/JOIN/subquery tables are
+// reads, INSERT/TRUNCATE/CREATE/DROP targets are writes, and every
+// statement takes the catalog pseudo-lock (shared for DML, exclusive for
+// DDL) so a DROP cannot yank a TableDef out from under a running scan.
+LockFootprint DeriveLockFootprint(const std::vector<sql::Statement>& stmts);
+
+class Session {
+ public:
+  Session(uint64_t id, sql::SqlEngine* engine, LockManager* locks,
+          SessionOptions options);
+
+  uint64_t id() const { return id_; }
+
+  // Serves the connection until the peer hangs up, a protocol error
+  // occurs, or the socket's read side is shut down (graceful drain). The
+  // in-flight statement always finishes; `draining` only changes the
+  // goodbye: when set, the server is closing and the session sends
+  // Goodbye{} before returning.
+  void Serve(Socket* socket, const std::atomic<bool>* draining);
+
+  // Observability for tests.
+  uint64_t statements_executed() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t cached_statements() const { return prepared_.size(); }
+
+ private:
+  struct Prepared {
+    std::string sql;
+    std::vector<sql::Statement> statements;
+  };
+
+  // Lock + execute + (session-owned) retry for one parsed batch.
+  Result<sql::QueryResult> Run(const std::vector<sql::Statement>& stmts,
+                               const std::string& client_token);
+
+  Status HandleQuery(Socket* socket, const Frame& frame);
+  Status HandlePrepare(Socket* socket, const Frame& frame);
+  Status HandleExecute(Socket* socket, const Frame& frame);
+  Status HandleClose(Socket* socket, const Frame& frame);
+
+  Status SendResult(Socket* socket, const sql::QueryResult& result);
+  Status SendError(Socket* socket, const Status& status);
+
+  const uint64_t id_;
+  sql::SqlEngine* const engine_;
+  LockManager* const locks_;
+  const SessionOptions options_;
+
+  // Prepared-statement cache: id -> parsed AST, LRU order front = oldest.
+  // Only the session's own serve thread touches these.
+  uint64_t next_statement_id_ = 1;
+  std::map<uint64_t, Prepared> prepared_;
+  std::list<uint64_t> lru_;
+  uint64_t token_seq_ = 0;
+
+  std::atomic<uint64_t> statements_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace htg::server

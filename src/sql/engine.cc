@@ -61,25 +61,81 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Result<QueryResult> SqlEngine::Execute(std::string_view sql) {
+  return Execute(sql, StatementOptions{});
+}
+
+Result<QueryResult> SqlEngine::Execute(std::string_view sql,
+                                       const StatementOptions& opts) {
   HTG_ASSIGN_OR_RETURN(std::vector<Statement> statements, ParseSql(sql));
+  return ExecuteParsed(statements, opts);
+}
+
+Result<QueryResult> SqlEngine::ExecuteParsed(
+    const std::vector<Statement>& statements, const StatementOptions& opts) {
   if (statements.empty()) {
     return Status::ParseError("no statement to execute");
+  }
+  // Dedupe before touching any table: a session retrying a statement whose
+  // first run committed (the transient fault hit after the commit point)
+  // must observe the recorded result, not a second execution.
+  if (!opts.token.empty()) {
+    QueryResult recorded;
+    if (LookupToken(opts.token, &recorded)) {
+      HTG_METRIC_COUNTER("sql.token.dedupe_hit")->Add();
+      return recorded;
+    }
   }
   QueryResult last;
   for (const Statement& stmt : statements) {
     // Statement-level degradation: a failed statement has already rolled
     // back its partial writes (see ExecuteInsert), so a transient I/O fault
     // can be retried whole-statement, and a hard failure aborts the batch
-    // while leaving the session fully usable.
-    Result<QueryResult> r = ExecuteStatement(stmt);
-    for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
-                          attempt < kStatementRetries;
-         ++attempt) {
-      r = ExecuteStatement(stmt);
+    // while leaving the session fully usable. When the caller owns retries
+    // (the session layer, with its dedupe token) the internal loop is off.
+    Result<QueryResult> r = ExecuteStatement(stmt, opts);
+    if (!opts.caller_owns_retries) {
+      for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
+                            attempt < kStatementRetries;
+           ++attempt) {
+        r = ExecuteStatement(stmt, opts);
+      }
     }
     HTG_ASSIGN_OR_RETURN(last, std::move(r));
   }
+  if (!opts.token.empty()) RecordToken(opts.token, last);
   return last;
+}
+
+bool SqlEngine::LookupToken(const std::string& token, QueryResult* result) {
+  MutexLock lock(&ledger_mu_);
+  const auto it = committed_.find(token);
+  if (it == committed_.end()) return false;
+  *result = it->second;
+  return true;
+}
+
+void SqlEngine::RecordToken(const std::string& token,
+                            const QueryResult& result) {
+  MutexLock lock(&ledger_mu_);
+  const auto [it, inserted] = committed_.emplace(token, result);
+  (void)it;
+  if (!inserted) return;
+  committed_order_.push_back(token);
+  while (committed_order_.size() > kTokenLedgerCapacity) {
+    committed_.erase(committed_order_.front());
+    committed_order_.pop_front();
+  }
+}
+
+exec::ExecContext SqlEngine::MakeContext(const StatementOptions& opts) {
+  exec::ExecContext ctx = exec::ExecContext::For(db_);
+  if (opts.query_mem_bytes > 0) {
+    // Session-scoped budget: tighter than (and independent of) the
+    // database-wide default, same spill policy.
+    ctx.mem = std::make_shared<MemoryContext>(
+        opts.query_mem_bytes, db_->options().ResolvedSpillEnabled());
+  }
+  return ctx;
 }
 
 Result<exec::OperatorPtr> SqlEngine::Plan(std::string_view sql) {
@@ -96,10 +152,11 @@ Result<std::string> SqlEngine::Explain(std::string_view sql) {
   return exec::ExplainPlan(*plan);
 }
 
-Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
+Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt,
+                                                const StatementOptions& opts) {
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(*stmt.select);
+      return ExecuteSelect(*stmt.select, opts);
     case Statement::Kind::kExplain: {
       Binder binder(db_);
       HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
@@ -112,7 +169,7 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
       // EXPLAIN ANALYZE: run the plan to completion with per-operator
       // stats collection on, then render the annotated tree. Result rows
       // are drained and discarded — the plan is the output.
-      exec::ExecContext ctx = exec::ExecContext::For(db_);
+      exec::ExecContext ctx = MakeContext(opts);
       ctx.collect_stats = true;
       const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
       Stopwatch total;
@@ -182,15 +239,16 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt) {
       return result;
     }
     case Statement::Kind::kInsert:
-      return ExecuteInsert(*stmt.insert);
+      return ExecuteInsert(*stmt.insert, opts);
   }
   return Status::Internal("unhandled statement kind");
 }
 
-Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt) {
+Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
+                                             const StatementOptions& opts) {
   Binder binder(db_);
   HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan, binder.BindSelect(stmt));
-  exec::ExecContext ctx = exec::ExecContext::For(db_);
+  exec::ExecContext ctx = MakeContext(opts);
   HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
                        plan->Open(&ctx));
   QueryResult result;
@@ -258,7 +316,8 @@ Result<QueryResult> SqlEngine::ExecuteCreateTable(const CreateTableStmt& stmt) {
   return result;
 }
 
-Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {
+Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
+                                             const StatementOptions& opts) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * table, db_->GetTable(stmt.table));
   const Schema& schema = table->schema;
 
@@ -334,7 +393,7 @@ Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {
       txn.Rollback();
       return plan.status();
     }
-    exec::ExecContext ctx = exec::ExecContext::For(db_);
+    exec::ExecContext ctx = MakeContext(opts);
     Result<std::unique_ptr<storage::RowIterator>> iter = (*plan)->Open(&ctx);
     if (!iter.ok()) {
       txn.Rollback();

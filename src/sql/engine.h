@@ -1,11 +1,14 @@
 #pragma once
 
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/database.h"
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "exec/operator.h"
 #include "sql/ast.h"
 
@@ -23,22 +26,56 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 50) const;
 };
 
+// Per-call execution knobs, threaded from the session layer.
+struct StatementOptions {
+  // Statement dedupe token. When non-empty, a successfully committed
+  // execution is recorded in a bounded ledger under this token, and a
+  // later Execute with the same token returns the recorded result instead
+  // of re-running. This is what makes retry-after-kTransient safe for
+  // non-idempotent loads: a transient fault *after* commit (say, while the
+  // response crossed the wire) must not insert the rows twice.
+  std::string token;
+  // Per-statement memory budget override in bytes; 0 keeps the
+  // database-wide DatabaseOptions::query_mem_bytes policy. Sessions use
+  // this to carve the server budget per connection.
+  size_t query_mem_bytes = 0;
+  // The session layer owns transient-fault retries (it holds the dedupe
+  // token); setting this disables the engine's internal whole-statement
+  // retry loop so the two layers don't compound into retries².
+  bool caller_owns_retries = false;
+};
+
 // The SQL surface of the engine: parse → bind/plan → execute.
 //
 //   SqlEngine engine(db);
 //   auto result = engine.Execute("SELECT COUNT(*) FROM Read");
+//
+// The engine itself is stateless apart from the committed-token ledger,
+// which is internally synchronized: concurrent sessions may share one
+// SqlEngine as long as catalog access is coordinated (the server's
+// LockManager serializes DDL against DML).
 class SqlEngine {
  public:
   // Whole-statement retry budget for transient I/O faults that survive the
   // storage layer's own RunWithRetries backoff. Rollback makes a failed
   // statement side-effect-free, so re-running it is safe.
   static constexpr int kStatementRetries = 3;
+  // Committed dedupe tokens remembered (FIFO eviction). Sized to cover
+  // every statement a reconnecting client could plausibly retry.
+  static constexpr size_t kTokenLedgerCapacity = 256;
 
   explicit SqlEngine(Database* db) : db_(db) {}
 
   // Executes one or more ';'-separated statements; returns the last
   // statement's result.
   Result<QueryResult> Execute(std::string_view sql);
+  Result<QueryResult> Execute(std::string_view sql,
+                              const StatementOptions& opts);
+
+  // Executes already-parsed statements (the prepared-statement path: parse
+  // once at Prepare, run per Execute).
+  Result<QueryResult> ExecuteParsed(const std::vector<Statement>& statements,
+                                    const StatementOptions& opts);
 
   // Plans a single SELECT without executing it (benchmarks stream the
   // iterator themselves).
@@ -50,12 +87,26 @@ class SqlEngine {
   Database* db() { return db_; }
 
  private:
-  Result<QueryResult> ExecuteStatement(const Statement& stmt);
-  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt);
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       const StatementOptions& opts);
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                    const StatementOptions& opts);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
-  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt,
+                                    const StatementOptions& opts);
+
+  // ExecContext::For(db_) with the per-statement budget override applied.
+  exec::ExecContext MakeContext(const StatementOptions& opts);
+
+  // Returns true and fills *result when `token` already committed.
+  bool LookupToken(const std::string& token, QueryResult* result);
+  void RecordToken(const std::string& token, const QueryResult& result);
 
   Database* db_;
+
+  Mutex ledger_mu_{"SqlEngine::ledger_mu_"};
+  std::map<std::string, QueryResult> committed_ HTG_GUARDED_BY(ledger_mu_);
+  std::deque<std::string> committed_order_ HTG_GUARDED_BY(ledger_mu_);
 };
 
 }  // namespace htg::sql

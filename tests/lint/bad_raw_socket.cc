@@ -1,0 +1,21 @@
+// Lint fixture: raw socket syscalls outside src/server/net_socket.{h,cc}.
+// Each use below must trip server-raw-socket -- sockets opened behind the
+// seam's back skip MSG_NOSIGNAL (a dead peer becomes SIGPIPE), EINTR
+// retries, and the typed kTransient/kIOError error mapping.
+//
+// expect-lint: server-raw-socket
+
+#include <sys/socket.h>
+
+namespace bad {
+
+long RawSocketTraffic() {
+  int fd = ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+  char buf[16];
+  long in = ::recv(fd, buf, sizeof(buf), 0);
+  long out = ::send(fd, buf, sizeof(buf), 0);
+  ::shutdown(fd, 0);
+  return in + out + fd;
+}
+
+}  // namespace bad

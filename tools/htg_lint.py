@@ -8,6 +8,12 @@ Rules (ids usable in NOLINT suppressions):
                     fopen/::open/::pwrite/::fsync/fstream anywhere else in
                     engine code bypasses fault injection and crash-safety
                     accounting.
+  server-raw-socket All socket syscalls (::socket/::recv/::send/... and
+                    the <sys/socket.h> family of includes) live in
+                    src/server/net_socket.{h,cc}, the network seam that
+                    gives the server typed errors, EINTR retries, and
+                    MSG_NOSIGNAL. Everything else talks through
+                    server::Socket / ListenSocket / Client.
   naked-new         No naked new/delete in src/: ownership must be visible
                     at the allocation site (make_unique, unique_ptr(new ...),
                     .reset(new ...), or the intentional-leak `*new` static
@@ -195,6 +201,28 @@ def check_raw_io(path, text, rel):
                 f"raw file I/O `{m.group(0).strip()}` bypasses the Vfs seam; "
                 "use storage::Vfs (src/storage/vfs.h)")
         for m in RAW_IO_RE.finditer(text)
+    ]
+
+
+RAW_SOCKET_RE = re.compile(
+    r"#include\s*<(sys/socket\.h|netinet/[\w./]+|arpa/inet\.h)>"
+    r"|::\s*(socket|connect|bind|listen|accept4?|recv(from)?|send(to)?"
+    r"|setsockopt|getsockopt|getsockname|shutdown)\s*\("
+)
+# The one sanctioned home of socket syscalls (the server's Vfs-style
+# network seam).
+SOCKET_SEAM = {"src/server/net_socket.cc", "src/server/net_socket.h"}
+
+
+def check_server_raw_socket(path, text, rel):
+    if rel.replace(os.sep, "/") in SOCKET_SEAM:
+        return []
+    return [
+        Finding(path, line_of(text, m.start()), "server-raw-socket",
+                f"raw socket call `{m.group(0).strip()}` bypasses the "
+                "network seam; use server::Socket / ListenSocket "
+                "(src/server/net_socket.h)")
+        for m in RAW_SOCKET_RE.finditer(text)
     ]
 
 
@@ -699,6 +727,8 @@ def check_sync_locked_suffix(path, text, rel):
 # include path it matches on.
 RULES = {
     "raw-io": (check_raw_io, ("src",), False),
+    "server-raw-socket":
+        (check_server_raw_socket, ("src", "bench", "tests"), False),
     "naked-new": (check_naked_new, ("src",), False),
     "statuscode-switch":
         (check_statuscode_switch, ("src", "bench", "tests"), False),
@@ -724,6 +754,8 @@ RULES = {
 # there so the two cannot drift apart.
 RULE_DESCRIPTIONS = {
     "raw-io": "all file I/O goes through the storage::Vfs seam",
+    "server-raw-socket": "raw socket syscalls live only in "
+                         "src/server/net_socket.{h,cc}",
     "naked-new": "no naked new/delete; ownership visible at the "
                  "allocation site",
     "statuscode-switch": "no `default:` in a switch over StatusCode",

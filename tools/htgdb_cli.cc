@@ -1,0 +1,131 @@
+// htgdb-cli: scripted wire-protocol client for htgdb-server. Reads one
+// command per line from stdin and talks to a running server over
+// loopback, which is exactly what the CI server-smoke job needs: drive a
+// session (load -> query -> prepared statement -> close) from a shell
+// heredoc and exit nonzero if anything failed.
+//
+//   htgdb-cli --port N
+//
+// Lines are SQL statements, except backslash commands:
+//   \prepare <sql>    prepare, prints "prepared <id>"
+//   \execute <id>     execute a prepared statement
+//   \close <id>       close a prepared statement
+//   \quit             polite goodbye (EOF does the same)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+void PrintResult(const htg::server::ClientResult& result) {
+  if (result.schema.num_columns() > 0) {
+    for (int c = 0; c < result.schema.num_columns(); ++c) {
+      printf("%s%s", c > 0 ? "\t" : "", result.schema.column(c).name.c_str());
+    }
+    printf("\n");
+    for (const htg::Row& row : result.rows) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        printf("%s%s", c > 0 ? "\t" : "", row[c].ToString().c_str());
+      }
+      printf("\n");
+    }
+    printf("(%zu rows)\n", result.rows.size());
+  } else if (!result.message.empty()) {
+    printf("%s\n", result.message.c_str());
+  } else {
+    printf("(%llu rows affected)\n",
+           static_cast<unsigned long long>(result.rows_affected));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::strtol(argv[++i], nullptr, 10);
+    }
+  }
+  if (port <= 0) {
+    if (const char* env = std::getenv("HTG_SERVER_PORT")) {
+      port = std::strtol(env, nullptr, 10);
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    fprintf(stderr, "usage: htgdb-cli --port N  (or HTG_SERVER_PORT)\n");
+    return 2;
+  }
+
+  auto connected =
+      htg::server::Client::Connect(static_cast<uint16_t>(port), "htgdb-cli");
+  if (!connected.ok()) {
+    fprintf(stderr, "htgdb-cli: %s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<htg::server::Client> client = std::move(*connected);
+  fprintf(stderr, "connected: session %llu\n",
+          static_cast<unsigned long long>(client->session_id()));
+
+  int failures = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Trim trailing CR (heredocs written on checkouts with CRLF).
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "\\quit") break;
+    if (line.rfind("\\prepare ", 0) == 0) {
+      auto prepared = client->Prepare(line.substr(9));
+      if (!prepared.ok()) {
+        fprintf(stderr, "error: %s\n", prepared.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      printf("prepared %llu\n", static_cast<unsigned long long>(*prepared));
+      continue;
+    }
+    if (line.rfind("\\execute ", 0) == 0) {
+      const uint64_t id = std::strtoull(line.c_str() + 9, nullptr, 10);
+      auto result = client->Execute(id);
+      if (!result.ok()) {
+        fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      PrintResult(*result);
+      continue;
+    }
+    if (line.rfind("\\close ", 0) == 0) {
+      const uint64_t id = std::strtoull(line.c_str() + 7, nullptr, 10);
+      const htg::Status closed = client->CloseStatement(id);
+      if (!closed.ok()) {
+        fprintf(stderr, "error: %s\n", closed.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      printf("closed %llu\n", static_cast<unsigned long long>(id));
+      continue;
+    }
+    auto result = client->Query(line);
+    if (!result.ok()) {
+      fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    PrintResult(*result);
+  }
+  client->Goodbye();
+  if (failures > 0) {
+    fprintf(stderr, "htgdb-cli: %d statement(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
