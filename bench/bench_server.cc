@@ -10,6 +10,15 @@
 //
 // A final informational arm mixes one token-carrying writer among three
 // readers — the table-lock interleave and dedupe-token path under load.
+//
+// The MVCC arms run the same reader workload twice: against an idle
+// server (wall_reader_idle) and concurrent with an open BEGIN bulk-load
+// transaction (wall_reader_during_load). Snapshot reads take no table
+// lock, so the two should track each other — the baseline's monotone
+// assertion (tolerance 2.5) is the CI gate that a SELECT does not queue
+// behind a loader. Every COUNT(*) the concurrent reader runs must equal
+// the pre-load row count: the snapshot-consistency check is in-process
+// and fatal.
 
 #include <algorithm>
 #include <atomic>
@@ -48,6 +57,39 @@ void RunReadClient(uint16_t port, int client_id, uint64_t ops) {
     if (result.rows.empty()) {
       fprintf(stderr, "FATAL read op returned no rows\n");
       exit(1);
+    }
+  }
+  client->Goodbye();
+}
+
+// Reader arm for the MVCC sweep: `ops` statements alternating a
+// COUNT(*) — which must equal `expect_rows` exactly, even while a bulk
+// load is appending in an open transaction — with the rotated read
+// queries.
+void RunSnapshotReader(uint16_t port, uint64_t ops, int64_t expect_rows) {
+  std::unique_ptr<server::Client> client = ConnectClient(port);
+  for (uint64_t i = 0; i < ops; ++i) {
+    if (i % 2 == 0) {
+      server::ClientResult result =
+          CheckOk(client->Query("SELECT COUNT(*) FROM reads"), "count op");
+      if (result.rows.empty() ||
+          result.rows[0][0].AsInt64() != expect_rows) {
+        fprintf(stderr,
+                "FATAL snapshot reader saw %lld rows, want %lld — a "
+                "concurrent load leaked into the snapshot\n",
+                result.rows.empty()
+                    ? -1ll
+                    : static_cast<long long>(result.rows[0][0].AsInt64()),
+                static_cast<long long>(expect_rows));
+        exit(1);
+      }
+    } else {
+      const char* sql = kReadQueries[i % kNumReadQueries];
+      server::ClientResult result = CheckOk(client->Query(sql), "read op");
+      if (result.rows.empty()) {
+        fprintf(stderr, "FATAL read op returned no rows\n");
+        exit(1);
+      }
     }
   }
   client->Goodbye();
@@ -179,12 +221,72 @@ void Run() {
   });
   table.AddRow({"3r+1w", StringPrintf("%.3f s", mixed), "-", "-"});
 
+  // MVCC arms: one reader against an idle server, then the same reader
+  // concurrent with an open BEGIN bulk-load transaction that aborts at
+  // rep end (keeping the row count reproducible across reps). Snapshot
+  // reads take no table lock, so the during-load wall should track the
+  // idle wall rather than the load's duration.
+  const uint64_t reader_ops = std::max<uint64_t>(total_ops / 4, 8);
+  int64_t base_count = 0;
+  {
+    std::unique_ptr<server::Client> probe = ConnectClient(srv.port());
+    server::ClientResult counted =
+        CheckOk(probe->Query("SELECT COUNT(*) FROM reads"), "base count");
+    base_count = counted.rows[0][0].AsInt64();
+    probe->Goodbye();
+  }
+  const double reader_idle =
+      report.MeasureSeconds("wall_reader_idle", 3, [&] {
+        RunSnapshotReader(srv.port(), reader_ops, base_count);
+      });
+  const double reader_during =
+      report.MeasureSeconds("wall_reader_during_load", 3, [&] {
+        std::atomic<bool> stop{false};
+        std::atomic<bool> loading{false};
+        std::thread loader([&] {
+          std::unique_ptr<server::Client> writer = ConnectClient(srv.port());
+          CheckOk(writer->Begin(), "load begin");
+          uint64_t seq = 0;
+          // First insert takes the table-exclusive lock; only after it
+          // lands is the reader provably scanning concurrent with a
+          // loader that holds the table.
+          CheckOk(writer->Query("INSERT INTO reads VALUES (0, 0, 'load')")
+                      .status(),
+                  "load op");
+          loading.store(true, std::memory_order_release);
+          while (!stop.load(std::memory_order_relaxed)) {
+            CheckOk(writer
+                        ->Query(StringPrintf(
+                            "INSERT INTO reads VALUES (%llu, %llu, 'load')",
+                            static_cast<unsigned long long>(seq % 256),
+                            static_cast<unsigned long long>(seq)))
+                        .status(),
+                    "load op");
+            ++seq;
+          }
+          CheckOk(writer->Abort(), "load abort");
+          writer->Goodbye();
+        });
+        while (!loading.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        RunSnapshotReader(srv.port(), reader_ops, base_count);
+        stop.store(true, std::memory_order_relaxed);
+        loader.join();
+      });
+  table.AddRow({"1r idle", StringPrintf("%.3f s", reader_idle), "-", "-"});
+  table.AddRow({"1r+load", StringPrintf("%.3f s", reader_during), "-", "-"});
+
   table.Print();
 
   const double speedup16 = wall[0] / wall[2];
   printf("\nShape: fixed work, rising client counts — wall clock should "
          "fall until the cores run out. 16 clients sustain %.2fx the "
          "single-client throughput.\n", speedup16);
+  printf("MVCC: reader during open bulk load ran at %.2fx its idle wall "
+         "(snapshot reads take no table lock; every concurrent COUNT saw "
+         "the consistent pre-load count).\n",
+         reader_during / std::max(reader_idle, 1e-9));
 
   if (srv.locks()->LockedTableCount() != 0) {
     fprintf(stderr, "FATAL %zu table locks leaked after the sweep\n",

@@ -1,9 +1,11 @@
 #include "catalog/database.h"
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "storage/clustered_table.h"
 #include "storage/heap_table.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "types/row_batch.h"
@@ -40,6 +42,24 @@ bool DatabaseOptions::ResolvedSpillEnabled() const {
   return true;
 }
 
+bool DatabaseOptions::ResolvedMvccEnabled() const {
+  if (!enable_mvcc) return false;
+  if (const char* env = std::getenv("HTG_MVCC")) {
+    if (env[0] == '0' && env[1] == '\0') return false;
+  }
+  return true;
+}
+
+uint64_t DatabaseOptions::ResolvedMvccGcEvery() const {
+  if (mvcc_gc_every >= 0) return static_cast<uint64_t>(mvcc_gc_every);
+  if (const char* env = std::getenv("HTG_MVCC_GC_EVERY")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 0) return static_cast<uint64_t>(parsed);
+  }
+  return 16;
+}
+
 Database::Database(std::string name, DatabaseOptions options)
     : name_(std::move(name)), options_(std::move(options)) {}
 
@@ -74,6 +94,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& name,
       storage::FileStreamStore::Open(db->options_.filestream_root,
                                      db->options_.filestream_options));
   HTG_RETURN_IF_ERROR(udf::RegisterBuiltins(&db->functions_));
+  db->mvcc_enabled_ = db->options_.ResolvedMvccEnabled();
+  db->mvcc_gc_every_ = db->options_.ResolvedMvccGcEvery();
   return db;
 }
 
@@ -107,6 +129,9 @@ Status Database::CreateTable(catalog::TableDef def) {
       }
       def.table = std::move(clustered);
     }
+  }
+  if (def.mvcc == nullptr) {
+    def.mvcc = std::make_unique<storage::MvccTableState>();
   }
   MutexLock lock(&catalog_mu_);
   const auto [it, inserted] = tables_.emplace(
@@ -145,6 +170,11 @@ std::vector<std::string> Database::ListTables() const {
 
 Status Database::InsertRow(catalog::TableDef* table, Row row,
                            storage::Transaction* txn) {
+  return InsertRow(table, std::move(row), txn, storage::kFrozenTxn);
+}
+
+Status Database::InsertRow(catalog::TableDef* table, Row row,
+                           storage::Transaction* txn, storage::TxnId stamp) {
   const Schema& schema = table->schema;
   if (static_cast<int>(row.size()) != schema.num_columns()) {
     return Status::InvalidArgument(StringPrintf(
@@ -186,7 +216,60 @@ Status Database::InsertRow(catalog::TableDef* table, Row row,
       HTG_ASSIGN_OR_RETURN(row[i], row[i].CastTo(col.type));
     }
   }
+  if (stamp != storage::kFrozenTxn) {
+    // Clustered entries carry the stamp so snapshot scans can filter;
+    // heaps stay unstamped — their visibility is a row-count watermark.
+    if (auto* clustered =
+            dynamic_cast<storage::ClusteredTable*>(table->table.get())) {
+      return clustered->InsertStamped(row, stamp);
+    }
+  }
   return table->table->Insert(row);
+}
+
+void Database::MaybeSweepVersions() {
+  if (!mvcc_enabled_ || mvcc_gc_every_ == 0) return;
+  const uint64_t pending =
+      gc_pending_.fetch_add(txn_manager_.TakeCompletedSinceSweep(),
+                            std::memory_order_acq_rel) +
+      1;
+  if (pending < mvcc_gc_every_) return;
+  gc_pending_.store(0, std::memory_order_release);
+  SweepVersions();
+}
+
+uint64_t Database::SweepVersions() {
+  // Only ids below the horizon are settled for every live snapshot; a
+  // concurrently-starting abort gets an id >= horizon, so trimming below
+  // it cannot race a fresh abort.
+  const storage::TxnId horizon = txn_manager_.Horizon();
+  std::vector<storage::TxnId> aborted = txn_manager_.AbortedSet();
+  aborted.erase(
+      std::lower_bound(aborted.begin(), aborted.end(), horizon),
+      aborted.end());
+  uint64_t removed = 0;
+  {
+    // Holding the catalog lock keeps every TableDef alive for the sweep;
+    // DropTable takes it exclusively. Lock order: catalog_mu_ before any
+    // table latch.
+    ReaderMutexLock lock(&catalog_mu_);
+    for (const auto& [key, def] : tables_) {
+      if (def->mvcc == nullptr) continue;
+      def->mvcc->CollapseBelow(horizon);
+      if (!aborted.empty()) {
+        if (auto* clustered =
+                dynamic_cast<storage::ClusteredTable*>(def->table.get())) {
+          removed += clustered->SweepAborted(aborted);
+        }
+      }
+    }
+  }
+  if (!aborted.empty()) txn_manager_.TrimAbortedBelow(horizon);
+  HTG_METRIC_COUNTER("mvcc.gc.sweeps")->Add(1);
+  if (removed > 0) {
+    HTG_METRIC_COUNTER("mvcc.gc.entries_removed")->Add(removed);
+  }
+  return removed;
 }
 
 udf::EvalContext Database::MakeEvalContext() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,15 @@ struct DatabaseOptions {
   bool enable_spill = true;
   // Fan-out of one partition-spill pass in hash aggregate / hash join.
   size_t spill_partitions = 16;
+  // Snapshot-isolation MVCC: statements read a consistent snapshot
+  // (heap row-count watermarks, clustered txn stamps) and the server
+  // accepts multi-statement BEGIN/COMMIT/ABORT. HTG_MVCC=0 disables it
+  // from the environment and reverts to lock-only visibility.
+  bool enable_mvcc = true;
+  // Completed (committed + aborted) transactions between opportunistic
+  // version-GC sweeps. -1 = HTG_MVCC_GC_EVERY (default 16); 0 disables
+  // the automatic sweep (SweepVersions can still be called directly).
+  int64_t mvcc_gc_every = -1;
 
   // batch_rows with the 0 = environment default applied.
   size_t ResolvedBatchRows() const;
@@ -64,6 +74,10 @@ struct DatabaseOptions {
   size_t ResolvedQueryMemBytes() const;
   // enable_spill combined with the HTG_SPILL environment override.
   bool ResolvedSpillEnabled() const;
+  // enable_mvcc combined with the HTG_MVCC environment override.
+  bool ResolvedMvccEnabled() const;
+  // mvcc_gc_every with the -1 = environment default applied.
+  uint64_t ResolvedMvccGcEvery() const;
 };
 
 // The top-level engine object: catalog of tables, the function registry
@@ -113,8 +127,28 @@ class Database {
   Status InsertRow(catalog::TableDef* table, Row row,
                    storage::Transaction* txn = nullptr);
 
+  // Inserts one row stamped with the writing transaction's id: clustered
+  // tables record it on the B+-tree entry (snapshot scans filter on it);
+  // heaps ignore the stamp — their visibility is watermark-based.
+  Status InsertRow(catalog::TableDef* table, Row row,
+                   storage::Transaction* txn, storage::TxnId stamp);
+
   // An EvalContext wired to this database (DATALENGTH on filestreams etc).
   udf::EvalContext MakeEvalContext();
+
+  // MVCC ----------------------------------------------------------------
+
+  // Resolved enable_mvcc, cached at Open.
+  bool mvcc_enabled() const { return mvcc_enabled_; }
+  storage::TxnManager* txns() { return &txn_manager_; }
+
+  // Opportunistic version GC: once ResolvedMvccGcEvery() transactions
+  // have completed since the last sweep, retires committed watermark
+  // ranges below the oldest live snapshot and physically removes
+  // aborted-transaction entries from clustered trees.
+  void MaybeSweepVersions();
+  // Unconditional sweep; returns the number of clustered entries removed.
+  uint64_t SweepVersions();
 
  private:
   Database(std::string name, DatabaseOptions options);
@@ -131,6 +165,10 @@ class Database {
       HTG_GUARDED_BY(catalog_mu_);
   udf::FunctionRegistry functions_;
   std::unique_ptr<storage::FileStreamStore> filestream_;
+  storage::TxnManager txn_manager_;
+  bool mvcc_enabled_ = true;        // resolved once at Open
+  uint64_t mvcc_gc_every_ = 16;     // resolved once at Open
+  std::atomic<uint64_t> gc_pending_{0};
 };
 
 }  // namespace htg

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/mvcc.h"
 #include "storage/table.h"
 #include "types/schema.h"
 
@@ -17,6 +18,9 @@ struct TableDef {
   std::vector<int> clustered_key;
   storage::Compression compression = storage::Compression::kNone;
   std::unique_ptr<storage::TableStorage> table;
+  // Per-table MVCC bookkeeping (writer watermarks, first-writer-wins
+  // probe). Created by Database::CreateTable; null for hand-built defs.
+  std::unique_ptr<storage::MvccTableState> mvcc;
 
   bool HasFilestreamColumns() const {
     for (const Column& c : schema.columns()) {

@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "exec/batch.h"
 #include "exec/spill_util.h"
+#include "storage/clustered_table.h"
 #include "storage/heap_table.h"
 
 namespace htg::exec {
@@ -274,7 +275,40 @@ TableScanOp::TableScanOp(catalog::TableDef* table, Row seek_prefix)
     : table_(table), has_seek_(true), seek_prefix_(std::move(seek_prefix)) {}
 
 Result<std::unique_ptr<storage::RowIterator>> TableScanOp::OpenImpl(
-    ExecContext*) {
+    ExecContext* ctx) {
+  // MVCC: with a snapshot in the context, bound the scan to the rows the
+  // snapshot sees. This is the single interception point for both serial
+  // plans and morsel pipelines (each morsel is a range-scan clone opened
+  // with a worker copy of the same context).
+  const storage::Snapshot* snap =
+      ctx != nullptr && table_->mvcc != nullptr ? ctx->snapshot : nullptr;
+  if (snap != nullptr) {
+    if (auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get())) {
+      const uint64_t limit =
+          table_->mvcc->VisibleRows(*snap, ctx->txn_id, heap->num_rows());
+      HTG_ASSIGN_OR_RETURN(const storage::HeapTable::PrefixPlan plan,
+                           heap->PlanVisiblePrefix(limit));
+      size_t first = 0;
+      size_t end = plan.end_page;
+      if (has_range_) {
+        // Morsels past the visible prefix become empty scans.
+        first = first_page_;
+        if (end_page_ < end) {
+          // The morsel ends before the prefix does: no mid-page cap.
+          return {heap->NewScanRangeCapped(first, end_page_, 0)};
+        }
+      }
+      return {heap->NewScanRangeCapped(first, end, plan.tail_rows)};
+    }
+    if (auto* clustered =
+            dynamic_cast<storage::ClusteredTable*>(table_->table.get())) {
+      if (has_seek_) {
+        return clustered->NewSnapshotScanFrom(seek_prefix_, *snap,
+                                              ctx->txn_id);
+      }
+      return {clustered->NewSnapshotScan(*snap, ctx->txn_id)};
+    }
+  }
   if (has_range_) {
     auto* heap = dynamic_cast<storage::HeapTable*>(table_->table.get());
     if (heap == nullptr) {

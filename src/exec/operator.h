@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "exec/expression.h"
+#include "storage/mvcc.h"
 #include "storage/table.h"
 #include "storage/tablespace.h"
 #include "types/schema.h"
@@ -36,6 +37,15 @@ struct ExecContext {
   storage::TableSpace* tablespace = nullptr;
   // Fan-out of one partition-spill pass (hash aggregate / hash join).
   size_t spill_partitions = 16;
+  // MVCC visibility: when set, table scans bound themselves to this
+  // snapshot (heap row-count prefix, clustered stamp filter) instead of
+  // reading the live table tail. The pointer outlives the statement (it
+  // points into the session's TxnContext or the engine's per-statement
+  // pin) and is shared by every morsel-worker copy of this context.
+  const storage::Snapshot* snapshot = nullptr;
+  // The reading transaction's id — a transaction always sees its own
+  // uncommitted writes. kFrozenTxn outside any transaction.
+  storage::TxnId txn_id = storage::kFrozenTxn;
   udf::EvalContext eval;
 
   bool UseBatches() const { return batch_rows > 1; }

@@ -102,6 +102,27 @@ Status Client::CloseStatement(uint64_t statement_id) {
   return Status::OK();
 }
 
+Status Client::Begin() { return SimpleCommand(MsgType::kBegin); }
+Status Client::Commit() { return SimpleCommand(MsgType::kCommit); }
+Status Client::Abort() { return SimpleCommand(MsgType::kAbort); }
+
+Status Client::SimpleCommand(MsgType type) {
+  HTG_RETURN_IF_ERROR(WriteFrame(socket_.get(), type, {}));
+  Frame frame;
+  HTG_RETURN_IF_ERROR(ReadFrame(socket_.get(), &frame));
+  if (frame.type == MsgType::kError) {
+    ErrorMsg error;
+    HTG_RETURN_IF_ERROR(DecodeError(frame.payload, &error));
+    return Status(error.code, error.message);
+  }
+  if (frame.type != MsgType::kResultDone) {
+    return Status::Corruption(StringPrintf(
+        "expected ResultDone, got frame type %u",
+        static_cast<unsigned>(frame.type)));
+  }
+  return Status::OK();
+}
+
 void Client::Goodbye() {
   HTG_IGNORE_STATUS(WriteFrame(socket_.get(), MsgType::kGoodbye, {}));
   socket_->Close();

@@ -48,6 +48,16 @@ class Client {
                                const std::string& token = "");
   Status CloseStatement(uint64_t statement_id);
 
+  // Multi-statement transactions (snapshot isolation; see
+  // docs/CONCURRENCY.md). Between Begin and Commit/Abort every Query/
+  // Execute reads the Begin-time snapshot and holds its write locks to
+  // commit; a failed statement auto-aborts server-side (the error says
+  // "transaction aborted"), after which Commit/Abort fail typed with
+  // kInvalidArgument until the next Begin.
+  Status Begin();
+  Status Commit();
+  Status Abort();
+
   // Polite hangup (server tears the session down without an error).
   void Goodbye();
 
@@ -59,6 +69,9 @@ class Client {
 
   // Reads the result conversation that follows Query/Execute.
   Result<ClientResult> ReadResult();
+
+  // Empty-payload request expecting ResultDone (Begin/Commit/Abort).
+  Status SimpleCommand(MsgType type);
 
   std::unique_ptr<Socket> socket_;
   uint64_t session_id_ = 0;

@@ -16,6 +16,16 @@ const char kCatalogLock[] =
     "\x01"
     "catalog";
 
+// Per-table schema-stability pseudo-locks, used when MVCC snapshots are
+// on. A snapshot reader holds "\x02<TABLE>" shared instead of locking
+// the table itself: its snapshot already isolates it from concurrent
+// inserts, but TRUNCATE/DROP physically destroy the rows the scan is
+// walking, so those take the schema lock exclusively and wait readers
+// out. Like \x01, the prefix cannot collide with a SQL identifier.
+std::string SchemaLockName(const std::string& upper_table) {
+  return std::string("\x02") + upper_table;
+}
+
 void CollectSelectReads(const sql::SelectStmt& stmt,
                         std::vector<std::string>* reads);
 
@@ -46,37 +56,59 @@ void CollectSelectReads(const sql::SelectStmt& stmt,
 
 }  // namespace
 
-LockFootprint DeriveLockFootprint(const std::vector<sql::Statement>& stmts) {
+LockFootprint DeriveLockFootprint(const std::vector<sql::Statement>& stmts,
+                                  bool mvcc_snapshots) {
   LockFootprint fp;
   bool ddl = false;
+  std::vector<std::string> scans;  // tables read through a snapshot
   for (const sql::Statement& stmt : stmts) {
     switch (stmt.kind) {
       case sql::Statement::Kind::kSelect:
       case sql::Statement::Kind::kExplain:
-        if (stmt.select != nullptr) CollectSelectReads(*stmt.select, &fp.reads);
+        if (stmt.select != nullptr) CollectSelectReads(*stmt.select, &scans);
         break;
-      case sql::Statement::Kind::kInsert:
-        fp.writes.push_back(ToUpper(stmt.insert->table));
+      case sql::Statement::Kind::kInsert: {
+        const std::string target = ToUpper(stmt.insert->table);
+        fp.writes.push_back(target);
+        if (mvcc_snapshots) {
+          // The writer needs the table to keep existing until its txn
+          // finishes, exactly like a reader does.
+          fp.reads.push_back(SchemaLockName(target));
+        }
         if (stmt.insert->select != nullptr) {
-          CollectSelectReads(*stmt.insert->select, &fp.reads);
+          CollectSelectReads(*stmt.insert->select, &scans);
         }
         fp.has_writes = true;
         break;
+      }
       case sql::Statement::Kind::kCreateTable:
         fp.writes.push_back(ToUpper(stmt.create_table->name));
         fp.has_writes = true;
         ddl = true;
         break;
-      case sql::Statement::Kind::kDropTable:
-        fp.writes.push_back(ToUpper(stmt.table_name));
+      case sql::Statement::Kind::kDropTable: {
+        const std::string target = ToUpper(stmt.table_name);
+        fp.writes.push_back(target);
+        if (mvcc_snapshots) fp.writes.push_back(SchemaLockName(target));
         fp.has_writes = true;
         ddl = true;
         break;
-      case sql::Statement::Kind::kTruncate:
-        fp.writes.push_back(ToUpper(stmt.table_name));
+      }
+      case sql::Statement::Kind::kTruncate: {
+        const std::string target = ToUpper(stmt.table_name);
+        fp.writes.push_back(target);
+        if (mvcc_snapshots) fp.writes.push_back(SchemaLockName(target));
         fp.has_writes = true;
         break;
+      }
     }
+  }
+  // Scanned tables: with MVCC the snapshot isolates the scan from
+  // concurrent inserts, so readers take only the schema-stability lock
+  // (a SELECT never blocks behind a bulk load); without it they must
+  // lock the table shared to keep writers out mid-scan.
+  for (const std::string& table : scans) {
+    fp.reads.push_back(mvcc_snapshots ? SchemaLockName(table) : table);
   }
   // Every statement participates in the catalog lock: DDL exclusively
   // (changing the table map), everything else shared (resolving pointers
@@ -94,7 +126,21 @@ Session::Session(uint64_t id, sql::SqlEngine* engine, LockManager* locks,
     : id_(id), engine_(engine), locks_(locks), options_(options) {}
 
 void Session::Serve(Socket* socket, const std::atomic<bool>* draining) {
-  // Handshake: versions must match exactly at protocol version 1.
+  // However the connection ends — hangup, drain, protocol error — an
+  // open transaction aborts implicitly so its accumulated locks release
+  // and its writes roll back; a vanished client must not leave a table
+  // locked (or half-loaded) forever.
+  struct AbortOnExit {
+    Session* session;
+    ~AbortOnExit() {
+      if (session->txn_ != nullptr) {
+        HTG_METRIC_COUNTER("server.txn.disconnect_aborts")->Add();
+      }
+      session->AbortActiveTxn();
+    }
+  } abort_on_exit{this};
+
+  // Handshake: versions must match exactly.
   Frame frame;
   Status s = ReadFrame(socket, &frame);
   if (!s.ok() || frame.type != MsgType::kHello) return;
@@ -139,6 +185,15 @@ void Session::Serve(Socket* socket, const std::atomic<bool>* draining) {
       case MsgType::kCloseStmt:
         s = HandleClose(socket, frame);
         break;
+      case MsgType::kBegin:
+        s = HandleBegin(socket);
+        break;
+      case MsgType::kCommit:
+        s = HandleCommit(socket);
+        break;
+      case MsgType::kAbort:
+        s = HandleAbort(socket);
+        break;
       case MsgType::kGoodbye:
         return;
       default:
@@ -161,35 +216,126 @@ void Session::Serve(Socket* socket, const std::atomic<bool>* draining) {
 Result<sql::QueryResult> Session::Run(
     const std::vector<sql::Statement>& stmts,
     const std::string& client_token) {
-  LockFootprint fp = DeriveLockFootprint(stmts);
+  const bool mvcc = engine_->db()->mvcc_enabled();
+  LockFootprint fp = DeriveLockFootprint(stmts, mvcc);
 
   sql::StatementOptions opts;
   opts.caller_owns_retries = true;
   opts.query_mem_bytes = options_.query_mem_bytes;
-  opts.token = client_token;
-  if (opts.token.empty() && fp.has_writes) {
-    // The client sent no token but the batch mutates data: pin a
-    // session-local token so our own kTransient retries cannot re-run a
-    // load whose first attempt committed.
-    opts.token = StringPrintf("s%llu:%llu",
-                              static_cast<unsigned long long>(id_),
-                              static_cast<unsigned long long>(++token_seq_));
+  if (txn_ != nullptr) {
+    // In-transaction statements never touch the dedupe ledger (nothing
+    // commits until COMMIT, so there is no committed result to replay)
+    // and never retry — on any failure the whole transaction aborts.
+    opts.txn = txn_.get();
+  } else {
+    opts.token = client_token;
+    if (opts.token.empty() && fp.has_writes) {
+      // The client sent no token but the batch mutates data: pin a
+      // session-local token so our own kTransient retries cannot re-run a
+      // load whose first attempt committed.
+      opts.token = StringPrintf("s%llu:%llu",
+                                static_cast<unsigned long long>(id_),
+                                static_cast<unsigned long long>(++token_seq_));
+    }
   }
 
-  // Locks span the retry loop: a retry is the same statement, and letting
-  // the lock drop between attempts would let another writer interleave
-  // into what the client sees as one operation.
-  HTG_ASSIGN_OR_RETURN(LockSet locks,
-                       locks_->Acquire(std::move(fp.reads),
-                                       std::move(fp.writes),
-                                       options_.lock_timeout_ms));
+  uint64_t lock_wait_ns = 0;
+  LockSet stmt_locks;  // autocommit: released when Run returns
+  if (txn_ == nullptr) {
+    // Locks span the retry loop: a retry is the same statement, and
+    // letting the lock drop between attempts would let another writer
+    // interleave into what the client sees as one operation.
+    HTG_ASSIGN_OR_RETURN(stmt_locks,
+                         locks_->Acquire(std::move(fp.reads),
+                                         std::move(fp.writes),
+                                         options_.lock_timeout_ms));
+    lock_wait_ns = stmt_locks.wait_ns();
+  } else {
+    // Fail DDL/TRUNCATE before lock acquisition: its footprint wants the
+    // catalog (or schema) lock exclusively, which the transaction already
+    // holds shared — waiting on ourselves would burn the full lock
+    // timeout before the engine rejects the statement anyway.
+    for (const sql::Statement& stmt : stmts) {
+      if (stmt.kind == sql::Statement::Kind::kCreateTable ||
+          stmt.kind == sql::Statement::Kind::kDropTable ||
+          stmt.kind == sql::Statement::Kind::kTruncate) {
+        AbortActiveTxn();
+        HTG_METRIC_COUNTER("server.txn.auto_aborts")->Add();
+        return Status::InvalidArgument(
+            "DDL and TRUNCATE are not allowed inside a transaction "
+            "(transaction aborted)");
+      }
+    }
+    // Accumulate only the locks the transaction does not already hold:
+    // re-acquiring a held exclusive lock would self-deadlock. Inside a
+    // transaction no upgrade is possible — exclusive locks are plain
+    // table names, shared ones are \x01/\x02-prefixed pseudo-locks, and
+    // the namespaces never meet.
+    const auto held = [](const std::vector<std::string>& held_names,
+                         const std::string& name) {
+      return std::binary_search(held_names.begin(), held_names.end(), name);
+    };
+    std::vector<std::string> need_reads;
+    std::vector<std::string> need_writes;
+    for (const std::string& name : fp.reads) {
+      if (!held(txn_held_reads_, name) && !held(txn_held_writes_, name)) {
+        need_reads.push_back(name);
+      }
+    }
+    for (const std::string& name : fp.writes) {
+      if (!held(txn_held_writes_, name)) need_writes.push_back(name);
+    }
+    const auto sort_unique = [](std::vector<std::string>* names) {
+      std::sort(names->begin(), names->end());
+      names->erase(std::unique(names->begin(), names->end()), names->end());
+    };
+    sort_unique(&need_reads);
+    sort_unique(&need_writes);
+    Result<LockSet> acquired = locks_->Acquire(need_reads, need_writes,
+                                               options_.lock_timeout_ms);
+    if (!acquired.ok()) {
+      // A lock timeout inside a transaction aborts it: the client's next
+      // statement would otherwise run against a transaction whose lock
+      // coverage silently has a hole.
+      AbortActiveTxn();
+      HTG_METRIC_COUNTER("server.txn.auto_aborts")->Add();
+      return Status(acquired.status().code(),
+                    acquired.status().message() + " (transaction aborted)");
+    }
+    lock_wait_ns = acquired->wait_ns();
+    txn_locks_.push_back(std::move(*acquired));
+    for (std::string& name : need_reads) {
+      txn_held_reads_.insert(
+          std::upper_bound(txn_held_reads_.begin(), txn_held_reads_.end(),
+                           name),
+          std::move(name));
+    }
+    for (std::string& name : need_writes) {
+      txn_held_writes_.insert(
+          std::upper_bound(txn_held_writes_.begin(), txn_held_writes_.end(),
+                           name),
+          std::move(name));
+    }
+  }
 
   Result<sql::QueryResult> r = engine_->ExecuteParsed(stmts, opts);
-  for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
-                        attempt < options_.statement_retries;
-       ++attempt) {
-    HTG_METRIC_COUNTER("server.statement.retries")->Add();
-    r = engine_->ExecuteParsed(stmts, opts);
+  if (txn_ == nullptr) {
+    for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
+                          attempt < options_.statement_retries;
+         ++attempt) {
+      HTG_METRIC_COUNTER("server.statement.retries")->Add();
+      r = engine_->ExecuteParsed(stmts, opts);
+    }
+  } else if (!r.ok()) {
+    // Any failure inside an explicit transaction — including kTransient:
+    // re-executing one statement against the accumulated effects of its
+    // earlier siblings is not a replay of the transaction — aborts the
+    // whole transaction.
+    AbortActiveTxn();
+    HTG_METRIC_COUNTER("server.txn.auto_aborts")->Add();
+    statements_.fetch_add(1, std::memory_order_relaxed);
+    return Status(r.status().code(),
+                  r.status().message() + " (transaction aborted)");
   }
   statements_.fetch_add(1, std::memory_order_relaxed);
   if (r.ok() && !stmts.empty() &&
@@ -198,7 +344,7 @@ Result<sql::QueryResult> Session::Run(
     // Surface the concurrency cost alongside the engine's plan stats.
     r->message += StringPrintf(
         "locks: wait=%.3f ms (timeout %lld ms)\n",
-        static_cast<double>(locks.wait_ns()) / 1e6,
+        static_cast<double>(lock_wait_ns) / 1e6,
         static_cast<long long>(options_.lock_timeout_ms));
   }
   return r;
@@ -263,11 +409,68 @@ Status Session::HandleClose(Socket* socket, const Frame& frame) {
     prepared_.erase(it);
     lru_.erase(std::find(lru_.begin(), lru_.end(), stmt_id));
   }
+  return SendDone(socket, "closed");
+}
+
+Status Session::SendDone(Socket* socket, const std::string& message) {
   ResultDoneMsg done;
-  done.message = "closed";
+  done.message = message;
   std::string payload;
   EncodeResultDone(done, &payload);
   return WriteFrame(socket, MsgType::kResultDone, payload);
+}
+
+Status Session::HandleBegin(Socket* socket) {
+  if (txn_ != nullptr) {
+    return SendError(socket,
+                     Status::InvalidArgument(
+                         "already in a transaction (COMMIT or ABORT first)"));
+  }
+  Result<std::unique_ptr<sql::TxnContext>> txn = engine_->BeginTxn();
+  if (!txn.ok()) return SendError(socket, txn.status());
+  txn_ = std::move(*txn);
+  HTG_METRIC_COUNTER("server.txn.begun")->Add();
+  return SendDone(socket, "begin");
+}
+
+Status Session::HandleCommit(Socket* socket) {
+  if (txn_ == nullptr) {
+    return SendError(socket,
+                     Status::InvalidArgument("no transaction in progress"));
+  }
+  const Status s = engine_->CommitTxn(txn_.get());
+  // Committed or not, the transaction is over: drop the context and
+  // release every accumulated lock (write locks to commit — this is the
+  // moment the tables unlock).
+  txn_.reset();
+  txn_locks_.clear();
+  txn_held_reads_.clear();
+  txn_held_writes_.clear();
+  if (!s.ok()) return SendError(socket, s);
+  HTG_METRIC_COUNTER("server.txn.committed")->Add();
+  return SendDone(socket, "commit");
+}
+
+Status Session::HandleAbort(Socket* socket) {
+  if (txn_ == nullptr) {
+    return SendError(socket,
+                     Status::InvalidArgument("no transaction in progress"));
+  }
+  AbortActiveTxn();
+  HTG_METRIC_COUNTER("server.txn.aborted")->Add();
+  return SendDone(socket, "abort");
+}
+
+void Session::AbortActiveTxn() {
+  if (txn_ == nullptr) return;
+  // Rollback failures (a blob delete hitting I/O trouble) cannot cross
+  // the wire from a disconnect path; the storage state is still
+  // consistent — the txn id is marked aborted either way.
+  HTG_IGNORE_STATUS(engine_->AbortTxn(txn_.get()));
+  txn_.reset();
+  txn_locks_.clear();
+  txn_held_reads_.clear();
+  txn_held_writes_.clear();
 }
 
 Status Session::SendResult(Socket* socket, const sql::QueryResult& result) {

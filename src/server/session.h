@@ -1,13 +1,25 @@
 #pragma once
 
 // One connected client. A Session owns the request loop for its socket:
-// it parses each statement once, derives the table lock set from the AST
-// (reads shared, writes exclusive, DDL additionally serialized through a
-// catalog pseudo-lock), acquires the locks for the statement's duration,
-// and executes through the shared SqlEngine under the session's memory
-// budget. Statement failures cross the wire as typed Error frames and the
-// loop keeps serving; only protocol errors or a peer hangup end the
-// session.
+// it parses each statement once, derives the lock set from the AST,
+// acquires the locks for the statement's duration, and executes through
+// the shared SqlEngine under the session's memory budget. Statement
+// failures cross the wire as typed Error frames and the loop keeps
+// serving; only protocol errors or a peer hangup end the session.
+//
+// Two lock regimes (see docs/CONCURRENCY.md). With MVCC on (the
+// default), readers do not lock tables at all — their snapshot isolates
+// them from concurrent inserts — they hold per-table schema-stability
+// locks shared so TRUNCATE/DROP cannot destroy the rows a scan is
+// walking; INSERT holds the table exclusively (one writer per table is
+// what makes commit order equal append order). With HTG_MVCC=0 the
+// footprint reverts to plain reads-shared / writes-exclusive table locks.
+//
+// BEGIN/COMMIT/ABORT frames bracket a multi-statement transaction: the
+// session owns the TxnContext, accumulates each statement's locks until
+// the transaction finishes, auto-aborts the whole transaction on any
+// statement failure (no silent retry inside a transaction), and aborts
+// implicitly if the client disconnects mid-transaction.
 //
 // Retry discipline lives here, not in the engine: the session retries
 // kTransient statements itself, pinning a dedupe token so a load whose
@@ -22,6 +34,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,7 +71,13 @@ struct LockFootprint {
 // reads, INSERT/TRUNCATE/CREATE/DROP targets are writes, and every
 // statement takes the catalog pseudo-lock (shared for DML, exclusive for
 // DDL) so a DROP cannot yank a TableDef out from under a running scan.
-LockFootprint DeriveLockFootprint(const std::vector<sql::Statement>& stmts);
+// With `mvcc_snapshots` set, scanned tables become shared
+// schema-stability locks ("\x02"-prefixed) instead of table read locks —
+// snapshot readers need the table to keep existing, not to stop moving —
+// and TRUNCATE/DROP additionally take the schema lock exclusively to
+// wait out every in-flight scan.
+LockFootprint DeriveLockFootprint(const std::vector<sql::Statement>& stmts,
+                                  bool mvcc_snapshots = false);
 
 class Session {
  public:
@@ -82,6 +101,7 @@ class Session {
     return evictions_.load(std::memory_order_relaxed);
   }
   size_t cached_statements() const { return prepared_.size(); }
+  bool in_transaction() const { return txn_ != nullptr; }
 
  private:
   struct Prepared {
@@ -97,9 +117,17 @@ class Session {
   Status HandlePrepare(Socket* socket, const Frame& frame);
   Status HandleExecute(Socket* socket, const Frame& frame);
   Status HandleClose(Socket* socket, const Frame& frame);
+  Status HandleBegin(Socket* socket);
+  Status HandleCommit(Socket* socket);
+  Status HandleAbort(Socket* socket);
+
+  // Rolls back the open transaction (if any) and releases every lock it
+  // accumulated. Safe to call with no transaction open.
+  void AbortActiveTxn();
 
   Status SendResult(Socket* socket, const sql::QueryResult& result);
   Status SendError(Socket* socket, const Status& status);
+  Status SendDone(Socket* socket, const std::string& message);
 
   const uint64_t id_;
   sql::SqlEngine* const engine_;
@@ -112,6 +140,17 @@ class Session {
   std::map<uint64_t, Prepared> prepared_;
   std::list<uint64_t> lru_;
   uint64_t token_seq_ = 0;
+
+  // Open explicit transaction (wire BEGIN), or null. The lock sets its
+  // statements acquired stay held until COMMIT/ABORT (write locks to
+  // commit is what keeps one writer per table); `txn_held_reads_` /
+  // `txn_held_writes_` mirror the held names, sorted, so a later
+  // statement never re-acquires — re-taking a held exclusive lock would
+  // self-deadlock. Only the session's serve thread touches these.
+  std::unique_ptr<sql::TxnContext> txn_;
+  std::vector<LockSet> txn_locks_;
+  std::vector<std::string> txn_held_reads_;
+  std::vector<std::string> txn_held_writes_;
 
   std::atomic<uint64_t> statements_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -23,7 +23,21 @@
 //   Execute{statement_id, token} -> (same result framing as Query)
 //   CloseStmt{statement_id}   ->
 //                             <-  ResultDone{0, "closed"}
+//   Begin{}                   ->
+//                             <-  ResultDone{0, "begin"}   (or Error)
+//   Commit{}                  ->
+//                             <-  ResultDone{0, "commit"}  (or Error)
+//   Abort{}                   ->
+//                             <-  ResultDone{0, "abort"}   (or Error)
 //   Goodbye{}                 ->   (client hangs up; no reply)
+//
+// Begin opens a multi-statement snapshot-isolation transaction (see
+// docs/CONCURRENCY.md): every Query/Execute until Commit/Abort runs
+// against the Begin-time snapshot, write locks accumulate until the
+// transaction finishes, and a failed statement auto-aborts the whole
+// transaction (the Error frame says so). Begin/Commit/Abort payloads are
+// empty. A client that disconnects mid-transaction gets an implicit
+// Abort.
 //
 // During graceful shutdown the server finishes the statement in flight,
 // sends Goodbye{} to every connection, and closes. Typed errors cross the
@@ -42,7 +56,7 @@
 
 namespace htg::server {
 
-inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kProtocolVersion = 2;
 // A frame larger than this is a protocol error, not an allocation request:
 // the limit is what keeps a corrupt length prefix from looking like a
 // 4 GiB message.
@@ -63,6 +77,9 @@ enum class MsgType : uint8_t {
   kResultDone = 10,
   kError = 11,
   kGoodbye = 12,
+  kBegin = 13,
+  kCommit = 14,
+  kAbort = 15,
 };
 
 struct Frame {

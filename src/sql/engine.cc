@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "storage/clustered_table.h"
 #include "storage/heap_table.h"
 #include "storage/transaction.h"
 
@@ -93,7 +94,11 @@ Result<QueryResult> SqlEngine::ExecuteParsed(
     // while leaving the session fully usable. When the caller owns retries
     // (the session layer, with its dedupe token) the internal loop is off.
     Result<QueryResult> r = ExecuteStatement(stmt, opts);
-    if (!opts.caller_owns_retries) {
+    // Inside an explicit transaction there is no silent re-execution:
+    // the statement may have observed (and built on) the transaction's
+    // earlier writes, so the only sound recovery is aborting the whole
+    // transaction — which the session layer does on any statement error.
+    if (!opts.caller_owns_retries && opts.txn == nullptr) {
       for (int attempt = 1; !r.ok() && r.status().IsTransient() &&
                             attempt < kStatementRetries;
            ++attempt) {
@@ -154,6 +159,15 @@ Result<std::string> SqlEngine::Explain(std::string_view sql) {
 
 Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt,
                                                 const StatementOptions& opts) {
+  // DDL and TRUNCATE are not versioned: they rewrite storage in place,
+  // which no snapshot could un-see on abort. Keep them out of explicit
+  // transactions (autocommit DDL serializes via the catalog lock).
+  if (opts.txn != nullptr && (stmt.kind == Statement::Kind::kCreateTable ||
+                              stmt.kind == Statement::Kind::kDropTable ||
+                              stmt.kind == Statement::Kind::kTruncate)) {
+    return Status::InvalidArgument(
+        "DDL and TRUNCATE are not allowed inside a transaction");
+  }
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
       return ExecuteSelect(*stmt.select, opts);
@@ -234,6 +248,9 @@ Result<QueryResult> SqlEngine::ExecuteStatement(const Statement& stmt,
       HTG_ASSIGN_OR_RETURN(catalog::TableDef * table,
                            db_->GetTable(stmt.table_name));
       table->table->Truncate();
+      // Version history restarts from zero rows; the server's exclusive
+      // schema lock guarantees no snapshot scan is mid-flight here.
+      if (table->mvcc != nullptr) table->mvcc->ResetForTruncate();
       QueryResult result;
       result.message = "TRUNCATE TABLE " + stmt.table_name;
       return result;
@@ -249,16 +266,37 @@ Result<QueryResult> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
   Binder binder(db_);
   HTG_ASSIGN_OR_RETURN(exec::OperatorPtr plan, binder.BindSelect(stmt));
   exec::ExecContext ctx = MakeContext(opts);
-  HTG_ASSIGN_OR_RETURN(std::unique_ptr<storage::RowIterator> iter,
-                       plan->Open(&ctx));
+  // MVCC read view: a transaction reads through its own snapshot; an
+  // autocommit SELECT begins a short-lived read transaction, which pins
+  // the GC horizon so the sweep cannot collapse versions out from under
+  // the running scan.
+  storage::Snapshot pinned_snapshot;
+  storage::TxnId pinned_id = storage::kFrozenTxn;
+  if (opts.txn != nullptr) {
+    ctx.snapshot = &opts.txn->snapshot;
+    ctx.txn_id = opts.txn->id;
+  } else if (db_->mvcc_enabled()) {
+    storage::TxnManager::BeginResult pin = db_->txns()->Begin();
+    pinned_snapshot = std::move(pin.snapshot);
+    pinned_id = pin.id;
+    ctx.snapshot = &pinned_snapshot;
+    ctx.txn_id = pinned_id;
+  }
+  const auto finish = [&](Result<QueryResult> r) -> Result<QueryResult> {
+    if (pinned_id != storage::kFrozenTxn) db_->txns()->Commit(pinned_id);
+    return r;
+  };
+  Result<std::unique_ptr<storage::RowIterator>> iter = plan->Open(&ctx);
+  if (!iter.ok()) return finish(iter.status());
   QueryResult result;
   result.schema = plan->output_schema();
-  HTG_RETURN_IF_ERROR(exec::DrainIterator(iter.get(), &result.rows));
-  iter.reset();  // operators release their charges before we read the peak
+  const Status drained = exec::DrainIterator(iter->get(), &result.rows);
+  if (!drained.ok()) return finish(drained);
+  iter->reset();  // operators release their charges before we read the peak
   HTG_METRIC_GAUGE("mem.query.peak")
       ->Set(static_cast<int64_t>(ctx.mem->peak()));
   result.rows_affected = result.rows.size();
-  return result;
+  return finish(std::move(result));
 }
 
 Result<QueryResult> SqlEngine::ExecuteCreateTable(const CreateTableStmt& stmt) {
@@ -316,6 +354,70 @@ Result<QueryResult> SqlEngine::ExecuteCreateTable(const CreateTableStmt& stmt) {
   return result;
 }
 
+namespace {
+
+// Accumulates (table, rows inserted) into a transaction's written set.
+void RecordWrite(TxnContext* txn, catalog::TableDef* table, uint64_t rows) {
+  for (TxnContext::WrittenTable& w : txn->written) {
+    if (w.table == table) {
+      w.rows_inserted += rows;
+      return;
+    }
+  }
+  txn->written.push_back(TxnContext::WrittenTable{table, rows});
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TxnContext>> SqlEngine::BeginTxn() {
+  if (!db_->mvcc_enabled()) {
+    return Status::InvalidArgument(
+        "transactions require MVCC (HTG_MVCC=0 disables them)");
+  }
+  auto txn = std::make_unique<TxnContext>();
+  storage::TxnManager::BeginResult begun = db_->txns()->Begin();
+  txn->id = begun.id;
+  txn->snapshot = std::move(begun.snapshot);
+  txn->is_explicit = true;
+  return txn;
+}
+
+Status SqlEngine::CommitTxn(TxnContext* txn) {
+  // Watermarks first; the txn id flips visible for new snapshots only at
+  // TxnManager::Commit, so the whole transaction appears atomically.
+  for (const TxnContext::WrittenTable& w : txn->written) {
+    w.table->mvcc->CommitWrite(txn->id, w.table->table->num_rows());
+  }
+  txn->compensations.Commit();
+  db_->txns()->Commit(txn->id);
+  HTG_IGNORE_STATUS(db_->filestream()->LogTxnOutcome(txn->id, true));
+  db_->MaybeSweepVersions();
+  return Status::OK();
+}
+
+Status SqlEngine::AbortTxn(TxnContext* txn) {
+  Status status;
+  for (const TxnContext::WrittenTable& w : txn->written) {
+    if (auto* heap =
+            dynamic_cast<storage::HeapTable*>(w.table->table.get())) {
+      // Truncate while the pending marker still hides the tail, so no
+      // reader window exists where the doomed rows look committed.
+      const uint64_t target = w.table->mvcc->AbortTarget(txn->id);
+      const Status undo = heap->TruncateToRows(target);
+      if (!undo.ok() && status.ok()) status = undo;
+    } else if (auto* clustered = dynamic_cast<storage::ClusteredTable*>(
+                   w.table->table.get())) {
+      clustered->MarkAborted(w.rows_inserted);
+    }
+    w.table->mvcc->AbortWrite(txn->id);
+  }
+  txn->compensations.Rollback();
+  db_->txns()->Abort(txn->id);
+  HTG_IGNORE_STATUS(db_->filestream()->LogTxnOutcome(txn->id, false));
+  db_->MaybeSweepVersions();
+  return status;
+}
+
 Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
                                              const StatementOptions& opts) {
   HTG_ASSIGN_OR_RETURN(catalog::TableDef * table, db_->GetTable(stmt.table));
@@ -332,11 +434,65 @@ Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
     }
   }
 
-  storage::Transaction txn;
+  // Transaction setup. Three modes:
+  //  * explicit   — opts.txn: first-writer-wins check, writes recorded for
+  //                 the session's later COMMIT/ABORT.
+  //  * implicit   — MVCC on, no opts.txn: a per-statement transaction so
+  //                 concurrent snapshot readers never see a partial
+  //                 statement; committed (or aborted) before returning.
+  //  * untracked  — MVCC off, or a hand-built TableDef without MVCC
+  //                 state: the legacy truncate-to-prior-rows undo.
+  TxnContext* txn = opts.txn;
+  std::unique_ptr<TxnContext> implicit;
+  bool tracked = false;
   auto* heap = dynamic_cast<storage::HeapTable*>(table->table.get());
-  if (heap != nullptr) {
+  if (table->mvcc != nullptr && db_->mvcc_enabled()) {
+    if (txn == nullptr) {
+      implicit = std::make_unique<TxnContext>();
+      storage::TxnManager::BeginResult begun = db_->txns()->Begin();
+      implicit->id = begun.id;
+      implicit->snapshot = std::move(begun.snapshot);
+      txn = implicit.get();
+    } else {
+      // First-writer-wins: another transaction committed this table after
+      // our snapshot was taken; appending behind it would interleave with
+      // writes this transaction cannot see. Typed kAborted so clients can
+      // retry the whole transaction.
+      const storage::TxnId last = table->mvcc->LastCommittedWriter();
+      if (last != storage::kFrozenTxn && last != txn->id &&
+          !txn->snapshot.Sees(last)) {
+        return Status::Aborted(
+            "write-write conflict: table " + table->name +
+            " was modified by a transaction concurrent with this one");
+      }
+    }
+    const Status begun = table->mvcc->BeginWrite(txn->id,
+                                                 table->table->num_rows());
+    if (begun.ok()) {
+      tracked = true;
+    } else if (txn->is_explicit) {
+      return begun;  // impossible under the server's write locks
+    } else {
+      // Library-mode race: another untracked writer is mid-statement on
+      // this table. Release the unused txn and fall back to the legacy
+      // (unversioned) insert path.
+      db_->txns()->Commit(implicit->id);
+      implicit.reset();
+      txn = nullptr;
+    }
+  }
+  const storage::TxnId stamp =
+      tracked ? txn->id : storage::kFrozenTxn;
+
+  // Blob compensations: statement-local for autocommit, transaction-owned
+  // for explicit transactions (they must survive until COMMIT/ABORT).
+  storage::Transaction local_undo;
+  storage::Transaction* blob_undo =
+      (txn != nullptr && txn->is_explicit) ? &txn->compensations
+                                           : &local_undo;
+  if (!tracked && heap != nullptr) {
     const uint64_t prior_rows = heap->num_rows();
-    txn.OnRollback([heap, prior_rows] {
+    local_undo.OnRollback([heap, prior_rows] {
       // Rollback runs on the void undo path; an undo that loses rows is a
       // broken invariant, not a recoverable error.
       const Status undo = heap->TruncateToRows(prior_rows);
@@ -356,9 +512,36 @@ Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
     for (size_t i = 0; i < positions.size(); ++i) {
       row[positions[i]] = std::move(source[i]);
     }
-    HTG_RETURN_IF_ERROR(db_->InsertRow(table, std::move(row), &txn));
+    HTG_RETURN_IF_ERROR(db_->InsertRow(table, std::move(row), blob_undo,
+                                       stamp));
     ++inserted;
     return Status::OK();
+  };
+
+  // Statement failure. Explicit transactions leave rollback to the
+  // session's ABORT (the appended tail is already invisible to every
+  // snapshot); implicit ones abort right here; untracked ones run the
+  // legacy compensation.
+  auto fail = [&](Status s) -> Status {
+    if (tracked && !txn->is_explicit) {
+      if (heap != nullptr) {
+        const uint64_t target = table->mvcc->AbortTarget(txn->id);
+        const Status undo = heap->TruncateToRows(target);
+        assert(undo.ok());
+        (void)undo;
+      } else if (auto* clustered = dynamic_cast<storage::ClusteredTable*>(
+                     table->table.get())) {
+        clustered->MarkAborted(inserted);
+      }
+      table->mvcc->AbortWrite(txn->id);
+      local_undo.Rollback();
+      db_->txns()->Abort(txn->id);
+      HTG_IGNORE_STATUS(db_->filestream()->LogTxnOutcome(txn->id, false));
+      db_->MaybeSweepVersions();
+    } else if (!tracked) {
+      local_undo.Rollback();
+    }
+    return s;
   };
 
   if (!stmt.values_rows.empty()) {
@@ -369,52 +552,50 @@ Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
       for (const AstExprPtr& ast : exprs) {
         // VALUES expressions are scalar (no column references).
         Result<exec::ExprPtr> bound = binder.BindValueExpr(*ast);
-        if (!bound.ok()) {
-          txn.Rollback();
-          return bound.status();
-        }
+        if (!bound.ok()) return fail(bound.status());
         Result<Value> v = (*bound)->Eval(&eval, Row{});
-        if (!v.ok()) {
-          txn.Rollback();
-          return v.status();
-        }
+        if (!v.ok()) return fail(v.status());
         source.push_back(std::move(*v));
       }
       const Status s = insert_source_row(std::move(source));
-      if (!s.ok()) {
-        txn.Rollback();
-        return s;
-      }
+      if (!s.ok()) return fail(s);
     }
   } else if (stmt.select != nullptr) {
     Binder binder(db_);
     Result<exec::OperatorPtr> plan = binder.BindSelect(*stmt.select);
-    if (!plan.ok()) {
-      txn.Rollback();
-      return plan.status();
-    }
+    if (!plan.ok()) return fail(plan.status());
     exec::ExecContext ctx = MakeContext(opts);
-    Result<std::unique_ptr<storage::RowIterator>> iter = (*plan)->Open(&ctx);
-    if (!iter.ok()) {
-      txn.Rollback();
-      return iter.status();
+    if (txn != nullptr) {
+      // INSERT..SELECT reads through the writing transaction's snapshot
+      // (and sees its own earlier writes via self-visibility).
+      ctx.snapshot = &txn->snapshot;
+      ctx.txn_id = txn->id;
     }
+    Result<std::unique_ptr<storage::RowIterator>> iter = (*plan)->Open(&ctx);
+    if (!iter.ok()) return fail(iter.status());
     Row row;
     while ((*iter)->Next(&row)) {
       const Status s = insert_source_row(std::move(row));
-      if (!s.ok()) {
-        txn.Rollback();
-        return s;
-      }
+      if (!s.ok()) return fail(s);
       row.clear();
     }
     const Status s = (*iter)->status();
-    if (!s.ok()) {
-      txn.Rollback();
-      return s;
-    }
+    if (!s.ok()) return fail(s);
   }
-  txn.Commit();
+
+  if (tracked) {
+    if (txn->is_explicit) {
+      RecordWrite(txn, table, inserted);
+    } else {
+      table->mvcc->CommitWrite(txn->id, table->table->num_rows());
+      local_undo.Commit();
+      db_->txns()->Commit(txn->id);
+      HTG_IGNORE_STATUS(db_->filestream()->LogTxnOutcome(txn->id, true));
+      db_->MaybeSweepVersions();
+    }
+  } else {
+    local_undo.Commit();
+  }
   QueryResult result;
   result.rows_affected = inserted;
   result.message = StringPrintf("(%llu rows affected)",

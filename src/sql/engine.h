@@ -11,6 +11,8 @@
 #include "common/synchronization.h"
 #include "exec/operator.h"
 #include "sql/ast.h"
+#include "storage/mvcc.h"
+#include "storage/transaction.h"
 
 namespace htg::sql {
 
@@ -24,6 +26,32 @@ struct QueryResult {
 
   // Renders an ASCII table (for examples and the shell).
   std::string ToString(size_t max_rows = 50) const;
+};
+
+// State of one multi-statement transaction (wire BEGIN .. COMMIT/ABORT).
+// Created by SqlEngine::BeginTxn, owned by the session, threaded into
+// every statement via StatementOptions::txn, and finished by exactly one
+// of CommitTxn/AbortTxn. Statements outside a transaction get an implicit
+// per-statement equivalent inside the engine.
+struct TxnContext {
+  storage::TxnId id = storage::kFrozenTxn;
+  // The consistent view every read in this transaction uses; writes the
+  // transaction itself made are additionally visible (self-visibility).
+  storage::Snapshot snapshot;
+  // True for wire-level BEGIN transactions; false for the engine's
+  // implicit per-statement transactions. Explicit transactions run the
+  // first-writer-wins conflict check and never auto-retry.
+  bool is_explicit = false;
+  // Tables this transaction has written: commit publishes their
+  // watermarks, abort truncates heaps / hides clustered stamps.
+  struct WrittenTable {
+    catalog::TableDef* table = nullptr;
+    uint64_t rows_inserted = 0;  // clustered abort: entries to discount
+  };
+  std::vector<WrittenTable> written;
+  // Compensation actions that must run on abort (FILESTREAM blob
+  // deletes). Heap undo is not here — it derives from the MVCC watermark.
+  storage::Transaction compensations;
 };
 
 // Per-call execution knobs, threaded from the session layer.
@@ -43,6 +71,11 @@ struct StatementOptions {
   // token); setting this disables the engine's internal whole-statement
   // retry loop so the two layers don't compound into retries².
   bool caller_owns_retries = false;
+  // Explicit transaction this statement runs inside, or null for
+  // autocommit. Inside a transaction the engine never silently re-executes
+  // a failed statement (earlier statements' effects would replay into an
+  // inconsistent interleaving); the whole transaction aborts instead.
+  TxnContext* txn = nullptr;
 };
 
 // The SQL surface of the engine: parse → bind/plan → execute.
@@ -83,6 +116,17 @@ class SqlEngine {
 
   // Returns the EXPLAIN plan text for a single SELECT.
   Result<std::string> Explain(std::string_view sql);
+
+  // Transactions ---------------------------------------------------------
+  // Starts an explicit multi-statement transaction: allocates a txn id
+  // and takes its snapshot. Fails when MVCC is disabled (HTG_MVCC=0).
+  Result<std::unique_ptr<TxnContext>> BeginTxn();
+  // Publishes every written table's watermark, then marks the txn
+  // committed — its writes become visible to new snapshots atomically.
+  Status CommitTxn(TxnContext* txn);
+  // Rolls back: truncates heap tails to their pre-txn watermarks, hides
+  // clustered stamps, runs blob compensations, marks the txn aborted.
+  Status AbortTxn(TxnContext* txn);
 
   Database* db() { return db_; }
 

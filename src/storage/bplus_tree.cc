@@ -8,10 +8,11 @@ namespace htg::storage {
 
 struct BPlusTree::Node {
   bool is_leaf = true;
-  // Leaf: keys_[i] pairs with payloads_[i]. Internal: keys_[i] is the
-  // smallest key reachable under children_[i + 1].
+  // Leaf: keys_[i] pairs with payloads_[i] and stamps_[i]. Internal:
+  // keys_[i] is the smallest key reachable under children_[i + 1].
   std::vector<Row> keys_;
   std::vector<std::string> payloads_;
+  std::vector<uint64_t> stamps_;
   std::vector<Node*> children_;
   Node* next_leaf = nullptr;
 
@@ -66,7 +67,8 @@ int CompareFull(const Row& a, const Row& b) {
 }  // namespace
 
 BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, Row key,
-                                             std::string payload) {
+                                             std::string payload,
+                                             uint64_t stamp) {
   if (node->is_leaf) {
     // Upper-bound position: equal keys insert to the right (stable).
     size_t pos = node->keys_.size();
@@ -82,6 +84,7 @@ BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, Row key,
     pos = lo;
     node->keys_.insert(node->keys_.begin() + pos, std::move(key));
     node->payloads_.insert(node->payloads_.begin() + pos, std::move(payload));
+    node->stamps_.insert(node->stamps_.begin() + pos, stamp);
     if (static_cast<int>(node->keys_.size()) <= fanout_) return {};
 
     // Split in half.
@@ -93,8 +96,10 @@ BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, Row key,
     right->payloads_.assign(
         std::make_move_iterator(node->payloads_.begin() + mid),
         std::make_move_iterator(node->payloads_.end()));
+    right->stamps_.assign(node->stamps_.begin() + mid, node->stamps_.end());
     node->keys_.resize(mid);
     node->payloads_.resize(mid);
+    node->stamps_.resize(mid);
     right->next_leaf = node->next_leaf;
     node->next_leaf = right;
     ++num_nodes_;
@@ -115,8 +120,8 @@ BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, Row key,
     }
     child = lo;
   }
-  SplitResult split =
-      InsertInto(node->children_[child], std::move(key), std::move(payload));
+  SplitResult split = InsertInto(node->children_[child], std::move(key),
+                                 std::move(payload), stamp);
   if (split.new_node == nullptr) return {};
 
   node->keys_.insert(node->keys_.begin() + child, std::move(split.separator));
@@ -137,10 +142,11 @@ BPlusTree::SplitResult BPlusTree::InsertInto(Node* node, Row key,
   return {right, std::move(up_key)};
 }
 
-void BPlusTree::Insert(Row key, std::string payload) {
+void BPlusTree::Insert(Row key, std::string payload, uint64_t stamp) {
   payload_bytes_ += payload.size();
   ++size_;
-  SplitResult split = InsertInto(root_, std::move(key), std::move(payload));
+  SplitResult split =
+      InsertInto(root_, std::move(key), std::move(payload), stamp);
   if (split.new_node != nullptr) {
     Node* new_root = new Node();
     new_root->is_leaf = false;
@@ -164,6 +170,10 @@ const Row& BPlusTree::Cursor::key() const {
 
 const std::string& BPlusTree::Cursor::payload() const {
   return static_cast<const Node*>(leaf_)->payloads_[index_];
+}
+
+uint64_t BPlusTree::Cursor::stamp() const {
+  return static_cast<const Node*>(leaf_)->stamps_[index_];
 }
 
 void BPlusTree::Cursor::Advance() {

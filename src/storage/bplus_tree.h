@@ -22,7 +22,9 @@ class BPlusTree {
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
 
-  void Insert(Row key, std::string payload);
+  // `stamp` is an opaque per-entry tag (the MVCC layer stores the
+  // creating transaction id; 0 = frozen/visible-to-all).
+  void Insert(Row key, std::string payload, uint64_t stamp = 0);
 
   uint64_t size() const { return size_; }
   uint64_t payload_bytes() const { return payload_bytes_; }
@@ -39,6 +41,7 @@ class BPlusTree {
     bool Valid() const { return leaf_ != nullptr; }
     const Row& key() const;
     const std::string& payload() const;
+    uint64_t stamp() const;
     void Advance();
 
    private:
@@ -62,7 +65,8 @@ class BPlusTree {
   static int ComparePrefix(const Row& probe, const Row& key);
 
   struct SplitResult;
-  SplitResult InsertInto(Node* node, Row key, std::string payload);
+  SplitResult InsertInto(Node* node, Row key, std::string payload,
+                         uint64_t stamp);
 
   Node* root_;
   int fanout_;

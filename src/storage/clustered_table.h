@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "storage/bplus_tree.h"
+#include "storage/mvcc.h"
 #include "storage/table.h"
 #include "storage/tablespace.h"
 
@@ -29,6 +31,16 @@ namespace htg::storage {
 //     level becomes cache-managed while the key level stays in memory.
 //   Both modes keep the per-row CRC32C trailer; pooled pages add the
 //   page-level trailer the pool verifies on every miss-fill.
+//
+// Concurrency (MVCC): every tree entry carries the txn-id stamp of its
+// inserting transaction (0 = frozen). Snapshot scans (NewSnapshotScan)
+// hold an internal reader/writer latch only while filling one batch and
+// re-seek by (last key, visible-duplicate count) between batches, so
+// they interleave with a writer transaction's inserts; entries of
+// aborted transactions stay in the tree but are invisible to every
+// snapshot until SweepAborted rebuilds without them. Plain NewScan
+// cursors walk tree nodes unlatched across calls and still require no
+// concurrent DML — the library-mode contract.
 class ClusteredTable : public TableStorage {
  public:
   ClusteredTable(Schema schema, std::vector<int> key_columns,
@@ -45,30 +57,59 @@ class ClusteredTable : public TableStorage {
   }
 
   Status Insert(const Row& row) override;
-  uint64_t num_rows() const override { return tree_.size(); }
+  // Insert carrying the writing transaction's id as the entry stamp.
+  Status InsertStamped(const Row& row, TxnId txn);
+  uint64_t num_rows() const override;
   StorageStats Stats() const override;
   std::unique_ptr<RowIterator> NewScan() override;
   Result<std::unique_ptr<RowIterator>> NewScanFrom(const Row& prefix) override;
   void Truncate() override;
 
+  // Key-ordered scan of exactly the rows visible to `snap` (`self` sees
+  // its own uncommitted inserts). Safe against concurrent InsertStamped.
+  std::unique_ptr<RowIterator> NewSnapshotScan(Snapshot snap, TxnId self);
+  Result<std::unique_ptr<RowIterator>> NewSnapshotScanFrom(const Row& prefix,
+                                                           Snapshot snap,
+                                                           TxnId self);
+
+  // Transaction abort: `count` freshly inserted entries now belong to an
+  // aborted txn. They stay in the tree (hidden by their stamps) until
+  // SweepAborted; num_rows() discounts them immediately.
+  void MarkAborted(uint64_t count);
+
+  // GC: rebuilds the tree without entries stamped by a txn in `aborted`
+  // (sorted). Returns the number of entries removed. Callers must ensure
+  // no legacy NewScan cursor is live (snapshot scans are safe).
+  uint64_t SweepAborted(const std::vector<TxnId>& aborted);
+
  private:
   class ScanIterator;
+  class SnapshotIterator;
 
   // Seals leaf_buf_ into the backing file (page CRC trailer appended).
-  Status SealLeafPage();
+  Status SealLeafPage() HTG_REQUIRES(latch_);
+  Status InsertLocked(const Row& row, TxnId txn) HTG_REQUIRES(latch_);
+  // Resolves one tree payload to a decoded row (in-memory payloads decode
+  // directly; pooled LeafRefs pin their leaf page into `guard`).
+  Status DecodeEntryLocked(const std::string& payload, PageGuard* guard,
+                           Row* row) const HTG_REQUIRES_SHARED(latch_);
 
   Schema schema_;
   std::vector<int> key_columns_;
   Compression mode_;
   Compression row_mode_;  // encoding used in leaves (kNone or kRow)
-  BPlusTree tree_;
 
-  std::unique_ptr<TableFile> backing_;
-  std::string leaf_buf_;  // payloads of the in-progress leaf page
+  mutable SharedMutex latch_{"ClusteredTable::latch_"};
+  BPlusTree tree_ HTG_GUARDED_BY(latch_);
+  std::string leaf_buf_ HTG_GUARDED_BY(latch_);  // in-progress leaf page
   // Raw payload bytes stored (incl. per-row CRC trailers) — what
   // tree_.payload_bytes() reports in the in-memory mode, so Table 1/2
   // storage accounting is identical in both modes.
-  uint64_t payload_bytes_total_ = 0;
+  uint64_t payload_bytes_total_ HTG_GUARDED_BY(latch_) = 0;
+  // Entries inserted by aborted txns, pending SweepAborted.
+  uint64_t dead_rows_ HTG_GUARDED_BY(latch_) = 0;
+
+  std::unique_ptr<TableFile> backing_;  // set once, before first use
 };
 
 }  // namespace htg::storage

@@ -128,6 +128,11 @@ Status FileStreamStore::Recover() {
         manifest_.erase(record.name);
         pending_deletes.erase(record.name);
         break;
+      case WalRecordType::kTxnCommit:
+      case WalRecordType::kTxnAbort:
+        // Advisory MVCC outcome markers; blob state is governed entirely
+        // by the intent/commit records above.
+        break;
     }
   }
 
@@ -365,6 +370,15 @@ Status FileStreamStore::Delete(const std::string& path) {
   manifest_.erase(name);
   UnpoolLocked(path);
   return Status::OK();
+}
+
+Status FileStreamStore::LogTxnOutcome(uint64_t txn_id, bool committed) {
+  MutexLock lock(&mu_);
+  WalRecord record;
+  record.type =
+      committed ? WalRecordType::kTxnCommit : WalRecordType::kTxnAbort;
+  record.size = txn_id;
+  return wal_->Append(record, /*sync=*/false);
 }
 
 uint64_t FileStreamStore::TotalBytes() const {

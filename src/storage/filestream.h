@@ -139,6 +139,11 @@ class FileStreamStore {
   // Removes every BLOB (used by DROP DATABASE and test teardown).
   Status Clear();
 
+  // Appends an advisory MVCC transaction-outcome marker (kTxnCommit /
+  // kTxnAbort) to the intent log. Not synced: the marker is an audit
+  // trail of commit order, not a durability point.
+  Status LogTxnOutcome(uint64_t txn_id, bool committed);
+
  private:
   struct BlobMeta {
     uint64_t size = 0;

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "storage/page.h"
 #include "storage/table.h"
 #include "storage/tablespace.h"
@@ -20,6 +22,14 @@ namespace htg::storage {
 //     the shared BufferPool as dirty frames with the spill file behind
 //     them; scans pin pages via PageGuard. Database::CreateTable attaches
 //     every table it creates, so SQL-visible heaps are cache-managed.
+//
+// Concurrency: an internal reader/writer lock covers the page directory
+// and builder, so MVCC snapshot scans (NewScanPrefix) can stream sealed
+// pages while a writer transaction keeps appending. Sealed page images
+// are immutable and reference-counted (in-memory mode) or pinned
+// (pooled mode), so a scan never observes a page being torn down by a
+// concurrent transaction abort (TruncateToRows) — visibility limits
+// guarantee a snapshot reader only decodes rows that survive any abort.
 class HeapTable : public TableStorage {
  public:
   HeapTable(Schema schema, Compression mode,
@@ -33,7 +43,9 @@ class HeapTable : public TableStorage {
   Compression compression() const override { return mode_; }
 
   Status Insert(const Row& row) override;
-  uint64_t num_rows() const override { return num_rows_; }
+  uint64_t num_rows() const override {
+    return num_rows_.load(std::memory_order_acquire);
+  }
   StorageStats Stats() const override;
   std::unique_ptr<RowIterator> NewScan() override;
   void Truncate() override;
@@ -43,7 +55,29 @@ class HeapTable : public TableStorage {
   std::unique_ptr<RowIterator> NewScanRange(size_t first_page,
                                             size_t end_page);
 
-  size_t num_pages_sealed() const { return page_rows_.size(); }
+  // MVCC snapshot scan: exactly rows [0, row_limit), immune to appends
+  // that land after the scan opens. Seals the in-progress page on demand
+  // when the limit reaches into it (the rows are committed; only the
+  // page image is pending).
+  std::unique_ptr<RowIterator> NewScanPrefix(uint64_t row_limit);
+
+  // Page extent covering rows [0, row_limit): parallel planners partition
+  // [0, end_page) into morsels; the morsel containing the final page caps
+  // it at tail_rows rows (0 = the whole page is within the limit). Seals
+  // on demand like NewScanPrefix.
+  struct PrefixPlan {
+    size_t end_page = 0;
+    uint64_t tail_rows = 0;
+  };
+  Result<PrefixPlan> PlanVisiblePrefix(uint64_t row_limit);
+
+  // Range scan with the final-page cap from a PrefixPlan (morsels that do
+  // not include the plan's last page pass tail_rows = 0).
+  std::unique_ptr<RowIterator> NewScanRangeCapped(size_t first_page,
+                                                  size_t end_page,
+                                                  uint64_t tail_rows);
+
+  size_t num_pages_sealed() const;
 
   // Seals the in-progress page so Stats()/scans see every row. Can only
   // fail in pooled mode (page hand-off to the pool may write back).
@@ -58,17 +92,24 @@ class HeapTable : public TableStorage {
  private:
   class ScanIterator;
 
+  Status SealLocked() HTG_REQUIRES(mu_);
+  Status InsertLocked(const Row& row) HTG_REQUIRES(mu_);
+
   Schema schema_;
   Compression mode_;
   size_t page_size_;
-  // In-memory mode: the sealed page images. Pooled mode: unused (the
-  // pool + spill file own the images).
-  std::vector<std::string> pages_;
-  std::vector<int> page_rows_;        // row count per sealed page
-  std::vector<uint32_t> page_bytes_;  // serialized size per sealed page
-  PageBuilder builder_;
-  uint64_t num_rows_ = 0;
-  std::unique_ptr<TableFile> backing_;
+  mutable SharedMutex mu_{"HeapTable::mu_"};
+  // In-memory mode: the sealed page images, shared with in-flight scans
+  // so a truncation cannot pull a page out from under a reader. Pooled
+  // mode: unused (the pool + spill file own the images).
+  std::vector<std::shared_ptr<const std::string>> pages_ HTG_GUARDED_BY(mu_);
+  std::vector<int> page_rows_ HTG_GUARDED_BY(mu_);  // row count per page
+  std::vector<uint32_t> page_bytes_ HTG_GUARDED_BY(mu_);  // serialized size
+  uint64_t sealed_rows_ HTG_GUARDED_BY(mu_) = 0;
+  PageBuilder builder_ HTG_GUARDED_BY(mu_);
+  // Written under mu_ exclusive; read lock-free by num_rows().
+  std::atomic<uint64_t> num_rows_{0};
+  std::unique_ptr<TableFile> backing_;  // set once, before first use
 };
 
 }  // namespace htg::storage

@@ -26,11 +26,19 @@ namespace htg::storage {
 // rolls back (removing any partial file); a delete always rolls forward
 // (unlink is idempotent). A torn tail record — the expected artifact of a
 // crash mid-append — is detected by the per-record CRC and ignored.
+// kTxnCommit/kTxnAbort are advisory transaction-outcome markers appended
+// by the MVCC layer (Database::LogTxnOutcome): the txn id rides in `size`
+// and `name` is empty. Recovery ignores them — blob durability is fully
+// described by the intent/commit pairs, and MVCC state is rebuilt empty
+// on restart (all surviving rows are frozen history) — but the markers
+// make commit order auditable from the log.
 enum class WalRecordType : uint8_t {
   kIntentCreate = 1,
   kCommitCreate = 2,
   kIntentDelete = 3,
   kCommitDelete = 4,
+  kTxnCommit = 5,
+  kTxnAbort = 6,
 };
 
 struct WalRecord {

@@ -11,7 +11,13 @@
 //   \execute <id>     execute a prepared statement
 //   \close <id>       close a prepared statement
 //   \quit             polite goodbye (EOF does the same)
+//
+// BEGIN / COMMIT / ABORT lines (case-insensitive, optional trailing ';')
+// are intercepted and sent as their dedicated wire frames rather than
+// SQL: the statements between BEGIN and COMMIT run as one
+// snapshot-isolation transaction (see docs/CONCURRENCY.md).
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +28,31 @@
 #include "server/client.h"
 
 namespace {
+
+// Matches a bare transaction keyword: case-insensitive, surrounding
+// whitespace and one trailing ';' tolerated ("begin", "COMMIT;", ...).
+bool IsKeywordLine(const std::string& line, const char* keyword) {
+  size_t begin = 0;
+  size_t end = line.size();
+  while (begin < end && isspace(static_cast<unsigned char>(line[begin]))) {
+    ++begin;
+  }
+  while (end > begin && isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  if (end > begin && line[end - 1] == ';') --end;
+  while (end > begin && isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  const size_t len = strlen(keyword);
+  if (end - begin != len) return false;
+  for (size_t i = 0; i < len; ++i) {
+    if (toupper(static_cast<unsigned char>(line[begin + i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
 
 void PrintResult(const htg::server::ClientResult& result) {
   if (result.schema.num_columns() > 0) {
@@ -82,6 +113,21 @@ int main(int argc, char** argv) {
     }
     if (line.empty() || line[0] == '#') continue;
     if (line == "\\quit") break;
+    const bool is_begin = IsKeywordLine(line, "BEGIN");
+    const bool is_commit = IsKeywordLine(line, "COMMIT");
+    const bool is_abort = IsKeywordLine(line, "ABORT");
+    if (is_begin || is_commit || is_abort) {
+      const htg::Status s = is_begin    ? client->Begin()
+                            : is_commit ? client->Commit()
+                                        : client->Abort();
+      if (!s.ok()) {
+        fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      printf("%s\n", is_begin ? "begin" : is_commit ? "commit" : "abort");
+      continue;
+    }
     if (line.rfind("\\prepare ", 0) == 0) {
       auto prepared = client->Prepare(line.substr(9));
       if (!prepared.ok()) {

@@ -65,6 +65,16 @@ SELECT k, COUNT(*), SUM(v) FROM smoke GROUP BY k ORDER BY k
 \prepare SELECT SUM(v) FROM smoke
 \execute 1
 \close 1
+# transaction round trip: an aborted insert leaves the count unchanged,
+# a committed one bumps it (BEGIN/COMMIT/ABORT cross as wire frames)
+BEGIN
+INSERT INTO smoke VALUES (9, 90)
+ABORT
+SELECT COUNT(*) FROM smoke
+BEGIN;
+INSERT INTO smoke VALUES (9, 90)
+COMMIT;
+SELECT COUNT(*) FROM smoke
 \quit
 EOF
 CLI_STATUS=$?
@@ -73,6 +83,9 @@ cat "$CLI_OUT"
 [ "$CLI_STATUS" -eq 0 ] || fail "cli session exited $CLI_STATUS"
 grep -q "prepared 1" "$CLI_OUT" || fail "prepared-statement round trip missing"
 grep -q "^60$" "$CLI_OUT" || fail "SUM(v) result 60 not in cli output"
+# Post-ABORT count must still be 3; post-COMMIT count must be 4.
+TXN_COUNTS="$(grep -x '[0-9]*' "$CLI_OUT" | tail -2 | tr '\n' ' ')"
+[ "$TXN_COUNTS" = "3 4 " ] || fail "txn round trip counts were '$TXN_COUNTS' (want '3 4 ')"
 
 # Graceful drain: SIGTERM, then the process must exit 0 and be gone.
 kill -TERM "$SERVER_PID" || fail "could not signal server"
