@@ -229,13 +229,20 @@ Status Database::InsertRow(catalog::TableDef* table, Row row,
 
 void Database::MaybeSweepVersions() {
   if (!mvcc_enabled_ || mvcc_gc_every_ == 0) return;
-  const uint64_t pending =
-      gc_pending_.fetch_add(txn_manager_.TakeCompletedSinceSweep(),
-                            std::memory_order_acq_rel) +
-      1;
-  if (pending < mvcc_gc_every_) return;
-  gc_pending_.store(0, std::memory_order_release);
-  SweepVersions();
+  const uint64_t taken = txn_manager_.TakeCompletedSinceSweep();
+  uint64_t pending =
+      gc_pending_.fetch_add(taken, std::memory_order_acq_rel) + taken;
+  // Claim one sweep's worth via CAS rather than store(0): completions
+  // another thread folds in concurrently are never discarded, and two
+  // racing triggers cannot both subtract below zero — the loser re-reads
+  // the decremented count and backs off.
+  while (pending >= mvcc_gc_every_) {
+    if (gc_pending_.compare_exchange_weak(pending, pending - mvcc_gc_every_,
+                                          std::memory_order_acq_rel)) {
+      SweepVersions();
+      return;
+    }
+  }
 }
 
 uint64_t Database::SweepVersions() {

@@ -398,18 +398,25 @@ Status SqlEngine::CommitTxn(TxnContext* txn) {
 Status SqlEngine::AbortTxn(TxnContext* txn) {
   Status status;
   for (const TxnContext::WrittenTable& w : txn->written) {
+    bool undone = true;
     if (auto* heap =
             dynamic_cast<storage::HeapTable*>(w.table->table.get())) {
       // Truncate while the pending marker still hides the tail, so no
       // reader window exists where the doomed rows look committed.
       const uint64_t target = w.table->mvcc->AbortTarget(txn->id);
       const Status undo = heap->TruncateToRows(target);
-      if (!undo.ok() && status.ok()) status = undo;
+      if (!undo.ok()) {
+        undone = false;
+        if (status.ok()) status = undo;
+      }
     } else if (auto* clustered = dynamic_cast<storage::ClusteredTable*>(
                    w.table->table.get())) {
       clustered->MarkAborted(w.rows_inserted);
     }
-    w.table->mvcc->AbortWrite(txn->id);
+    // Undo failure leaves the pending marker set: the table is
+    // quarantined (its surviving uncommitted tail stays hidden from every
+    // snapshot) rather than re-exposed as committed rows.
+    if (undone) w.table->mvcc->AbortWrite(txn->id);
   }
   txn->compensations.Rollback();
   db_->txns()->Abort(txn->id);
@@ -470,6 +477,14 @@ Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
                                                  table->table->num_rows());
     if (begun.ok()) {
       tracked = true;
+      if (txn->is_explicit) {
+        // Record the table the moment it has a pending marker, not only on
+        // statement success: if this statement fails mid-way, the session's
+        // ABORT must still find the table to truncate its tail and clear
+        // the marker — an unrecorded pending writer would hide the table's
+        // tail from every snapshot forever.
+        RecordWrite(txn, table, 0);
+      }
     } else if (txn->is_explicit) {
       return begun;  // impossible under the server's write locks
     } else {
@@ -523,22 +538,34 @@ Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt,
   // snapshot); implicit ones abort right here; untracked ones run the
   // legacy compensation.
   auto fail = [&](Status s) -> Status {
-    if (tracked && !txn->is_explicit) {
+    if (tracked && txn->is_explicit) {
+      // The rows inserted before the failure are physically present (heap
+      // tail / stamped clustered entries); fold them into the written set
+      // so ABORT's truncate target and clustered discount match reality.
+      RecordWrite(txn, table, inserted);
+    } else if (tracked) {
+      bool undone = true;
       if (heap != nullptr) {
         const uint64_t target = table->mvcc->AbortTarget(txn->id);
         const Status undo = heap->TruncateToRows(target);
-        assert(undo.ok());
-        (void)undo;
+        undone = undo.ok();
       } else if (auto* clustered = dynamic_cast<storage::ClusteredTable*>(
                      table->table.get())) {
         clustered->MarkAborted(inserted);
       }
-      table->mvcc->AbortWrite(txn->id);
+      if (undone) {
+        table->mvcc->AbortWrite(txn->id);
+      }
+      // Undo failure (I/O error truncating the tail): keep the pending
+      // marker set. It quarantines the table — the surviving uncommitted
+      // tail stays invisible to every snapshot — instead of clearing the
+      // marker and letting VisibleRows treat the tail as committed
+      // library-mode rows.
       local_undo.Rollback();
       db_->txns()->Abort(txn->id);
       HTG_IGNORE_STATUS(db_->filestream()->LogTxnOutcome(txn->id, false));
       db_->MaybeSweepVersions();
-    } else if (!tracked) {
+    } else {
       local_undo.Rollback();
     }
     return s;

@@ -159,8 +159,11 @@ class ClusteredTable::ScanIterator : public RowIterator {
 // key each refill. Entries are filtered by stamp visibility.
 class ClusteredTable::SnapshotIterator : public RowIterator {
  public:
+  SnapshotIterator(const ClusteredTable* table, Snapshot snap, TxnId self)
+      : table_(table), snap_(std::move(snap)), self_(self) {}
+
   SnapshotIterator(const ClusteredTable* table, Snapshot snap, TxnId self,
-                   std::optional<Row> seek)
+                   Row seek)
       : table_(table),
         snap_(std::move(snap)),
         self_(self),
@@ -381,8 +384,7 @@ Result<std::unique_ptr<RowIterator>> ClusteredTable::NewScanFrom(
 
 std::unique_ptr<RowIterator> ClusteredTable::NewSnapshotScan(Snapshot snap,
                                                              TxnId self) {
-  return std::make_unique<SnapshotIterator>(this, std::move(snap), self,
-                                            std::nullopt);
+  return std::make_unique<SnapshotIterator>(this, std::move(snap), self);
 }
 
 Result<std::unique_ptr<RowIterator>> ClusteredTable::NewSnapshotScanFrom(
@@ -402,7 +404,12 @@ void ClusteredTable::MarkAborted(uint64_t count) {
 uint64_t ClusteredTable::SweepAborted(const std::vector<TxnId>& aborted) {
   if (aborted.empty()) return 0;
   MutexLock lock(&latch_);
-  if (dead_rows_ == 0) return 0;
+  // Sweep by stamp match alone — never gate on dead_rows_. The caller
+  // retires an aborted id from the allocator's set right after this
+  // sweep, so any entry it missed (say, an abort whose MarkAborted
+  // accounting was lost) would become visible to every later snapshot
+  // once Snapshot::Sees stops recognizing the id as aborted. A scan that
+  // matches nothing is read-only and cheap.
   std::vector<std::tuple<Row, std::string, uint64_t>> keep;
   keep.reserve(tree_.size());
   uint64_t removed = 0;

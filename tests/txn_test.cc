@@ -15,11 +15,13 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "common/metrics.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "server/session.h"
 #include "sql/engine.h"
 #include "sql/parser.h"
+#include "storage/clustered_table.h"
 #include "storage/mvcc.h"
 
 namespace htg {
@@ -144,6 +146,55 @@ TEST(MvccTableStateTest, UntrackedRowsFoldOnlyWithFullPrefix) {
   EXPECT_EQ(state.VisibleRows(before, kFrozenTxn, 60), 0u);
 }
 
+// ----------------------------------------------------- clustered GC sweep
+
+TEST(ClusteredSweepTest, SweepRemovesAbortedStampsWithoutDeadRowAccounting) {
+  Schema schema;
+  schema.AddColumn({.name = "k", .type = DataType::kInt64});
+  schema.AddColumn({.name = "v", .type = DataType::kString});
+  storage::ClusteredTable table(schema, {0}, storage::Compression::kNone);
+  ASSERT_TRUE(table.Insert(Row{Value::Int64(1), Value::String("keep")}).ok());
+  // An entry stamped by an aborted txn whose MarkAborted accounting was
+  // lost: dead_rows_ is zero, yet the sweep must still remove it — the
+  // caller retires the id from the allocator's aborted set right after
+  // the sweep, and a leftover entry would resurrect as committed data
+  // the moment new snapshots stop recognizing the id as aborted.
+  ASSERT_TRUE(table
+                  .InsertStamped(Row{Value::Int64(2), Value::String("dead")},
+                                 /*txn=*/7)
+                  .ok());
+  EXPECT_EQ(table.SweepAborted({7}), 1u);
+  EXPECT_EQ(table.num_rows(), 1u);
+  auto iter = table.NewScan();
+  Row row;
+  ASSERT_TRUE(iter->Next(&row));
+  EXPECT_EQ(row[0].AsInt64(), 1);
+  EXPECT_FALSE(iter->Next(&row));
+}
+
+// ----------------------------------------------------------- GC cadence
+
+TEST(GcCadenceTest, BatchedCompletionsCountTowardSweepThreshold) {
+  DatabaseOptions options;
+  options.filestream_root = "/tmp/htg_txn_gc_cadence";
+  options.mvcc_gc_every = 4;
+  auto db = Database::Open("gccadence", options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Three completions the opportunistic trigger has not observed yet:
+  // they sit in the TxnManager's since-sweep counter.
+  for (int i = 0; i < 3; ++i) {
+    const auto t = (*db)->txns()->Begin();
+    (*db)->txns()->Commit(t.id);
+  }
+  const uint64_t before = HTG_METRIC_COUNTER("mvcc.gc.sweeps")->Value();
+  // The fourth completion reaches the threshold exactly — the trigger
+  // must count the whole batch it just folded in, not "pre-add + 1".
+  const auto t = (*db)->txns()->Begin();
+  (*db)->txns()->Commit(t.id);
+  (*db)->MaybeSweepVersions();
+  EXPECT_EQ(HTG_METRIC_COUNTER("mvcc.gc.sweeps")->Value(), before + 1);
+}
+
 // ------------------------------------------------------------ engine txn
 
 class TxnEngineTest : public ::testing::Test {
@@ -245,6 +296,43 @@ TEST_F(TxnEngineTest, FirstWriterWinsConflictIsTypedAborted) {
       << r.status().ToString();
   ASSERT_TRUE(engine_->AbortTxn(b->get()).ok());
   EXPECT_EQ(Count("t"), 1);
+}
+
+TEST_F(TxnEngineTest, MidStatementFailureInTxnRollsBackOnAbort) {
+  Exec("CREATE TABLE h (id INT, v INT)");
+  Exec("CREATE TABLE c (id INT PRIMARY KEY, v INT)");
+  Exec("INSERT INTO h VALUES (1, 10)");
+  Exec("INSERT INTO c VALUES (1, 10)");
+  auto txn = engine_->BeginTxn();
+  ASSERT_TRUE(txn.ok());
+  sql::StatementOptions opts;
+  opts.txn = txn->get();
+  // The second VALUES row has the wrong arity, so each statement fails
+  // after its first row was already inserted — and it is the txn's first
+  // (and only) write to that table. ABORT must still find the table,
+  // undo the partial row, and clear the pending-writer marker.
+  auto h = engine_->Execute("INSERT INTO h VALUES (2, 20), (3)", opts);
+  ASSERT_FALSE(h.ok());
+  auto c = engine_->Execute("INSERT INTO c VALUES (2, 20), (3)", opts);
+  ASSERT_FALSE(c.ok());
+  ASSERT_TRUE(engine_->AbortTxn(txn->get()).ok());
+  EXPECT_EQ(Count("h"), 1);
+  EXPECT_EQ(Count("c"), 1);
+  // Both explicit-txn and autocommit writes work again afterwards (a
+  // stuck pending marker would fail the former and hide the latter).
+  auto txn2 = engine_->BeginTxn();
+  ASSERT_TRUE(txn2.ok());
+  Exec("INSERT INTO h VALUES (8, 80)", txn2->get());
+  Exec("INSERT INTO c VALUES (8, 80)", txn2->get());
+  ASSERT_TRUE(engine_->CommitTxn(txn2->get()).ok());
+  Exec("INSERT INTO h VALUES (9, 90)");
+  Exec("INSERT INTO c VALUES (9, 90)");
+  EXPECT_EQ(Count("h"), 3);
+  EXPECT_EQ(Count("c"), 3);
+  // GC physically removes the aborted clustered entry; counts hold.
+  db_->SweepVersions();
+  EXPECT_EQ(Count("c"), 3);
+  EXPECT_TRUE(db_->txns()->AbortedSet().empty());
 }
 
 TEST_F(TxnEngineTest, GcSweepRemovesAbortedClusteredEntries) {
